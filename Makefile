@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test bench experiments examples fmt vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/prestobench -experiment all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/federation
+	go run ./examples/geospatial
+	go run ./examples/nested
+	go run ./examples/cloud
+	go run ./examples/federation_gateway
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

@@ -1,0 +1,137 @@
+// Command presto-cli runs SQL either against an embedded demo engine or a
+// remote coordinator/gateway:
+//
+//	presto-cli -demo -execute "SELECT city, count(*) FROM trips GROUP BY city"
+//	presto-cli -server 127.0.0.1:8080 -catalog hive -schema rawdata
+//
+// Without -execute it reads statements from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prestolite/internal/cluster"
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/core"
+	"prestolite/internal/types"
+)
+
+func main() {
+	server := flag.String("server", "", "coordinator or gateway address (host:port)")
+	demo := flag.Bool("demo", false, "use an embedded engine with a demo dataset")
+	catalog := flag.String("catalog", "memory", "default catalog")
+	schema := flag.String("schema", "demo", "default schema")
+	user := flag.String("user", os.Getenv("USER"), "user for gateway routing")
+	group := flag.String("group", "", "group for gateway routing")
+	execute := flag.String("execute", "", "run one statement and exit")
+	flag.Parse()
+
+	var runQuery func(q string) error
+	switch {
+	case *server != "":
+		client := cluster.NewClient(*server)
+		runQuery = func(q string) error {
+			res, err := client.QueryWithIdentity(cluster.StatementRequest{
+				Query: q, Catalog: *catalog, Schema: *schema, User: *user,
+			}, *user, *group)
+			if err != nil {
+				return err
+			}
+			rows, err := res.Rows()
+			if err != nil {
+				return err
+			}
+			printTable(res.Columns, rows)
+			return nil
+		}
+	case *demo:
+		engine := demoEngine()
+		session := core.DefaultSession(*catalog, *schema)
+		runQuery = func(q string) error {
+			res, err := engine.Query(session, q)
+			if err != nil {
+				return err
+			}
+			names := make([]string, len(res.Columns))
+			for i, c := range res.Columns {
+				names[i] = c.Name
+			}
+			printTable(names, res.Rows())
+			return nil
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "presto-cli: need -server or -demo")
+		os.Exit(2)
+	}
+
+	if *execute != "" {
+		if err := runQuery(*execute); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("presto> ")
+	for scanner.Scan() {
+		q := strings.TrimSpace(scanner.Text())
+		if q == "" || q == "quit" || q == "exit" {
+			if q != "" {
+				return
+			}
+			fmt.Print("presto> ")
+			continue
+		}
+		if err := runQuery(q); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		fmt.Print("presto> ")
+	}
+}
+
+func printTable(columns []string, rows [][]any) {
+	fmt.Println(strings.Join(columns, " | "))
+	fmt.Println(strings.Repeat("-", len(strings.Join(columns, " | "))))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			if v == nil {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = fmt.Sprintf("%v", v)
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+// demoEngine builds a small in-memory dataset for kicking the tires.
+func demoEngine() *core.Engine {
+	engine := core.New()
+	mem := memory.New("memory")
+	cols := []connector.Column{
+		{Name: "city", Type: types.Varchar},
+		{Name: "trips", Type: types.Bigint},
+		{Name: "revenue", Type: types.Double},
+	}
+	if err := mem.CreateTable("demo", "trips", cols, nil); err != nil {
+		panic(err)
+	}
+	rows := [][]any{
+		{"san francisco", int64(1200), 18500.0},
+		{"oakland", int64(340), 5100.5},
+		{"san jose", int64(411), 7200.25},
+	}
+	if err := mem.AppendRows("demo", "trips", rows); err != nil {
+		panic(err)
+	}
+	engine.Register("memory", mem)
+	return engine
+}

@@ -1,0 +1,38 @@
+// Command presto-coordinator starts a cluster coordinator with a demo
+// warehouse (simulated HDFS + metastore + hive catalog, plus a druid
+// catalog):
+//
+//	presto-coordinator -listen 127.0.0.1:8080
+//
+// Workers join via presto-worker -coordinator <addr>. Query with:
+//
+//	presto-cli -server 127.0.0.1:8080 -catalog hive -schema rawdata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prestolite/internal/cluster"
+	"prestolite/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	catalogs, err := workload.DemoCatalogs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "presto-coordinator:", err)
+		os.Exit(1)
+	}
+	coord := cluster.NewCoordinator(catalogs)
+	if err := coord.Start(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "presto-coordinator:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("coordinator listening on %s (catalogs: hive, druid)\n", coord.Addr())
+	fmt.Println("workers join with: presto-worker -coordinator", coord.Addr())
+	select {}
+}

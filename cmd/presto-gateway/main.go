@@ -1,0 +1,65 @@
+// Command presto-gateway starts the cluster-federation gateway (§VIII):
+//
+//	presto-gateway -listen 127.0.0.1:9000 \
+//	  -cluster shared=127.0.0.1:8080 -cluster dedicated=127.0.0.1:8081 \
+//	  -route default=shared -route user:alice=dedicated
+//
+// Clients point presto-cli -server at the gateway; queries are redirected
+// (HTTP 307) to the cluster their user/group maps to.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prestolite/internal/gateway"
+)
+
+type kvList []string
+
+func (l *kvList) String() string     { return strings.Join(*l, ",") }
+func (l *kvList) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9000", "listen address")
+	var clusters, routes kvList
+	flag.Var(&clusters, "cluster", "name=addr (repeatable)")
+	flag.Var(&routes, "route", "principal=cluster (repeatable); principals: default, user:<u>, group:<g>")
+	flag.Parse()
+
+	gw, err := gateway.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "presto-gateway:", err)
+		os.Exit(1)
+	}
+	for _, c := range clusters {
+		parts := strings.SplitN(c, "=", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "presto-gateway: bad -cluster", c)
+			os.Exit(2)
+		}
+		if err := gw.AddCluster(parts[0], parts[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "presto-gateway:", err)
+			os.Exit(1)
+		}
+	}
+	for _, r := range routes {
+		parts := strings.SplitN(r, "=", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "presto-gateway: bad -route", r)
+			os.Exit(2)
+		}
+		if err := gw.SetRoute(parts[0], parts[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "presto-gateway:", err)
+			os.Exit(1)
+		}
+	}
+	if err := gw.Start(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "presto-gateway:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gateway listening on %s\n", gw.Addr())
+	select {}
+}

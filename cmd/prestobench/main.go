@@ -1,0 +1,98 @@
+// Command prestobench regenerates every table and figure of the paper's
+// evaluation (§X) plus the quantitative claims of §VI (geospatial), §VII
+// (caches) and §IX (S3):
+//
+//	prestobench -experiment fig16    # Druid vs Presto-Druid connector
+//	prestobench -experiment fig17    # old vs new Parquet reader (21 queries)
+//	prestobench -experiment fig17ab  # per-optimization reader ablation
+//	prestobench -experiment fig18    # writer throughput, Snappy
+//	prestobench -experiment fig19    # writer throughput, Gzip
+//	prestobench -experiment fig20    # writer throughput, uncompressed
+//	prestobench -experiment geo      # QuadTree vs brute-force spatial join
+//	prestobench -experiment cache    # file list + footer cache RPC reduction
+//	prestobench -experiment s3       # PrestoS3FileSystem optimizations
+//	prestobench -experiment all
+//
+// Use -scale to shrink or grow the workloads (1.0 = the defaults used in
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prestolite/internal/bench"
+	"prestolite/internal/parquet"
+	"prestolite/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
+	flag.Parse()
+
+	if err := run(*experiment, *scale, *repeats); err != nil {
+		fmt.Fprintln(os.Stderr, "prestobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, repeats int) error {
+	sc := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	runOne := func(name string) error {
+		var rep *bench.Report
+		var err error
+		switch name {
+		case "fig16":
+			cfg := workload.DefaultEventsConfig()
+			cfg.Rows = sc(cfg.Rows)
+			rep, err = bench.RunFig16(cfg, repeats)
+		case "fig17":
+			cfg := workload.DefaultTripsConfig()
+			cfg.RowsPerDate = sc(cfg.RowsPerDate)
+			rep, err = bench.RunFig17(cfg, repeats)
+		case "fig17ab":
+			cfg := workload.DefaultTripsConfig()
+			cfg.RowsPerDate = sc(cfg.RowsPerDate)
+			rep, err = bench.RunFig17Ablation(cfg, repeats)
+		case "fig18":
+			rep, err = bench.RunWriterFigure(parquet.CodecSnappy, sc(200000), repeats)
+		case "fig19":
+			rep, err = bench.RunWriterFigure(parquet.CodecGzip, sc(100000), repeats)
+		case "fig20":
+			rep, err = bench.RunWriterFigure(parquet.CodecNone, sc(200000), repeats)
+		case "geo":
+			cfg := workload.DefaultGeoConfig()
+			cfg.Trips = sc(cfg.Trips)
+			rep, err = bench.RunGeo(cfg, repeats)
+		case "cache":
+			rep, err = bench.RunCache(sc(20))
+		case "s3":
+			rep, err = bench.RunS3(sc(50000))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Print(os.Stdout)
+		return nil
+	}
+	if experiment == "all" {
+		for _, name := range []string{"fig16", "fig17", "fig17ab", "fig18", "fig19", "fig20", "geo", "cache", "s3"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

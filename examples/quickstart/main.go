@@ -1,0 +1,70 @@
+// Quickstart: embed the engine, register an in-memory catalog, run SQL.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/core"
+	"prestolite/internal/types"
+)
+
+func main() {
+	// 1. Create an engine and a memory catalog.
+	engine := core.New()
+	mem := memory.New("memory")
+	engine.Register("memory", mem)
+
+	// 2. Create a table and load rows.
+	cols := []connector.Column{
+		{Name: "city", Type: types.Varchar},
+		{Name: "trips", Type: types.Bigint},
+		{Name: "fare", Type: types.Double},
+	}
+	if err := mem.CreateTable("demo", "rides", cols, nil); err != nil {
+		log.Fatal(err)
+	}
+	rows := [][]any{
+		{"san francisco", int64(3), 21.5},
+		{"san francisco", int64(1), 8.0},
+		{"oakland", int64(2), 12.0},
+		{"san jose", int64(5), 33.5},
+	}
+	if err := mem.AppendRows("demo", "rides", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Query.
+	session := core.DefaultSession("memory", "demo")
+	res, err := engine.Query(session, `
+		SELECT city, sum(trips) AS total_trips, avg(fare) AS avg_fare
+		FROM rides
+		WHERE fare > 5.0
+		GROUP BY city
+		ORDER BY total_trips DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Columns {
+		fmt.Printf("%-16s", c.Name)
+	}
+	fmt.Println()
+	for _, row := range res.Rows() {
+		for _, v := range row {
+			fmt.Printf("%-16v", v)
+		}
+		fmt.Println()
+	}
+
+	// 4. EXPLAIN shows the optimized plan with connector pushdowns.
+	plan, err := engine.Explain(session, "SELECT city FROM rides WHERE fare > 5.0 LIMIT 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN:")
+	fmt.Print(plan)
+}

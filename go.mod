@@ -1,0 +1,3 @@
+module prestolite
+
+go 1.22

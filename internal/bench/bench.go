@@ -1,0 +1,77 @@
+// Package bench is the experiment harness: for every table and figure in the
+// paper's evaluation (§X) plus the quantitative claims of §VI (geospatial),
+// §VII (caches) and §IX (S3), it builds the workload, runs both sides of the
+// comparison, and reports rows in the same shape as the paper.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Row is one line of an experiment report.
+type Row struct {
+	Name   string
+	Values map[string]float64
+	Note   string
+}
+
+// Report is one experiment's output.
+type Report struct {
+	Experiment string
+	Columns    []string // value keys in print order
+	Rows       []Row
+	Summary    string
+}
+
+// Print renders a report as an aligned table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", r.Experiment)
+	header := fmt.Sprintf("%-34s", "name")
+	for _, c := range r.Columns {
+		header += fmt.Sprintf("%16s", c)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, row := range r.Rows {
+		line := fmt.Sprintf("%-34s", row.Name)
+		for _, c := range r.Columns {
+			line += fmt.Sprintf("%16.3f", row.Values[c])
+		}
+		if row.Note != "" {
+			line += "  " + row.Note
+		}
+		fmt.Fprintln(w, line)
+	}
+	if r.Summary != "" {
+		fmt.Fprintln(w, r.Summary)
+	}
+	fmt.Fprintln(w)
+}
+
+// timeIt measures one run.
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// bestOf runs fn n times and returns the fastest run (standard
+// microbenchmark practice for latency comparisons).
+func bestOf(n int, fn func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < n; i++ {
+		d, err := timeIt(fn)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/core"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+	"prestolite/internal/workload"
+)
+
+// RunFig17 reproduces Fig 17: 21 production-style queries over the nested
+// trips warehouse with the old (row-based) versus the brand-new (columnar)
+// reader on identical files. The paper's claim: 2-10X speedup, largest for
+// needle-in-a-haystack scans.
+func RunFig17(cfg workload.TripsConfig, repeats int) (*Report, error) {
+	nn := hdfs.New(hdfs.Config{})
+	ms2 := metastore.New()
+	if _, err := workload.BuildTripsWarehouse(ms2, nn, cfg); err != nil {
+		return nil, err
+	}
+
+	engineFor := func(opts hive.Options) *core.Engine {
+		e := core.New()
+		e.Register("hive", hive.New("hive", ms2, nn, opts))
+		return e
+	}
+	oldEngine := engineFor(hive.Options{UseLegacyReader: true})
+	newEngine := engineFor(hive.Options{})
+	session := core.DefaultSession("hive", "rawdata")
+
+	report := &Report{
+		Experiment: "Fig 17: old vs new Parquet reader, 21 Uber-style queries (ms)",
+		Columns:    []string{"old_ms", "new_ms", "speedup"},
+	}
+	var totalOld, totalNew float64
+	for _, q := range workload.TripQueries(cfg) {
+		q := q
+		// Verify both readers agree before timing.
+		r1, err := oldEngine.Query(session, q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("fig17 %s old: %w", q.Name, err)
+		}
+		r2, err := newEngine.Query(session, q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("fig17 %s new: %w", q.Name, err)
+		}
+		if r1.RowCount() != r2.RowCount() {
+			return nil, fmt.Errorf("fig17 %s: readers disagree (%d vs %d rows)", q.Name, r1.RowCount(), r2.RowCount())
+		}
+		oldTime, err := bestOf(repeats, func() error {
+			_, err := oldEngine.Query(session, q.SQL)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		newTime, err := bestOf(repeats, func() error {
+			_, err := newEngine.Query(session, q.SQL)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		totalOld += ms(oldTime)
+		totalNew += ms(newTime)
+		report.Rows = append(report.Rows, Row{
+			Name: q.Name,
+			Values: map[string]float64{
+				"old_ms":  ms(oldTime),
+				"new_ms":  ms(newTime),
+				"speedup": ms(oldTime) / ms(newTime),
+			},
+			Note: q.Kind,
+		})
+	}
+	report.Summary = fmt.Sprintf("total: old %.0fms, new %.0fms, overall speedup %.1fx (paper: 2-10x per query)",
+		totalOld, totalNew, totalOld/totalNew)
+	return report, nil
+}
+
+// RunFig17Ablation toggles each new-reader optimization off one at a time on
+// the two needle queries, quantifying each contribution (the DESIGN.md
+// ablation).
+func RunFig17Ablation(cfg workload.TripsConfig, repeats int) (*Report, error) {
+	nn := hdfs.New(hdfs.Config{})
+	ms2 := metastore.New()
+	if _, err := workload.BuildTripsWarehouse(ms2, nn, cfg); err != nil {
+		return nil, err
+	}
+	session := core.DefaultSession("hive", "rawdata")
+	var needle []workload.TripQuery
+	for _, q := range workload.TripQueries(cfg) {
+		if q.Kind == "needle" || q.Name == "Q01 scan projection" {
+			needle = append(needle, q)
+		}
+	}
+	variants := []struct {
+		name string
+		opts hive.Options
+	}{
+		{"all optimizations", hive.Options{}},
+		{"no column pruning", hive.Options{Reader: hive.ReaderToggles{NoColumnPruning: true}}},
+		{"no predicate pushdown", hive.Options{Reader: hive.ReaderToggles{NoPredicatePushdown: true}}},
+		{"no dictionary pushdown", hive.Options{Reader: hive.ReaderToggles{NoDictionaryPushdown: true}}},
+		{"no lazy reads", hive.Options{Reader: hive.ReaderToggles{NoLazyReads: true}}},
+		{"no vectorized decode", hive.Options{Reader: hive.ReaderToggles{NoVectorized: true}}},
+		{"legacy reader", hive.Options{UseLegacyReader: true}},
+	}
+	report := &Report{
+		Experiment: "Fig 17 ablation: per-optimization contribution (total ms over scan+needle queries)",
+		Columns:    []string{"total_ms"},
+	}
+	for _, v := range variants {
+		e := core.New()
+		e.Register("hive", hive.New("hive", ms2, nn, v.opts))
+		total, err := bestOf(repeats, func() error {
+			for _, q := range needle {
+				if _, err := e.Query(session, q.SQL); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		report.Rows = append(report.Rows, Row{Name: v.name, Values: map[string]float64{"total_ms": ms(total)}})
+	}
+	return report, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"prestolite/internal/parquet"
+	"prestolite/internal/workload"
+)
+
+// RunWriterFigure reproduces Figs 18/19/20: old (record-reconstructing)
+// versus native (columnar) writer throughput in MB/s per dataset, under one
+// codec. The paper's claim: native is consistently ~20%+ faster, with the
+// largest gains on simple types under heavy codecs.
+func RunWriterFigure(codec parquet.Codec, rowsPerDataset int, repeats int) (*Report, error) {
+	figure := map[parquet.Codec]string{
+		parquet.CodecSnappy: "Fig 18: writer throughput, Snappy",
+		parquet.CodecGzip:   "Fig 19: writer throughput, Gzip",
+		parquet.CodecNone:   "Fig 20: writer throughput, no compression",
+	}[codec]
+	report := &Report{
+		Experiment: figure + " (MB/s)",
+		Columns:    []string{"old_mb_s", "native_mb_s", "gain_pct"},
+	}
+	var totalGain float64
+	for _, ds := range workload.WriterDatasets() {
+		ds := ds
+		rows := rowsPerDataset
+		if ds.Name == "All Lineitem columns" {
+			rows = rowsPerDataset / 4 // wide rows
+		}
+		page := ds.Generate(1, rows)
+		inputMB := float64(page.SizeBytes()) / (1 << 20)
+
+		schema, err := parquet.NewSchema(ds.Cols, ds.Types)
+		if err != nil {
+			return nil, fmt.Errorf("writer %s: %w", ds.Name, err)
+		}
+		opts := parquet.WriterOptions{Codec: codec, RowGroupRows: 8192}
+
+		oldTime, err := bestOf(repeats, func() error {
+			w, err := parquet.NewLegacyWriter(io.Discard, schema, opts)
+			if err != nil {
+				return err
+			}
+			if err := w.WritePage(page); err != nil {
+				return err
+			}
+			return w.Close()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("writer %s old: %w", ds.Name, err)
+		}
+		nativeTime, err := bestOf(repeats, func() error {
+			w, err := parquet.NewNativeWriter(io.Discard, schema, opts)
+			if err != nil {
+				return err
+			}
+			if err := w.WritePage(page); err != nil {
+				return err
+			}
+			return w.Close()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("writer %s native: %w", ds.Name, err)
+		}
+		oldMBs := inputMB / oldTime.Seconds()
+		nativeMBs := inputMB / nativeTime.Seconds()
+		gain := (nativeMBs - oldMBs) / oldMBs * 100
+		totalGain += gain
+		report.Rows = append(report.Rows, Row{
+			Name: ds.Name,
+			Values: map[string]float64{
+				"old_mb_s":    oldMBs,
+				"native_mb_s": nativeMBs,
+				"gain_pct":    gain,
+			},
+		})
+	}
+	report.Summary = fmt.Sprintf("mean throughput gain: %.0f%% (paper: consistently >20%%)",
+		totalGain/float64(len(report.Rows)))
+	return report, nil
+}

@@ -1,0 +1,187 @@
+package block
+
+import "fmt"
+
+// Materializer is implemented by engine-internal view blocks (e.g. the sort
+// operator's indirection blocks) that must convert to concrete blocks before
+// crossing a process boundary.
+type Materializer interface {
+	Materialize() Block
+}
+
+// Concat combines same-kind blocks into one. Inputs are flattened first;
+// mixed kinds are an error (panic: indicates an engine bug, not user input).
+func Concat(blocks []Block) Block {
+	if len(blocks) == 0 {
+		return &Int64Block{}
+	}
+	flat := make([]Block, len(blocks))
+	for i, b := range blocks {
+		flat[i] = flatten(b)
+	}
+	switch flat[0].(type) {
+	case *Int64Block:
+		var vals []int64
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*Int64Block)
+			vals = append(vals, t.Values...)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			nulls = make([]bool, 0, len(vals))
+			for _, b := range flat {
+				t := b.(*Int64Block)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, len(t.Values))...)
+				}
+			}
+		}
+		return &Int64Block{Values: vals, Nulls: nulls}
+	case *Float64Block:
+		var vals []float64
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*Float64Block)
+			vals = append(vals, t.Values...)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*Float64Block)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, len(t.Values))...)
+				}
+			}
+		}
+		return &Float64Block{Values: vals, Nulls: nulls}
+	case *BoolBlock:
+		var vals []bool
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*BoolBlock)
+			vals = append(vals, t.Values...)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*BoolBlock)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, len(t.Values))...)
+				}
+			}
+		}
+		return &BoolBlock{Values: vals, Nulls: nulls}
+	case *VarcharBlock:
+		var vals []string
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*VarcharBlock)
+			vals = append(vals, t.Values...)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*VarcharBlock)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, len(t.Values))...)
+				}
+			}
+		}
+		return &VarcharBlock{Values: vals, Nulls: nulls}
+	case *ArrayBlock:
+		var elems []Block
+		offsets := []int32{0}
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*ArrayBlock)
+			base := offsets[len(offsets)-1] - t.Offsets[0]
+			for _, off := range t.Offsets[1:] {
+				offsets = append(offsets, off+base)
+			}
+			elems = append(elems, t.Elements)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*ArrayBlock)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, t.Count())...)
+				}
+			}
+		}
+		return &ArrayBlock{Elements: Concat(elems), Offsets: offsets, Nulls: nulls}
+	case *MapBlock:
+		var keys, vals []Block
+		offsets := []int32{0}
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*MapBlock)
+			base := offsets[len(offsets)-1] - t.Offsets[0]
+			for _, off := range t.Offsets[1:] {
+				offsets = append(offsets, off+base)
+			}
+			keys = append(keys, t.Keys)
+			vals = append(vals, t.Values)
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*MapBlock)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, t.Count())...)
+				}
+			}
+		}
+		return &MapBlock{Keys: Concat(keys), Values: Concat(vals), Offsets: offsets, Nulls: nulls}
+	case *RowBlock:
+		first := flat[0].(*RowBlock)
+		fieldParts := make([][]Block, len(first.Fields))
+		n := 0
+		var nulls []bool
+		anyNull := false
+		for _, b := range flat {
+			t := b.(*RowBlock)
+			for i, f := range t.Fields {
+				fieldParts[i] = append(fieldParts[i], f)
+			}
+			n += t.N
+			anyNull = anyNull || t.Nulls != nil
+		}
+		if anyNull {
+			for _, b := range flat {
+				t := b.(*RowBlock)
+				if t.Nulls != nil {
+					nulls = append(nulls, t.Nulls...)
+				} else {
+					nulls = append(nulls, make([]bool, t.N)...)
+				}
+			}
+		}
+		fields := make([]Block, len(fieldParts))
+		for i, parts := range fieldParts {
+			fields[i] = Concat(parts)
+		}
+		return &RowBlock{Fields: fields, Nulls: nulls, N: n}
+	default:
+		panic(fmt.Sprintf("block: cannot concat %T", flat[0]))
+	}
+}

@@ -1,0 +1,222 @@
+package block
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prestolite/internal/types"
+)
+
+// randomValue generates a boxed value of type t.
+func randomValue(r *rand.Rand, t *types.Type, depth int) any {
+	if r.Intn(6) == 0 {
+		return nil
+	}
+	switch t.Kind {
+	case types.KindBoolean:
+		return r.Intn(2) == 0
+	case types.KindInteger, types.KindBigint, types.KindDate:
+		return r.Int63n(1 << 40)
+	case types.KindDouble:
+		return r.NormFloat64()
+	case types.KindVarchar:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return string(b)
+	case types.KindArray:
+		n := r.Intn(4)
+		out := make([]any, n)
+		for i := range out {
+			out[i] = randomValue(r, t.Elem, depth-1)
+		}
+		return out
+	case types.KindMap:
+		n := r.Intn(3)
+		out := make([][2]any, n)
+		for i := range out {
+			k := randomValue(r, t.Key, depth-1)
+			if k == nil {
+				k = randomNonNull(r, t.Key)
+			}
+			out[i] = [2]any{k, randomValue(r, t.Value, depth-1)}
+		}
+		return out
+	case types.KindRow:
+		out := make([]any, len(t.Fields))
+		for i, f := range t.Fields {
+			out[i] = randomValue(r, f.Type, depth-1)
+		}
+		return out
+	}
+	return nil
+}
+
+func randomNonNull(r *rand.Rand, t *types.Type) any {
+	for {
+		if v := randomValue(r, t, 1); v != nil {
+			return v
+		}
+	}
+}
+
+var quickTypes = []*types.Type{
+	types.Bigint,
+	types.Double,
+	types.Boolean,
+	types.Varchar,
+	types.NewArray(types.Bigint),
+	types.NewArray(types.NewArray(types.Varchar)),
+	types.NewMap(types.Varchar, types.Double),
+	types.NewRow(
+		types.Field{Name: "a", Type: types.Bigint},
+		types.Field{Name: "b", Type: types.NewArray(types.Varchar)},
+		types.Field{Name: "c", Type: types.NewRow(types.Field{Name: "x", Type: types.Double})},
+	),
+}
+
+// Property: building a block from values and reading them back is identity.
+func TestQuickBuilderRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := quickTypes[int(n)%len(quickTypes)]
+		count := r.Intn(50) + 1
+		vals := make([]any, count)
+		for i := range vals {
+			vals[i] = randomValue(r, typ, 3)
+		}
+		blk := FromValues(typ, vals...)
+		if blk.Count() != count {
+			return false
+		}
+		for i, want := range vals {
+			got := blk.Value(i)
+			if !reflect.DeepEqual(normalize(got), normalize(want)) {
+				t.Logf("type %v pos %d: got %#v want %#v", typ, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mask then Value equals picking the original values.
+func TestQuickMaskConsistent(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := quickTypes[int(n)%len(quickTypes)]
+		count := r.Intn(40) + 1
+		vals := make([]any, count)
+		for i := range vals {
+			vals[i] = randomValue(r, typ, 2)
+		}
+		blk := FromValues(typ, vals...)
+		perm := r.Perm(count)[:r.Intn(count)+1]
+		masked := blk.Mask(perm)
+		for out, p := range perm {
+			if !reflect.DeepEqual(normalize(masked.Value(out)), normalize(vals[p])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Region is a consistent window.
+func TestQuickRegionConsistent(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := quickTypes[int(n)%len(quickTypes)]
+		count := r.Intn(40) + 2
+		vals := make([]any, count)
+		for i := range vals {
+			vals[i] = randomValue(r, typ, 2)
+		}
+		blk := FromValues(typ, vals...)
+		off := r.Intn(count)
+		length := r.Intn(count - off)
+		reg := blk.Region(off, length)
+		for i := 0; i < length; i++ {
+			if !reflect.DeepEqual(normalize(reg.Value(i)), normalize(vals[off+i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pages survive the wire codec.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := r.Intn(30) + 1
+		cols := r.Intn(3) + 1
+		blocks := make([]Block, cols)
+		for c := range blocks {
+			typ := quickTypes[r.Intn(len(quickTypes))]
+			vals := make([]any, count)
+			for i := range vals {
+				vals[i] = randomValue(r, typ, 2)
+			}
+			blocks[c] = FromValues(typ, vals...)
+		}
+		p := NewPage(blocks...)
+		data, err := EncodePage(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePage(data)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			if !reflect.DeepEqual(normalize(got.Row(i)), normalize(p.Row(i))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalize maps empty slices to nil-insensitive forms so DeepEqual compares
+// [] and nil-backed empties consistently.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case []any:
+		if len(x) == 0 {
+			return []any{}
+		}
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalize(e)
+		}
+		return out
+	case [][2]any:
+		if len(x) == 0 {
+			return [][2]any{}
+		}
+		out := make([][2]any, len(x))
+		for i, e := range x {
+			out[i] = [2]any{normalize(e[0]), normalize(e[1])}
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,222 @@
+// Package cache implements the caching layer of §VII: a generic LRU with
+// TTL and hit/miss metrics, the coordinator-side file list cache (sealed
+// directories only, §VII.A) and the worker-side file handle + footer cache
+// (§VII.B).
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestolite/internal/fsys"
+)
+
+// Metrics counts cache effectiveness; experiments read these to reproduce
+// the "listFile calls reduced to less than 40%" and "90% of getFileInfo
+// calls reduced" results.
+type Metrics struct {
+	Hits     atomic.Int64
+	Misses   atomic.Int64
+	Bypasses atomic.Int64 // open partitions skip the cache entirely
+}
+
+// HitRate returns hits / (hits + misses), 0 when empty.
+func (m *Metrics) HitRate() float64 {
+	h, mi := m.Hits.Load(), m.Misses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// LRU is a thread-safe LRU cache with optional TTL.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	items    map[K]*list.Element
+	order    *list.List // front = most recent
+
+	Metrics Metrics
+	now     func() time.Time
+}
+
+type lruEntry[K comparable, V any] struct {
+	key     K
+	value   V
+	expires time.Time
+}
+
+// NewLRU creates a cache; ttl <= 0 disables expiry.
+func NewLRU[K comparable, V any](capacity int, ttl time.Duration) *LRU[K, V] {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ttl:      ttl,
+		items:    map[K]*list.Element{},
+		order:    list.New(),
+		now:      time.Now,
+	}
+}
+
+// Get returns the cached value, if present and fresh.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.Metrics.Misses.Add(1)
+		return zero, false
+	}
+	entry := el.Value.(*lruEntry[K, V])
+	if c.ttl > 0 && c.now().After(entry.expires) {
+		c.order.Remove(el)
+		delete(c.items, key)
+		c.Metrics.Misses.Add(1)
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	c.Metrics.Hits.Add(1)
+	return entry.value, true
+}
+
+// Put inserts or refreshes a value.
+func (c *LRU[K, V]) Put(key K, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		entry := el.Value.(*lruEntry[K, V])
+		entry.value = value
+		entry.expires = c.now().Add(c.ttl)
+		c.order.MoveToFront(el)
+		return
+	}
+	entry := &lruEntry[K, V]{key: key, value: value, expires: c.now().Add(c.ttl)}
+	c.items[key] = c.order.PushFront(entry)
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Invalidate drops a key.
+func (c *LRU[K, V]) Invalidate(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// SetClock overrides time for tests.
+func (c *LRU[K, V]) SetClock(now func() time.Time) { c.now = now }
+
+// ---------------------------------------------------------------------------
+// File list cache (§VII.A): the coordinator caches directory listings to
+// avoid listFile RPCs against the NameNode. Only sealed directories are
+// cached; open partitions (near-real-time ingestion keeps writing files)
+// bypass the cache to guarantee data freshness.
+
+// FileListCache fronts FileSystem.ListFiles.
+type FileListCache struct {
+	fs  fsys.FileSystem
+	lru *LRU[string, []fsys.FileInfo]
+
+	// Metrics includes bypasses for open partitions.
+	Metrics *Metrics
+}
+
+// NewFileListCache wraps fs.
+func NewFileListCache(fs fsys.FileSystem, capacity int, ttl time.Duration) *FileListCache {
+	c := &FileListCache{fs: fs, lru: NewLRU[string, []fsys.FileInfo](capacity, ttl)}
+	c.Metrics = &c.lru.Metrics
+	return c
+}
+
+// List lists dir. sealed=false (open partition) always goes to the
+// filesystem and is never cached.
+func (c *FileListCache) List(dir string, sealed bool) ([]fsys.FileInfo, error) {
+	if !sealed {
+		c.Metrics.Bypasses.Add(1)
+		return c.fs.ListFiles(dir)
+	}
+	if files, ok := c.lru.Get(dir); ok {
+		return files, nil
+	}
+	files, err := c.fs.ListFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	c.lru.Put(dir, files)
+	return files, nil
+}
+
+// Invalidate drops a directory (called when a partition is rewritten).
+func (c *FileListCache) Invalidate(dir string) { c.lru.Invalidate(dir) }
+
+// ---------------------------------------------------------------------------
+// File handle + footer cache (§VII.B): workers cache file descriptors
+// (avoiding getFileInfo calls) and the decoded footers, which have a very
+// high hit rate "as they are the indexes to the data itself".
+
+// FooterCache caches per-path file metadata and footer payloads.
+type FooterCache[F any] struct {
+	infos   *LRU[string, fsys.FileInfo]
+	footers *LRU[string, F]
+
+	// InfoMetrics and FooterMetrics expose the two hit rates separately.
+	InfoMetrics   *Metrics
+	FooterMetrics *Metrics
+}
+
+// NewFooterCache creates a worker-side cache.
+func NewFooterCache[F any](capacity int, ttl time.Duration) *FooterCache[F] {
+	c := &FooterCache[F]{
+		infos:   NewLRU[string, fsys.FileInfo](capacity, ttl),
+		footers: NewLRU[string, F](capacity, ttl),
+	}
+	c.InfoMetrics = &c.infos.Metrics
+	c.FooterMetrics = &c.footers.Metrics
+	return c
+}
+
+// GetFileInfo stats through the cache.
+func (c *FooterCache[F]) GetFileInfo(fs fsys.FileSystem, path string) (fsys.FileInfo, error) {
+	if info, ok := c.infos.Get(path); ok {
+		return info, nil
+	}
+	info, err := fs.GetFileInfo(path)
+	if err != nil {
+		return fsys.FileInfo{}, err
+	}
+	c.infos.Put(path, info)
+	return info, nil
+}
+
+// GetFooter loads a footer through the cache.
+func (c *FooterCache[F]) GetFooter(path string, load func() (F, error)) (F, error) {
+	if f, ok := c.footers.Get(path); ok {
+		return f, nil
+	}
+	f, err := load()
+	if err != nil {
+		var zero F
+		return zero, err
+	}
+	c.footers.Put(path, f)
+	return f, nil
+}

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"prestolite/internal/fsys"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[string, int](2, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" evicts "b".
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	c.Invalidate("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should be invalidated")
+	}
+	// Update existing key.
+	c.Put("c", 30)
+	if v, _ := c.Get("c"); v != 30 {
+		t.Errorf("c = %d", v)
+	}
+}
+
+func TestLRUTTL(t *testing.T) {
+	c := NewLRU[string, int](10, time.Minute)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	c := NewLRU[string, int](10, 0)
+	c.Put("k", 1)
+	c.Get("k")
+	c.Get("k")
+	c.Get("missing")
+	if h := c.Metrics.Hits.Load(); h != 2 {
+		t.Errorf("hits = %d", h)
+	}
+	if m := c.Metrics.Misses.Load(); m != 1 {
+		t.Errorf("misses = %d", m)
+	}
+	if hr := c.Metrics.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("hit rate = %f", hr)
+	}
+	empty := NewLRU[string, int](10, 0)
+	if empty.Metrics.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}
+
+// countingFS counts ListFiles/GetFileInfo calls.
+type countingFS struct {
+	lists int
+	infos int
+	fail  bool
+}
+
+func (f *countingFS) ListFiles(dir string) ([]fsys.FileInfo, error) {
+	f.lists++
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	return []fsys.FileInfo{{Path: dir + "/f1", Size: 1}}, nil
+}
+func (f *countingFS) Open(path string) (fsys.File, error) { return &fsys.BytesFile{}, nil }
+func (f *countingFS) GetFileInfo(path string) (fsys.FileInfo, error) {
+	f.infos++
+	return fsys.FileInfo{Path: path, Size: 1}, nil
+}
+func (f *countingFS) Create(path string) (io.WriteCloser, error) {
+	return nil, errors.New("read only")
+}
+
+func TestFileListCacheSealedVsOpen(t *testing.T) {
+	fs := &countingFS{}
+	c := NewFileListCache(fs, 16, time.Minute)
+	for i := 0; i < 5; i++ {
+		if _, err := c.List("/sealed", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.lists != 1 {
+		t.Errorf("sealed dir listed %d times, want 1", fs.lists)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.List("/open", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.lists != 6 {
+		t.Errorf("open dir should bypass cache: %d lists", fs.lists)
+	}
+	if c.Metrics.Bypasses.Load() != 5 {
+		t.Errorf("bypasses = %d", c.Metrics.Bypasses.Load())
+	}
+	// Errors are not cached.
+	fs.fail = true
+	if _, err := c.List("/other", true); err == nil {
+		t.Error("error should propagate")
+	}
+	// Invalidation forces a reload.
+	fs.fail = false
+	c.Invalidate("/sealed")
+	c.List("/sealed", true)
+	if fs.lists != 8 { // 6 + failed /other + reload
+		t.Errorf("lists = %d", fs.lists)
+	}
+}
+
+func TestFooterCache(t *testing.T) {
+	fs := &countingFS{}
+	c := NewFooterCache[string](16, time.Minute)
+	for i := 0; i < 4; i++ {
+		if _, err := c.GetFileInfo(fs, "/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.infos != 1 {
+		t.Errorf("getFileInfo called %d times", fs.infos)
+	}
+	loads := 0
+	for i := 0; i < 4; i++ {
+		v, err := c.GetFooter("/f", func() (string, error) {
+			loads++
+			return "footer", nil
+		})
+		if err != nil || v != "footer" {
+			t.Fatal(v, err)
+		}
+	}
+	if loads != 1 {
+		t.Errorf("footer loaded %d times", loads)
+	}
+	if _, err := c.GetFooter("/bad", func() (string, error) { return "", errors.New("io") }); err == nil {
+		t.Error("load error should propagate")
+	}
+}

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+	"prestolite/internal/planner"
+	"prestolite/internal/types"
+)
+
+// newCatalogs builds a hive warehouse with many files so splits spread
+// across workers, plus a memory catalog.
+func newCatalogs(t *testing.T) *connector.Registry {
+	t.Helper()
+	nn := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: nn}
+	cols := []metastore.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "fare", Type: types.Double},
+	}
+	// 8 files, 10 rows each.
+	var pages []*block.Page
+	for f := 0; f < 8; f++ {
+		pb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Double})
+		for i := 0; i < 10; i++ {
+			pb.AppendRow([]any{int64((f*10 + i) % 5), float64(f*10+i) / 2})
+		}
+		pages = append(pages, pb.Build())
+	}
+	if err := loader.CreateTable("rawdata", "trips", cols, pages); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := memory.New("memory")
+	if err := mem.CreateTable("meta", "cities", []connector.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "name", Type: types.Varchar},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.AppendRows("meta", "cities", [][]any{
+		{int64(0), "sf"}, {int64(1), "oak"}, {int64(2), "sj"}, {int64(3), "la"}, {int64(4), "sd"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := connector.NewRegistry()
+	reg.Register("hive", hive.New("hive", ms, nn, hive.Options{}))
+	reg.Register("memory", mem)
+	return reg
+}
+
+// newCluster starts a coordinator and n workers sharing catalogs.
+func newCluster(t *testing.T, catalogs *connector.Registry, n int) (*Coordinator, []*Worker) {
+	t.Helper()
+	coord := NewCoordinator(catalogs)
+	var workers []*Worker
+	for i := 0; i < n; i++ {
+		w := NewWorker(catalogs)
+		w.GracePeriod = 20 * time.Millisecond
+		if err := w.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		coord.AddWorker(w.Addr())
+		workers = append(workers, w)
+	}
+	return coord, workers
+}
+
+func session() *planner.Session {
+	return &planner.Session{Catalog: "hive", Schema: "rawdata", User: "test", Properties: map[string]string{}}
+}
+
+func TestDistributedScan(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 3)
+	res, err := coord.Query(session(), "SELECT city_id, fare FROM trips WHERE fare >= 10.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 60 { // fares 10.0..39.5 are rows 20..79
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestDistributedPartialFinalAggregation(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 3)
+	res, err := coord.Query(session(), `SELECT city_id, count(*) AS n, sum(fare) AS s, avg(fare) AS a
+		FROM trips GROUP BY city_id ORDER BY city_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	totalN := int64(0)
+	totalS := 0.0
+	for _, r := range rows {
+		totalN += r[1].(int64)
+		totalS += r[2].(float64)
+	}
+	if totalN != 80 {
+		t.Errorf("total count = %d", totalN)
+	}
+	if totalS != 1580.0 { // sum of i/2 for i in 0..79 = (79*80/2)/2
+		t.Errorf("total sum = %v", totalS)
+	}
+	// Each group's avg is consistent with sum/count.
+	for _, r := range rows {
+		want := r[2].(float64) / float64(r[1].(int64))
+		if diff := r[3].(float64) - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("avg mismatch: %v vs %v", r[3], want)
+		}
+	}
+}
+
+func TestExplainDistributedShowsFragments(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 2)
+	out, err := coord.ExplainDistributed(session(), "SELECT city_id, count(*) FROM trips GROUP BY city_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fragment 0 (coordinator)", "Fragment 1 (source", "Aggregate(PARTIAL)", "Aggregate(FINAL)", "RemoteSource"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistributedJoin(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 2)
+	res, err := coord.Query(session(), `SELECT c.name, count(*) FROM trips t
+		JOIN memory.meta.cities c ON t.city_id = c.city_id
+		GROUP BY c.name ORDER BY 2 DESC, 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	total := int64(0)
+	for _, r := range rows {
+		total += r[1].(int64)
+	}
+	if total != 80 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestMatchesEmbeddedEngine(t *testing.T) {
+	catalogs := newCatalogs(t)
+	coord, _ := newCluster(t, catalogs, 3)
+	queries := []string{
+		"SELECT count(*) FROM trips",
+		"SELECT city_id, sum(fare) FROM trips GROUP BY city_id ORDER BY 1",
+		"SELECT fare FROM trips WHERE city_id = 2 ORDER BY fare DESC LIMIT 3",
+		"SELECT min(fare), max(fare), avg(fare) FROM trips WHERE city_id IN (1, 3)",
+	}
+	for _, q := range queries {
+		distRes, err := coord.Query(session(), q)
+		if err != nil {
+			t.Fatalf("%s (distributed): %v", q, err)
+		}
+		distRows, err := distRes.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Embedded execution over the same catalogs.
+		analyzer := &planner.Analyzer{Catalogs: catalogs, Session: session()}
+		// reuse coordinator single-node path via a 0-worker coordinator is
+		// not possible (needs workers); compare against planner+local exec
+		// through a fresh Coordinator with one in-process worker instead.
+		_ = analyzer
+		single, _ := newCluster(t, catalogs, 1)
+		singleRes, err := single.Query(session(), q)
+		if err != nil {
+			t.Fatalf("%s (single): %v", q, err)
+		}
+		singleRows, err := singleRes.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(distRows) != fmt.Sprint(singleRows) {
+			t.Errorf("%s: distributed %v vs single %v", q, distRows, singleRows)
+		}
+	}
+}
+
+func TestNoWorkers(t *testing.T) {
+	coord := NewCoordinator(newCatalogs(t))
+	if _, err := coord.Query(session(), "SELECT count(*) FROM trips"); err == nil {
+		t.Error("query with no workers should fail")
+	}
+	// Constant queries run coordinator-only and still work.
+	res, err := coord.Query(session(), "SELECT 1 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := res.Rows()
+	if rows[0][0] != int64(3) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGracefulExpansion(t *testing.T) {
+	catalogs := newCatalogs(t)
+	coord, _ := newCluster(t, catalogs, 1)
+	if _, err := coord.Query(session(), "SELECT count(*) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+	// Add a worker mid-flight via the announce endpoint.
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	w := NewWorker(catalogs)
+	w.GracePeriod = 10 * time.Millisecond
+	if err := w.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	resp, err := (&Client{Addr: coord.Addr(), HTTP: nil}).announce(coord.Addr(), w.Addr())
+	_ = resp
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coord.Workers()) != 2 {
+		t.Fatalf("workers = %v", coord.Workers())
+	}
+	if _, err := coord.Query(session(), "SELECT count(*) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGracefulShrinkNoQueryFailures(t *testing.T) {
+	catalogs := newCatalogs(t)
+	coord, workers := newCluster(t, catalogs, 3)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := coord.Query(session(), "SELECT city_id, count(*) FROM trips GROUP BY city_id")
+				if err != nil {
+					errs <- err
+					return
+				}
+				rows, err := res.Rows()
+				if err != nil || len(rows) != 5 {
+					errs <- fmt.Errorf("bad result: %v %v", rows, err)
+					return
+				}
+			}
+		}()
+	}
+	// Drain one worker mid-traffic.
+	time.Sleep(20 * time.Millisecond)
+	go workers[0].GracefulShutdown()
+	workers[0].WaitShutdown()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("query failed during graceful shrink: %v", err)
+	}
+	if workers[0].State() != StateShutdown {
+		t.Errorf("worker state = %s", workers[0].State())
+	}
+	// Queries still succeed on the remaining workers.
+	if _, err := coord.Query(session(), "SELECT count(*) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPStatementEndpoint(t *testing.T) {
+	catalogs := newCatalogs(t)
+	coord, _ := newCluster(t, catalogs, 2)
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	client := NewClient(coord.Addr())
+	res, err := client.Query(StatementRequest{
+		Query:   "SELECT city_id, count(*) FROM trips GROUP BY city_id ORDER BY 1",
+		Catalog: "hive",
+		Schema:  "rawdata",
+		User:    "cli",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || res.Columns[1] != "count(*)" {
+		t.Fatalf("rows = %v, cols = %v", rows, res.Columns)
+	}
+	// Errors propagate.
+	if _, err := client.Query(StatementRequest{Query: "SELECT nope FROM trips", Catalog: "hive", Schema: "rawdata"}); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+// announce is a tiny helper on Client for the expansion test.
+func (cl *Client) announce(coordAddr, workerAddr string) (string, error) {
+	resp, err := httpGet("http://" + coordAddr + "/v1/announce?addr=" + workerAddr)
+	return "", errOr(resp, err)
+}

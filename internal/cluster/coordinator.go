@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/execution"
+	"prestolite/internal/planner"
+	"prestolite/internal/sql"
+
+	// Geospatial plugin functions must exist on the coordinator too.
+	_ "prestolite/internal/geo"
+)
+
+// Coordinator is the single stateful node of a cluster (§VIII): it parses,
+// plans, optimizes, fragments, schedules tasks onto workers, tracks task
+// status and streams results to clients.
+type Coordinator struct {
+	Catalogs *connector.Registry
+
+	http *http.Server
+	ln   net.Listener
+	addr string
+
+	mu      sync.Mutex
+	workers map[string]*workerClient // addr -> client
+
+	queryCounter atomic.Int64
+}
+
+type workerClient struct {
+	addr string
+	http *http.Client
+}
+
+// NewCoordinator creates a coordinator over a catalog registry.
+func NewCoordinator(catalogs *connector.Registry) *Coordinator {
+	return &Coordinator{Catalogs: catalogs, workers: map[string]*workerClient{}}
+}
+
+// AddWorker registers a worker (graceful expansion, §IX: "new workers are
+// automatically added to the existing cluster").
+func (c *Coordinator) AddWorker(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[addr] = &workerClient{addr: addr, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// RemoveWorker forgets a worker.
+func (c *Coordinator) RemoveWorker(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.workers, addr)
+}
+
+// Workers lists registered worker addresses, sorted.
+func (c *Coordinator) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.workers))
+	for a := range c.workers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// activeWorkers polls worker states, returning only ACTIVE ones — a worker
+// in SHUTTING_DOWN stops receiving new tasks (§IX).
+func (c *Coordinator) activeWorkers() []*workerClient {
+	c.mu.Lock()
+	all := make([]*workerClient, 0, len(c.workers))
+	for _, w := range c.workers {
+		all = append(all, w)
+	}
+	c.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].addr < all[j].addr })
+	var active []*workerClient
+	for _, w := range all {
+		info, err := w.info()
+		if err == nil && info.State == StateActive {
+			active = append(active, w)
+		}
+	}
+	return active
+}
+
+func (w *workerClient) info() (WorkerInfo, error) {
+	resp, err := w.http.Get("http://" + w.addr + "/v1/info")
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	defer resp.Body.Close()
+	var info WorkerInfo
+	if err := gob.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return WorkerInfo{}, err
+	}
+	return info, nil
+}
+
+// QueryResult is what clients receive.
+type QueryResult struct {
+	Columns []string
+	Types   []string
+	Pages   [][]byte // encoded pages
+}
+
+// Rows decodes all pages into boxed rows.
+func (qr *QueryResult) Rows() ([][]any, error) {
+	var out [][]any
+	for _, data := range qr.Pages {
+		p, err := block.DecodePage(data)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.Count(); i++ {
+			out = append(out, p.Row(i))
+		}
+	}
+	return out, nil
+}
+
+// Query plans and executes a SQL query across the cluster.
+func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResult, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*sql.Query)
+	if !ok {
+		return nil, fmt.Errorf("cluster: only SELECT queries are supported, got %T", stmt)
+	}
+	analyzer := &planner.Analyzer{Catalogs: c.Catalogs, Session: session}
+	plan, err := analyzer.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	optimizer := &planner.Optimizer{Catalogs: c.Catalogs, Session: session}
+	plan = optimizer.Optimize(plan)
+	if err := planner.CheckTypes(plan); err != nil {
+		return nil, err
+	}
+
+	fragmenter := &planner.Fragmenter{}
+	fp := fragmenter.Fragment(plan)
+
+	// Schedule source fragments onto active workers.
+	queryID := c.queryCounter.Add(1)
+	remotes := map[int][]*taskHandle{}
+	if !fp.SingleFragment() {
+		workers := c.activeWorkers()
+		if len(workers) == 0 {
+			return nil, errors.New("cluster: no active workers")
+		}
+		for id, frag := range fp.Sources {
+			conn, err := c.Catalogs.Get(frag.Scan.Catalog)
+			if err != nil {
+				return nil, err
+			}
+			splits, err := conn.SplitManager().Splits(frag.Scan.Handle)
+			if err != nil {
+				return nil, err
+			}
+			// Split assignment across workers ("scheduler assigns tasks on
+			// worker execution slots"): round-robin by default, or affinity
+			// scheduling (§VII: RaptorX techniques) — the same split always
+			// lands on the same worker, maximizing that worker's footer and
+			// fragment-result cache hits.
+			affinity := session.Property("affinity_scheduling", "false") == "true"
+			assignment := make([][]connector.Split, len(workers))
+			for i, s := range splits {
+				wi := i % len(workers)
+				if affinity {
+					h := fnv.New64a()
+					h.Write([]byte(s.Description()))
+					wi = int(h.Sum64() % uint64(len(workers)))
+				}
+				assignment[wi] = append(assignment[wi], s)
+			}
+			for wi, splitSet := range assignment {
+				if len(splitSet) == 0 {
+					continue
+				}
+				taskID := fmt.Sprintf("q%d.f%d.t%d", queryID, id, wi)
+				th, err := workers[wi].startTask(TaskRequest{
+					TaskID:   taskID,
+					Fragment: frag.Root,
+					TableKey: frag.TableKey,
+					Splits:   splitSet,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("cluster: scheduling task on %s: %w", workers[wi].addr, err)
+				}
+				remotes[id] = append(remotes[id], th)
+			}
+			if len(remotes[id]) == 0 {
+				// No splits at all: register an empty source.
+				remotes[id] = nil
+			}
+		}
+	}
+	defer func() {
+		for _, ths := range remotes {
+			for _, th := range ths {
+				th.delete()
+			}
+		}
+	}()
+
+	// Execute the root fragment locally, pulling remote pages.
+	ctx := &execution.Context{
+		Catalogs: c.Catalogs,
+		RemoteSources: func(fragmentID int, cols []planner.Column) (execution.Operator, error) {
+			return &remoteSourceOperator{tasks: remotes[fragmentID]}, nil
+		},
+	}
+	op, err := execution.Build(fp.Root.Root, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := execution.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{}
+	for _, col := range fp.Root.Root.Outputs() {
+		res.Columns = append(res.Columns, col.Name)
+		res.Types = append(res.Types, col.Type.String())
+	}
+	for _, p := range pages {
+		data, err := block.EncodePage(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Pages = append(res.Pages, data)
+	}
+	return res, nil
+}
+
+// ExplainDistributed renders the fragmented plan.
+func (c *Coordinator) ExplainDistributed(session *planner.Session, query string) (string, error) {
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		return "", err
+	}
+	analyzer := &planner.Analyzer{Catalogs: c.Catalogs, Session: session}
+	plan, err := analyzer.Analyze(q)
+	if err != nil {
+		return "", err
+	}
+	optimizer := &planner.Optimizer{Catalogs: c.Catalogs, Session: session}
+	plan = optimizer.Optimize(plan)
+	fragmenter := &planner.Fragmenter{}
+	return planner.FormatFragments(fragmenter.Fragment(plan)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Task client.
+
+type taskHandle struct {
+	worker *workerClient
+	taskID string
+}
+
+func (w *workerClient) startTask(req TaskRequest) (*taskHandle, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, fmt.Errorf("cluster: encode task: %w", err)
+	}
+	resp, err := w.http.Post("http://"+w.addr+"/v1/task", "application/x-gob", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("worker refused task: %s", bytes.TrimSpace(body))
+	}
+	return &taskHandle{worker: w, taskID: req.TaskID}, nil
+}
+
+// next polls the next chunk.
+func (t *taskHandle) next() (TaskResultChunk, error) {
+	resp, err := t.worker.http.Get("http://" + t.worker.addr + "/v1/task/" + t.taskID + "/results")
+	if err != nil {
+		return TaskResultChunk{}, err
+	}
+	defer resp.Body.Close()
+	var chunk TaskResultChunk
+	if err := gob.NewDecoder(resp.Body).Decode(&chunk); err != nil {
+		return TaskResultChunk{}, err
+	}
+	return chunk, nil
+}
+
+func (t *taskHandle) delete() {
+	req, _ := http.NewRequest(http.MethodDelete, "http://"+t.worker.addr+"/v1/task/"+t.taskID, nil)
+	resp, err := t.worker.http.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// remoteSourceOperator streams pages from all tasks of one fragment.
+type remoteSourceOperator struct {
+	tasks []*taskHandle
+	pos   int
+}
+
+func (o *remoteSourceOperator) Next() (*block.Page, error) {
+	for o.pos < len(o.tasks) {
+		th := o.tasks[o.pos]
+		chunk, err := th.next()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: fetching results from %s: %w", th.worker.addr, err)
+		}
+		if chunk.Err != "" {
+			return nil, fmt.Errorf("cluster: task %s failed: %s", th.taskID, chunk.Err)
+		}
+		if len(chunk.Page) > 0 {
+			return block.DecodePage(chunk.Page)
+		}
+		if chunk.Done {
+			o.pos++
+			continue
+		}
+		time.Sleep(time.Millisecond) // task still running
+	}
+	return nil, io.EOF
+}
+
+func (o *remoteSourceOperator) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// HTTP front end (what the CLI and the gateway talk to).
+
+// StatementRequest is the client query document.
+type StatementRequest struct {
+	Query      string
+	Catalog    string
+	Schema     string
+	User       string
+	Properties map[string]string
+}
+
+// Start serves the coordinator API on addr.
+func (c *Coordinator) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	c.ln = ln
+	c.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/statement", c.handleStatement)
+	mux.HandleFunc("/v1/workers", c.handleWorkers)
+	mux.HandleFunc("/v1/announce", c.handleAnnounce)
+	c.http = &http.Server{Handler: mux}
+	go c.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the coordinator address.
+func (c *Coordinator) Addr() string { return c.addr }
+
+// Close stops the server.
+func (c *Coordinator) Close() error {
+	if c.http != nil {
+		return c.http.Close()
+	}
+	return nil
+}
+
+func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
+	var req StatementRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	session := &planner.Session{Catalog: req.Catalog, Schema: req.Schema, User: req.User, Properties: req.Properties}
+	res, err := c.Query(session, req.Query)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	gob.NewEncoder(rw).Encode(res)
+}
+
+func (c *Coordinator) handleWorkers(rw http.ResponseWriter, r *http.Request) {
+	gob.NewEncoder(rw).Encode(c.Workers())
+}
+
+// handleAnnounce lets workers self-register (graceful expansion: start a
+// worker configured with the coordinator address and it joins the cluster).
+func (c *Coordinator) handleAnnounce(rw http.ResponseWriter, r *http.Request) {
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(rw, "missing addr", http.StatusBadRequest)
+		return
+	}
+	c.AddWorker(addr)
+	rw.WriteHeader(http.StatusOK)
+}
+
+// Client executes queries against a remote coordinator.
+type Client struct {
+	Addr string
+	HTTP *http.Client
+}
+
+// NewClient targets a coordinator.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+// Query runs one statement.
+func (cl *Client) Query(req StatementRequest) (*QueryResult, error) {
+	return cl.QueryWithIdentity(req, req.User, "")
+}
+
+// QueryWithIdentity runs a statement carrying user/group headers, which a
+// gateway (§VIII) uses to pick the target cluster; the 307 redirect replays
+// the request against the chosen coordinator.
+func (cl *Client) QueryWithIdentity(req StatementRequest, user, group string) (*QueryResult, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, "http://"+cl.Addr+"/v1/statement", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/x-gob")
+	httpReq.Header.Set("X-Presto-User", user)
+	httpReq.Header.Set("X-Presto-Group", group)
+	hc := cl.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 120 * time.Second}
+	}
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("query failed: %s", bytes.TrimSpace(body))
+	}
+	var out QueryResult
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

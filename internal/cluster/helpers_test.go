@@ -1,0 +1,19 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func httpGet(url string) (*http.Response, error) { return http.Get(url) }
+
+func errOr(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package cluster implements the distributed runtime of §III: one
+// coordinator parses, plans and schedules; workers execute tasks over splits
+// and stream result pages back. It also implements §IX's graceful expansion
+// (new workers announce themselves and receive work immediately) and
+// graceful shrink (SHUTTING_DOWN drain with a grace period, so no queries
+// fail during scale-down).
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/cache"
+	"prestolite/internal/connector"
+	"prestolite/internal/execution"
+	"prestolite/internal/planner"
+)
+
+// WorkerState is the §IX lifecycle.
+type WorkerState string
+
+const (
+	StateActive       WorkerState = "ACTIVE"
+	StateShuttingDown WorkerState = "SHUTTING_DOWN"
+	StateShutdown     WorkerState = "SHUTDOWN"
+)
+
+// TaskRequest asks a worker to run one fragment over the given splits.
+type TaskRequest struct {
+	TaskID   string
+	Fragment planner.Node
+	TableKey string
+	Splits   []connector.Split
+}
+
+// TaskResultChunk is one page (or the end-of-stream marker) of task output.
+type TaskResultChunk struct {
+	Page []byte // encoded page; empty when none ready yet
+	Done bool
+	Err  string
+}
+
+// WorkerInfo is the status document.
+type WorkerInfo struct {
+	State       WorkerState
+	ActiveTasks int
+}
+
+// Worker executes tasks. It owns a connector registry (each worker process
+// mounts the same catalogs).
+type Worker struct {
+	Catalogs    *connector.Registry
+	GracePeriod time.Duration // shutdown.grace-period, default 2 minutes in prod
+	// EnableFragmentResultCache turns on the §VII fragment result cache:
+	// identical (fragment, splits) tasks are served from memory instead of
+	// re-reading files. Safe for sealed data; paired with the coordinator's
+	// affinity scheduling so repeats land on the same worker.
+	EnableFragmentResultCache bool
+	// FragmentCacheHits counts tasks served from the cache.
+	FragmentCacheHits atomic.Int64
+
+	http *http.Server
+	ln   net.Listener
+	addr string
+
+	mu       sync.Mutex
+	state    WorkerState
+	draining bool // set after the first grace period: refuse new tasks
+	tasks    map[string]*workerTask
+	closed   chan struct{}
+
+	fragCache *cache.LRU[string, []*block.Page]
+}
+
+type workerTask struct {
+	mu    sync.Mutex
+	pages []*block.Page
+	done  bool
+	err   error
+	next  int
+}
+
+// NewWorker creates a worker with the given catalogs.
+func NewWorker(catalogs *connector.Registry) *Worker {
+	return &Worker{
+		Catalogs:    catalogs,
+		GracePeriod: 2 * time.Minute,
+		state:       StateActive,
+		tasks:       map[string]*workerTask{},
+		closed:      make(chan struct{}),
+		fragCache:   cache.NewLRU[string, []*block.Page](256, 10*time.Minute),
+	}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for tests).
+func (w *Worker) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker listen: %w", err)
+	}
+	w.ln = ln
+	w.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/task", w.handleTask)
+	mux.HandleFunc("/v1/task/", w.handleTaskResults)
+	mux.HandleFunc("/v1/info", w.handleInfo)
+	mux.HandleFunc("/v1/shutdown", w.handleShutdown)
+	w.http = &http.Server{Handler: mux}
+	go w.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the worker address.
+func (w *Worker) Addr() string { return w.addr }
+
+// State returns the current lifecycle state.
+func (w *Worker) State() WorkerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// Close stops the server immediately (ungraceful).
+func (w *Worker) Close() error {
+	if w.http != nil {
+		return w.http.Close()
+	}
+	return nil
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	info := WorkerInfo{State: w.state, ActiveTasks: 0}
+	for _, t := range w.tasks {
+		t.mu.Lock()
+		if !t.done {
+			info.ActiveTasks++
+		}
+		t.mu.Unlock()
+	}
+	w.mu.Unlock()
+	gob.NewEncoder(rw).Encode(info)
+}
+
+// handleShutdown begins the §IX graceful-shrink sequence.
+func (w *Worker) handleShutdown(rw http.ResponseWriter, r *http.Request) {
+	go w.GracefulShutdown()
+	rw.WriteHeader(http.StatusAccepted)
+}
+
+// GracefulShutdown follows §IX exactly: enter SHUTTING_DOWN, sleep for the
+// grace period (so the coordinator notices and stops sending tasks), block
+// until active tasks complete, sleep the grace period again (so the
+// coordinator sees all tasks complete), then shut down.
+func (w *Worker) GracefulShutdown() {
+	w.mu.Lock()
+	if w.state != StateActive {
+		w.mu.Unlock()
+		return
+	}
+	w.state = StateShuttingDown
+	w.mu.Unlock()
+
+	// Grace period 1: the coordinator notices SHUTTING_DOWN and stops
+	// assigning; racing tasks are still accepted and will complete.
+	time.Sleep(w.GracePeriod)
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+	for {
+		w.mu.Lock()
+		active := 0
+		for _, t := range w.tasks {
+			t.mu.Lock()
+			if !t.done {
+				active++
+			}
+			t.mu.Unlock()
+		}
+		w.mu.Unlock()
+		if active == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(w.GracePeriod)
+
+	w.mu.Lock()
+	w.state = StateShutdown
+	w.mu.Unlock()
+	close(w.closed)
+	w.http.Close()
+}
+
+// WaitShutdown blocks until the worker exits.
+func (w *Worker) WaitShutdown() { <-w.closed }
+
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	// Tasks racing the shutdown announcement are still accepted until the
+	// first grace period elapses (§IX: the coordinator becomes aware during
+	// that sleep and stops sending tasks; only then does the worker drain).
+	w.mu.Lock()
+	if w.draining || w.state == StateShutdown {
+		w.mu.Unlock()
+		http.Error(rw, "worker is "+string(w.state), http.StatusServiceUnavailable)
+		return
+	}
+	w.mu.Unlock()
+
+	var req TaskRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad task: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	task := &workerTask{}
+	w.mu.Lock()
+	w.tasks[req.TaskID] = task
+	w.mu.Unlock()
+
+	go w.runTask(&req, task)
+	rw.WriteHeader(http.StatusAccepted)
+}
+
+func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
+	var cacheKey string
+	if w.EnableFragmentResultCache {
+		cacheKey = fragmentCacheKey(req)
+		if pages, ok := w.fragCache.Get(cacheKey); ok {
+			w.FragmentCacheHits.Add(1)
+			task.mu.Lock()
+			task.pages = pages
+			task.done = true
+			task.mu.Unlock()
+			return
+		}
+	}
+	ctx := &execution.Context{
+		Catalogs: w.Catalogs,
+		Splits:   map[string][]connector.Split{req.TableKey: req.Splits},
+	}
+	op, err := execution.Build(req.Fragment, ctx)
+	if err != nil {
+		task.fail(err)
+		return
+	}
+	pages, err := execution.Drain(op)
+	if err != nil {
+		task.fail(err)
+		return
+	}
+	if w.EnableFragmentResultCache {
+		w.fragCache.Put(cacheKey, pages)
+	}
+	task.mu.Lock()
+	task.pages = pages
+	task.done = true
+	task.mu.Unlock()
+}
+
+// fragmentCacheKey identifies a (fragment, splits) unit of work. Fragment
+// plans render deterministically and split descriptions identify the exact
+// files, so equal keys mean equal results over sealed data.
+func fragmentCacheKey(req *TaskRequest) string {
+	h := fnv.New64a()
+	h.Write([]byte(planner.Format(req.Fragment)))
+	for _, s := range req.Splits {
+		h.Write([]byte(s.Description()))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+func (t *workerTask) fail(err error) {
+	t.mu.Lock()
+	t.err = err
+	t.done = true
+	t.mu.Unlock()
+}
+
+// handleTaskResults serves GET /v1/task/{id}/results and DELETE /v1/task/{id}.
+func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/task/"), "/")
+	taskID := parts[0]
+	w.mu.Lock()
+	task := w.tasks[taskID]
+	w.mu.Unlock()
+	if task == nil {
+		http.Error(rw, "no such task", http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		w.mu.Lock()
+		delete(w.tasks, taskID)
+		w.mu.Unlock()
+		rw.WriteHeader(http.StatusOK)
+		return
+	}
+	// Poll one chunk.
+	task.mu.Lock()
+	defer task.mu.Unlock()
+	chunk := TaskResultChunk{}
+	if task.err != nil {
+		chunk.Err = task.err.Error()
+		chunk.Done = true
+	} else if task.next < len(task.pages) {
+		data, err := block.EncodePage(task.pages[task.next])
+		if err != nil {
+			chunk.Err = err.Error()
+			chunk.Done = true
+		} else {
+			chunk.Page = data
+			task.next++
+		}
+	} else if task.done {
+		chunk.Done = true
+	}
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(chunk)
+	rw.Write(buf.Bytes())
+}

@@ -1,0 +1,232 @@
+// Package connector defines the SPI that gives the engine unified SQL over
+// heterogeneous storage systems without data copy (§IV). A connector
+// provides:
+//
+//   - Metadata          — schemas, tables, columns (ConnectorMetadata)
+//   - SplitManager      — how a table divides into parallel work units
+//     (ConnectorSplitManager / ConnectorSplit)
+//   - RecordSetProvider — how data streams from the underlying system become
+//     engine pages (ConnectorRecordSetProvider)
+//
+// Connectors may additionally implement the pushdown capabilities
+// (FilterPushdown, ProjectionPushdown, LimitPushdown, AggregationPushdown);
+// the optimizer probes for these and rewrites scans so the underlying system
+// does the work and only result rows stream into the engine (§IV.A, §IV.B).
+package connector
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"prestolite/internal/block"
+	"prestolite/internal/expr"
+	"prestolite/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type *types.Type
+}
+
+// TableSchema is the resolved schema of a table.
+type TableSchema struct {
+	Catalog string
+	Schema  string
+	Table   string
+	Columns []Column
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *TableSchema) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableHandle is a connector-private handle for a table plus any pushed-down
+// state (predicate, projection, limit, aggregation). Handles must be
+// serializable with encoding/gob (register concrete types in init).
+type TableHandle interface {
+	// Description renders the handle for EXPLAIN output, including pushed
+	// state.
+	Description() string
+}
+
+// Split is one unit of parallel work — one shard of the underlying data
+// (ConnectorSplit). Splits must be gob-serializable.
+type Split interface {
+	// Description renders the split for logs.
+	Description() string
+}
+
+// PageSource streams pages for one split.
+type PageSource interface {
+	// Next returns the next page, or (nil, io.EOF) when exhausted.
+	Next() (*block.Page, error)
+	// Close releases resources. Safe to call multiple times.
+	Close() error
+}
+
+// Metadata exposes schema information (ConnectorMetadata).
+type Metadata interface {
+	// ListSchemas returns schema names in sorted order.
+	ListSchemas() ([]string, error)
+	// ListTables returns table names in a schema in sorted order.
+	ListTables(schema string) ([]string, error)
+	// GetTable resolves a table, returning its schema and a fresh handle.
+	GetTable(schema, table string) (*TableSchema, TableHandle, error)
+}
+
+// SplitManager divides a table into splits (ConnectorSplitManager).
+type SplitManager interface {
+	Splits(handle TableHandle) ([]Split, error)
+}
+
+// RecordSetProvider turns a split into a page stream
+// (ConnectorRecordSetProvider). columns lists the table-column ordinals to
+// produce, in output order; connectors that absorbed a projection pushdown
+// receive the post-pushdown ordinals.
+type RecordSetProvider interface {
+	CreatePageSource(handle TableHandle, split Split, columns []int) (PageSource, error)
+}
+
+// Connector bundles the three mandatory SPI surfaces.
+type Connector interface {
+	Name() string
+	Metadata() Metadata
+	SplitManager() SplitManager
+	RecordSetProvider() RecordSetProvider
+}
+
+// ---------------------------------------------------------------------------
+// Pushdown capabilities (§IV.A, §IV.B). Predicates arrive as RowExpressions
+// whose Variable channels are table-column ordinals, so they are
+// self-contained for the connector.
+
+// FilterPushdown lets a connector absorb (part of) a predicate.
+type FilterPushdown interface {
+	// PushFilter returns an updated handle, the residual predicate the
+	// engine must still apply (nil if fully absorbed), and whether anything
+	// was pushed.
+	PushFilter(handle TableHandle, predicate expr.RowExpression, schema *TableSchema) (TableHandle, expr.RowExpression, bool)
+}
+
+// ProjectionPushdown lets a connector read only required columns.
+type ProjectionPushdown interface {
+	// PushProjection narrows the handle to the given table-column ordinals.
+	PushProjection(handle TableHandle, columns []int) (TableHandle, bool)
+}
+
+// LimitPushdown lets a connector stop producing after limit rows.
+type LimitPushdown interface {
+	// PushLimit returns an updated handle, whether the limit is guaranteed
+	// (engine may drop its own Limit), and whether anything was pushed.
+	PushLimit(handle TableHandle, limit int64) (TableHandle, bool, bool)
+}
+
+// AggregateSpec describes one aggregate for pushdown: count/sum/min/max/avg
+// over a single column (ArgColumn < 0 means count(*)).
+type AggregateSpec struct {
+	Function   string
+	ArgColumn  int
+	OutputName string
+	OutputType *types.Type
+}
+
+// NestedProjectionPushdown is nested column pruning at the connector level
+// (§V.D): the scan narrows to specific struct subfields (dotted paths rooted
+// at table column names, e.g. "base.city_id"), so the reader only touches
+// the required leaves even within one struct column.
+type NestedProjectionPushdown interface {
+	// PushNestedPaths narrows the scan to the given paths. On success the
+	// scan's output columns become exactly these paths (returned with their
+	// resolved types, in order).
+	PushNestedPaths(handle TableHandle, paths []string) (TableHandle, []Column, bool)
+}
+
+// AggregationPushdown lets real-time stores (Druid, Pinot) execute
+// aggregations natively so only aggregated rows stream into the engine
+// (§IV.B, Fig 2).
+type AggregationPushdown interface {
+	// PushAggregation absorbs a grouped aggregation. groupBy lists
+	// table-column ordinals. On success the scan's output becomes
+	// groupBy columns followed by aggregate outputs.
+	PushAggregation(handle TableHandle, aggs []AggregateSpec, groupBy []int) (TableHandle, bool)
+}
+
+// ---------------------------------------------------------------------------
+// Catalog registry: catalog name → connector (§IV: catalog.schema.table).
+
+// Registry maps catalog names to connectors.
+type Registry struct {
+	mu         sync.RWMutex
+	connectors map[string]Connector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{connectors: map[string]Connector{}}
+}
+
+// Register installs a connector under a catalog name.
+func (r *Registry) Register(catalog string, c Connector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.connectors[catalog] = c
+}
+
+// Get resolves a catalog name.
+func (r *Registry) Get(catalog string) (Connector, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.connectors[catalog]
+	if !ok {
+		return nil, fmt.Errorf("connector: catalog %q is not registered", catalog)
+	}
+	return c, nil
+}
+
+// Catalogs returns registered catalog names, sorted.
+func (r *Registry) Catalogs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.connectors))
+	for name := range r.connectors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Helpers shared by connector implementations.
+
+// SlicePageSource serves a fixed list of pages (used by in-memory stores and
+// tests).
+type SlicePageSource struct {
+	Pages []*block.Page
+	pos   int
+}
+
+// Next implements PageSource.
+func (s *SlicePageSource) Next() (*block.Page, error) {
+	if s.pos >= len(s.Pages) {
+		return nil, ErrEOF
+	}
+	p := s.Pages[s.pos]
+	s.pos++
+	return p, nil
+}
+
+// Close implements PageSource.
+func (s *SlicePageSource) Close() error { return nil }
+
+// ErrEOF marks page-source exhaustion; it is io.EOF so sources compose with
+// standard stream helpers.
+var ErrEOF = io.EOF

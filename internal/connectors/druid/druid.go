@@ -1,0 +1,403 @@
+// Package druid implements the Presto-Druid connector (§IV.B): it maps
+// druid tables into the engine and pushes predicates, projections, limits
+// and — the headline feature — entire grouped aggregations down to the
+// store, so "only aggregated results are streamed into the Presto engine"
+// (Fig 2). The connector bridges sub-second store latency with full SQL:
+// joins and subqueries run in the engine, aggregations run in druid.
+package druid
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	driver "prestolite/internal/druid"
+	"prestolite/internal/expr"
+	"prestolite/internal/types"
+)
+
+func init() {
+	gob.Register(&TableHandle{})
+	gob.Register(&Split{})
+	gob.Register(driver.Filter{})
+	gob.Register(driver.Aggregation{})
+}
+
+// Connector is the Presto-Druid connector.
+type Connector struct {
+	name   string
+	schema string // single logical schema name, default "default"
+	client driver.Client
+
+	// schemaCache avoids a broker round trip per metadata lookup (the
+	// analyzer and optimizer each resolve the table during planning).
+	schemaMu    sync.RWMutex
+	schemaCache map[string][]connector.Column
+}
+
+// New creates a connector over a druid client.
+func New(name string, client driver.Client) *Connector {
+	return &Connector{name: name, schema: "default", client: client, schemaCache: map[string][]connector.Column{}}
+}
+
+func (c *Connector) tableColumns(table string) ([]connector.Column, error) {
+	c.schemaMu.RLock()
+	cols, ok := c.schemaCache[table]
+	c.schemaMu.RUnlock()
+	if ok {
+		return cols, nil
+	}
+	raw, err := c.client.Schema(table)
+	if err != nil {
+		return nil, err
+	}
+	cols = make([]connector.Column, len(raw))
+	for i, col := range raw {
+		cols[i] = connector.Column{Name: col.Name, Type: col.Type}
+	}
+	c.schemaMu.Lock()
+	c.schemaCache[table] = cols
+	c.schemaMu.Unlock()
+	return cols, nil
+}
+
+// Name implements connector.Connector.
+func (c *Connector) Name() string { return c.name }
+
+// Metadata implements connector.Connector.
+func (c *Connector) Metadata() connector.Metadata { return (*druidMetadata)(c) }
+
+// SplitManager implements connector.Connector.
+func (c *Connector) SplitManager() connector.SplitManager { return (*druidSplits)(c) }
+
+// RecordSetProvider implements connector.Connector.
+func (c *Connector) RecordSetProvider() connector.RecordSetProvider { return (*druidRecords)(c) }
+
+// TableHandle carries pushdown state; the whole native query shape lives
+// here. Serializable RowExpressions were already lowered to native filters.
+type TableHandle struct {
+	Table string
+	// Columns is the table schema (resolved once at GetTable).
+	Columns []connector.Column
+	// Filters are pushed predicates.
+	Filters []driver.Filter
+	// Projection lists retained ordinals (nil = all).
+	Projection []int
+	// Aggregations + GroupBy when an aggregation was pushed.
+	Aggregations []driver.Aggregation
+	GroupByNames []string
+	AggPushed    bool
+	// AggOutputs are the scan output columns after aggregation pushdown.
+	AggOutputs []connector.Column
+	// Limit (-1 none).
+	Limit int64
+}
+
+// Description implements connector.TableHandle.
+func (h *TableHandle) Description() string {
+	s := "druid:" + h.Table
+	for _, f := range h.Filters {
+		s += fmt.Sprintf(" filter[%s %s %v]", f.Column, f.Op, f.Values)
+	}
+	if h.Projection != nil {
+		s += fmt.Sprintf(" columns=%v", h.Projection)
+	}
+	if h.AggPushed {
+		s += " aggregationPushdown=["
+		for i, a := range h.Aggregations {
+			if i > 0 {
+				s += ", "
+			}
+			s += a.Func + "(" + a.Column + ")"
+		}
+		s += fmt.Sprintf("] groupBy=%v", h.GroupByNames)
+	}
+	if h.Limit >= 0 {
+		s += fmt.Sprintf(" limit=%d", h.Limit)
+	}
+	return s
+}
+
+// Split is the single broker split: druid executes the (possibly
+// aggregated) query as one unit.
+type Split struct {
+	Handle *TableHandle
+}
+
+// Description implements connector.Split.
+func (s *Split) Description() string { return "druid:" + s.Handle.Table }
+
+// ---------------------------------------------------------------------------
+
+type druidMetadata Connector
+
+func (m *druidMetadata) ListSchemas() ([]string, error) { return []string{m.schema}, nil }
+
+func (m *druidMetadata) ListTables(schema string) ([]string, error) {
+	if schema != m.schema {
+		return nil, fmt.Errorf("druid: schema %q does not exist", schema)
+	}
+	return m.client.Tables()
+}
+
+func (m *druidMetadata) GetTable(schema, table string) (*connector.TableSchema, connector.TableHandle, error) {
+	if schema != m.schema {
+		return nil, nil, fmt.Errorf("druid: schema %q does not exist", schema)
+	}
+	out, err := (*Connector)(m).tableColumns(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &connector.TableSchema{Catalog: m.name, Schema: schema, Table: table, Columns: out},
+		&TableHandle{Table: table, Columns: out, Limit: -1}, nil
+}
+
+type druidSplits Connector
+
+func (sm *druidSplits) Splits(handle connector.TableHandle) ([]connector.Split, error) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return nil, fmt.Errorf("druid: foreign table handle %T", handle)
+	}
+	// One split: the broker parallelizes internally, and pushed
+	// aggregations must be global.
+	return []connector.Split{&Split{Handle: h}}, nil
+}
+
+type druidRecords Connector
+
+func (r *druidRecords) CreatePageSource(handle connector.TableHandle, split connector.Split, columns []int) (connector.PageSource, error) {
+	c := (*Connector)(r)
+	sp, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("druid: foreign split %T", split)
+	}
+	h := sp.Handle
+
+	// Build the native query from the handle.
+	q := driver.Query{Table: h.Table, Filters: h.Filters, Limit: h.Limit}
+	var outCols []connector.Column
+	if h.AggPushed {
+		q.GroupBy = h.GroupByNames
+		q.Aggregations = h.Aggregations
+		outCols = h.AggOutputs
+	} else {
+		effective := effectiveColumns(h)
+		for _, ord := range effective {
+			outCols = append(outCols, h.Columns[ord])
+			q.Columns = append(q.Columns, h.Columns[ord].Name)
+		}
+	}
+	res, err := c.client.Execute(q)
+	if err != nil {
+		return nil, fmt.Errorf("druid: executing native query: %w", err)
+	}
+
+	// Project requested output channels out of the native result.
+	outTypes := make([]*types.Type, len(columns))
+	for i, col := range columns {
+		outTypes[i] = outCols[col].Type
+	}
+	pb := block.NewPageBuilder(outTypes)
+	for _, row := range res.Rows {
+		out := make([]any, len(columns))
+		for i, col := range columns {
+			out[i] = row[col]
+		}
+		pb.AppendRow(out)
+	}
+	return &connector.SlicePageSource{Pages: []*block.Page{pb.Build()}}, nil
+}
+
+func effectiveColumns(h *TableHandle) []int {
+	if h.Projection != nil {
+		return h.Projection
+	}
+	out := make([]int, len(h.Columns))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Pushdowns.
+
+var (
+	_ connector.FilterPushdown      = (*Connector)(nil)
+	_ connector.ProjectionPushdown  = (*Connector)(nil)
+	_ connector.LimitPushdown       = (*Connector)(nil)
+	_ connector.AggregationPushdown = (*Connector)(nil)
+)
+
+// PushFilter lowers supported conjuncts to native druid filters.
+func (c *Connector) PushFilter(handle connector.TableHandle, predicate expr.RowExpression, schema *connector.TableSchema) (connector.TableHandle, expr.RowExpression, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok || h.AggPushed {
+		return handle, predicate, false
+	}
+	nh := *h
+	var residual []expr.RowExpression
+	pushed := false
+	for _, conj := range conjuncts(predicate) {
+		f, ok := toNativeFilter(conj, h.Columns)
+		if !ok {
+			residual = append(residual, conj)
+			continue
+		}
+		nh.Filters = append(nh.Filters, f)
+		pushed = true
+	}
+	if !pushed {
+		return handle, predicate, false
+	}
+	if len(residual) == 0 {
+		return &nh, nil, true
+	}
+	return &nh, expr.And(residual...), true
+}
+
+// PushProjection narrows the native select list.
+func (c *Connector) PushProjection(handle connector.TableHandle, columns []int) (connector.TableHandle, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok || h.AggPushed {
+		return handle, false
+	}
+	nh := *h
+	nh.Projection = append([]int(nil), columns...)
+	return &nh, true
+}
+
+// PushLimit is guaranteed: the single broker split applies it globally.
+func (c *Connector) PushLimit(handle connector.TableHandle, limit int64) (connector.TableHandle, bool, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return handle, false, false
+	}
+	nh := *h
+	if nh.Limit < 0 || limit < nh.Limit {
+		nh.Limit = limit
+	}
+	return &nh, true, true
+}
+
+// PushAggregation absorbs a grouped aggregation (§IV.B, Fig 2): druid
+// executes it natively over its in-memory structures and only aggregated
+// rows are streamed into the engine.
+func (c *Connector) PushAggregation(handle connector.TableHandle, aggs []connector.AggregateSpec, groupBy []int) (connector.TableHandle, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok || h.AggPushed {
+		return handle, false
+	}
+	cols := h.Columns
+	nh := *h
+	nh.AggPushed = true
+	for _, g := range groupBy {
+		// groupBy ordinals arrive relative to the handle's effective
+		// projection.
+		ord := resolveOrdinal(h, g)
+		nh.GroupByNames = append(nh.GroupByNames, cols[ord].Name)
+		nh.AggOutputs = append(nh.AggOutputs, cols[ord])
+	}
+	for _, a := range aggs {
+		na := driver.Aggregation{Func: a.Function, Name: a.OutputName}
+		if a.ArgColumn >= 0 {
+			ord := resolveOrdinal(h, a.ArgColumn)
+			na.Column = cols[ord].Name
+		}
+		switch a.Function {
+		case "count", "sum", "min", "max", "avg":
+		default:
+			return handle, false
+		}
+		nh.Aggregations = append(nh.Aggregations, na)
+		nh.AggOutputs = append(nh.AggOutputs, connector.Column{Name: a.OutputName, Type: a.OutputType})
+	}
+	nh.Projection = nil
+	return &nh, true
+}
+
+func resolveOrdinal(h *TableHandle, ch int) int {
+	if h.Projection != nil {
+		return h.Projection[ch]
+	}
+	return ch
+}
+
+func conjuncts(e expr.RowExpression) []expr.RowExpression {
+	if sf, ok := e.(*expr.SpecialForm); ok && sf.Form == expr.FormAnd {
+		var out []expr.RowExpression
+		for _, a := range sf.Args {
+			out = append(out, conjuncts(a)...)
+		}
+		return out
+	}
+	return []expr.RowExpression{e}
+}
+
+var druidOps = map[string]string{
+	"eq": "eq", "neq": "neq", "lt": "lt", "lte": "lte", "gt": "gt", "gte": "gte",
+}
+
+var druidFlipped = map[string]string{
+	"eq": "eq", "neq": "neq", "lt": "gt", "lte": "gte", "gt": "lt", "gte": "lte",
+}
+
+// toNativeFilter lowers col-vs-constant comparisons and IN lists. Variable
+// channels are table ordinals relative to the handle's effective projection.
+func toNativeFilter(e expr.RowExpression, cols []connector.Column) (driver.Filter, bool) {
+	colName := func(x expr.RowExpression) (string, bool) {
+		v, ok := x.(*expr.Variable)
+		if !ok || v.Channel < 0 || v.Channel >= len(cols) {
+			return "", false
+		}
+		return cols[v.Channel].Name, true
+	}
+	constVal := func(x expr.RowExpression) (any, bool) {
+		cst, ok := x.(*expr.Constant)
+		if !ok || cst.Value == nil {
+			return nil, false
+		}
+		switch cst.Value.(type) {
+		case int64, float64, string, bool:
+			return cst.Value, true
+		}
+		return nil, false
+	}
+	switch t := e.(type) {
+	case *expr.Call:
+		op, known := druidOps[t.Handle.Name]
+		if !known || len(t.Args) != 2 {
+			return driver.Filter{}, false
+		}
+		if name, ok := colName(t.Args[0]); ok {
+			if v, ok := constVal(t.Args[1]); ok {
+				return driver.Filter{Column: name, Op: op, Values: []any{v}}, true
+			}
+		}
+		if name, ok := colName(t.Args[1]); ok {
+			if v, ok := constVal(t.Args[0]); ok {
+				return driver.Filter{Column: name, Op: druidFlipped[op], Values: []any{v}}, true
+			}
+		}
+	case *expr.SpecialForm:
+		if t.Form == expr.FormIn {
+			name, ok := colName(t.Args[0])
+			if !ok {
+				return driver.Filter{}, false
+			}
+			var values []any
+			for _, a := range t.Args[1:] {
+				v, ok := constVal(a)
+				if !ok {
+					return driver.Filter{}, false
+				}
+				values = append(values, v)
+			}
+			return driver.Filter{Column: name, Op: "in", Values: values}, true
+		}
+	}
+	return driver.Filter{}, false
+}

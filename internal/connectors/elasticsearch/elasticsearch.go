@@ -1,0 +1,287 @@
+// Package elasticsearch implements the Presto-Elasticsearch connector
+// (§IV): "we map each Elasticsearch index into a table. Each Elasticsearch
+// field is mapped into a column." Term and range filters, source filtering
+// (projection) and size (limit) push down into the store's search API.
+package elasticsearch
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/elastic"
+	"prestolite/internal/expr"
+	"prestolite/internal/types"
+)
+
+func init() {
+	gob.Register(&TableHandle{})
+	gob.Register(&Split{})
+	gob.Register(elastic.RangeFilter{})
+}
+
+// Connector maps one elastic store into a catalog under a single schema.
+type Connector struct {
+	name   string
+	schema string
+	store  *elastic.Store
+}
+
+// New creates the connector.
+func New(name string, store *elastic.Store) *Connector {
+	return &Connector{name: name, schema: "default", store: store}
+}
+
+// Name implements connector.Connector.
+func (c *Connector) Name() string { return c.name }
+
+// Metadata implements connector.Connector.
+func (c *Connector) Metadata() connector.Metadata { return (*esMetadata)(c) }
+
+// SplitManager implements connector.Connector.
+func (c *Connector) SplitManager() connector.SplitManager { return (*esSplits)(c) }
+
+// RecordSetProvider implements connector.Connector.
+func (c *Connector) RecordSetProvider() connector.RecordSetProvider { return (*esRecords)(c) }
+
+// TableHandle carries the index identity plus pushed-down search state.
+type TableHandle struct {
+	Index   string
+	Columns []connector.Column
+	// Terms and Ranges are pushed filters.
+	Terms  map[string]string
+	Ranges []elastic.RangeFilter
+	// Projection lists retained ordinals (nil = all).
+	Projection []int
+	// Limit (-1 = none) maps to the search size.
+	Limit int64
+}
+
+// Description implements connector.TableHandle.
+func (h *TableHandle) Description() string {
+	s := "elasticsearch:" + h.Index
+	for f, v := range h.Terms {
+		s += fmt.Sprintf(" term[%s=%s]", f, v)
+	}
+	for _, r := range h.Ranges {
+		s += fmt.Sprintf(" range[%s %s %v]", r.Field, r.Op, r.Value)
+	}
+	if h.Projection != nil {
+		s += fmt.Sprintf(" source=%v", h.Projection)
+	}
+	if h.Limit >= 0 {
+		s += fmt.Sprintf(" size=%d", h.Limit)
+	}
+	return s
+}
+
+// Split is the single search split.
+type Split struct{ Handle *TableHandle }
+
+// Description implements connector.Split.
+func (s *Split) Description() string { return "elasticsearch:" + s.Handle.Index }
+
+type esMetadata Connector
+
+func (m *esMetadata) ListSchemas() ([]string, error) { return []string{m.schema}, nil }
+
+func (m *esMetadata) ListTables(schema string) ([]string, error) {
+	if schema != m.schema {
+		return nil, fmt.Errorf("elasticsearch: schema %q does not exist", schema)
+	}
+	return m.store.Indexes(), nil
+}
+
+func (m *esMetadata) GetTable(schema, table string) (*connector.TableSchema, connector.TableHandle, error) {
+	if schema != m.schema {
+		return nil, nil, fmt.Errorf("elasticsearch: schema %q does not exist", schema)
+	}
+	idx, err := m.store.GetIndex(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]connector.Column, len(idx.Fields))
+	for i, f := range idx.Fields {
+		cols[i] = connector.Column{Name: f.Name, Type: f.Type}
+	}
+	return &connector.TableSchema{Catalog: m.name, Schema: schema, Table: table, Columns: cols},
+		&TableHandle{Index: table, Columns: cols, Limit: -1}, nil
+}
+
+type esSplits Connector
+
+func (sm *esSplits) Splits(handle connector.TableHandle) ([]connector.Split, error) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return nil, fmt.Errorf("elasticsearch: foreign table handle %T", handle)
+	}
+	return []connector.Split{&Split{Handle: h}}, nil
+}
+
+type esRecords Connector
+
+func (r *esRecords) CreatePageSource(handle connector.TableHandle, split connector.Split, columns []int) (connector.PageSource, error) {
+	c := (*Connector)(r)
+	sp, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("elasticsearch: foreign split %T", split)
+	}
+	h := sp.Handle
+	effective := make([]int, len(columns))
+	for i, col := range columns {
+		if h.Projection != nil {
+			effective[i] = h.Projection[col]
+		} else {
+			effective[i] = col
+		}
+	}
+	source := make([]string, len(effective))
+	outTypes := make([]*types.Type, len(effective))
+	for i, ord := range effective {
+		source[i] = h.Columns[ord].Name
+		outTypes[i] = h.Columns[ord].Type
+	}
+	if len(source) == 0 {
+		// count(*)-style scans still need hit counts: fetch one field.
+		source = []string{h.Columns[0].Name}
+	}
+	_, hits, err := c.store.Search(elastic.Query{
+		Index:  h.Index,
+		Terms:  h.Terms,
+		Ranges: h.Ranges,
+		Source: source,
+		Size:   h.Limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pb := block.NewPageBuilder(outTypes)
+	for _, hit := range hits {
+		pb.AppendRow(hit[:len(outTypes)])
+	}
+	return &connector.SlicePageSource{Pages: []*block.Page{pb.Build()}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pushdowns.
+
+var (
+	_ connector.FilterPushdown     = (*Connector)(nil)
+	_ connector.ProjectionPushdown = (*Connector)(nil)
+	_ connector.LimitPushdown      = (*Connector)(nil)
+)
+
+// PushFilter lowers conjuncts to term queries (varchar equality) and range
+// filters (numeric/boolean comparisons).
+func (c *Connector) PushFilter(handle connector.TableHandle, predicate expr.RowExpression, schema *connector.TableSchema) (connector.TableHandle, expr.RowExpression, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return handle, predicate, false
+	}
+	nh := *h
+	nh.Terms = map[string]string{}
+	for k, v := range h.Terms {
+		nh.Terms[k] = v
+	}
+	var residual []expr.RowExpression
+	pushed := false
+	for _, conj := range conjuncts(predicate) {
+		call, ok := conj.(*expr.Call)
+		if !ok || len(call.Args) != 2 {
+			residual = append(residual, conj)
+			continue
+		}
+		op, known := esOps[call.Handle.Name]
+		if !known {
+			residual = append(residual, conj)
+			continue
+		}
+		v, c1 := call.Args[0].(*expr.Variable)
+		cst, c2 := call.Args[1].(*expr.Constant)
+		if !c1 || !c2 || cst.Value == nil {
+			// try flipped
+			v2, f1 := call.Args[1].(*expr.Variable)
+			cst2, f2 := call.Args[0].(*expr.Constant)
+			if !f1 || !f2 || cst2.Value == nil {
+				residual = append(residual, conj)
+				continue
+			}
+			v, cst = v2, cst2
+			op = esFlipped[op]
+		}
+		if v.Channel < 0 || v.Channel >= len(h.Columns) {
+			residual = append(residual, conj)
+			continue
+		}
+		field := h.Columns[v.Channel]
+		if op == "eq" && field.Type.Kind == types.KindVarchar {
+			term, isStr := cst.Value.(string)
+			if !isStr {
+				residual = append(residual, conj)
+				continue
+			}
+			// Two different terms on one field can never both match; keep
+			// the second as residual so the engine produces zero rows.
+			if existing, dup := nh.Terms[field.Name]; dup && existing != term {
+				residual = append(residual, conj)
+				continue
+			}
+			nh.Terms[field.Name] = term
+			pushed = true
+			continue
+		}
+		nh.Ranges = append(nh.Ranges, elastic.RangeFilter{Field: field.Name, Op: op, Value: cst.Value})
+		pushed = true
+	}
+	if !pushed {
+		return handle, predicate, false
+	}
+	if len(residual) == 0 {
+		return &nh, nil, true
+	}
+	return &nh, expr.And(residual...), true
+}
+
+// PushProjection implements source filtering.
+func (c *Connector) PushProjection(handle connector.TableHandle, columns []int) (connector.TableHandle, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return handle, false
+	}
+	nh := *h
+	nh.Projection = append([]int(nil), columns...)
+	return &nh, true
+}
+
+// PushLimit maps to the search size; guaranteed (single split).
+func (c *Connector) PushLimit(handle connector.TableHandle, limit int64) (connector.TableHandle, bool, bool) {
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return handle, false, false
+	}
+	nh := *h
+	if nh.Limit < 0 || limit < nh.Limit {
+		nh.Limit = limit
+	}
+	return &nh, true, true
+}
+
+var esOps = map[string]string{
+	"eq": "eq", "neq": "neq", "lt": "lt", "lte": "lte", "gt": "gt", "gte": "gte",
+}
+
+var esFlipped = map[string]string{
+	"eq": "eq", "neq": "neq", "lt": "gt", "lte": "gte", "gt": "lt", "gte": "lte",
+}
+
+func conjuncts(e expr.RowExpression) []expr.RowExpression {
+	if sf, ok := e.(*expr.SpecialForm); ok && sf.Form == expr.FormAnd {
+		var out []expr.RowExpression
+		for _, a := range sf.Args {
+			out = append(out, conjuncts(a)...)
+		}
+		return out
+	}
+	return []expr.RowExpression{e}
+}

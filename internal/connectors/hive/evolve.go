@@ -1,0 +1,124 @@
+package hive
+
+import (
+	"prestolite/internal/block"
+	"prestolite/internal/types"
+)
+
+// Schema evolution at read time (§V.A): files written under an older schema
+// are adapted to the current metastore schema. Fields added since the file
+// was written read as NULL; fields removed since are dropped. Matching is by
+// name — which is exactly why renames are forbidden.
+
+// evolveBlock adapts a block decoded with the file schema (from) to the
+// table schema (to).
+func evolveBlock(b block.Block, from, to *types.Type) block.Block {
+	if from.Equals(to) {
+		return b
+	}
+	b = block.Unwrap(b)
+	n := b.Count()
+	if from.Kind != to.Kind {
+		// The metastore forbids type changes; a mismatch here means the
+		// file predates the table entirely. Read as NULL.
+		return nullBlock(to, n)
+	}
+	switch to.Kind {
+	case types.KindRow:
+		rb, ok := b.(*block.RowBlock)
+		if !ok {
+			return evolveBoxed(b, from, to)
+		}
+		fields := make([]block.Block, len(to.Fields))
+		for i, tf := range to.Fields {
+			idx := from.FieldIndex(tf.Name)
+			if idx < 0 {
+				fields[i] = nullBlock(tf.Type, n)
+				continue
+			}
+			fields[i] = evolveBlock(rb.Fields[idx], from.Fields[idx].Type, tf.Type)
+		}
+		return block.NewRowBlock(n, fields, rb.Nulls)
+	case types.KindArray:
+		ab, ok := b.(*block.ArrayBlock)
+		if !ok {
+			return evolveBoxed(b, from, to)
+		}
+		return &block.ArrayBlock{
+			Elements: evolveBlock(ab.Elements, from.Elem, to.Elem),
+			Offsets:  ab.Offsets,
+			Nulls:    ab.Nulls,
+		}
+	case types.KindMap:
+		mb, ok := b.(*block.MapBlock)
+		if !ok {
+			return evolveBoxed(b, from, to)
+		}
+		return &block.MapBlock{
+			Keys:    evolveBlock(mb.Keys, from.Key, to.Key),
+			Values:  evolveBlock(mb.Values, from.Value, to.Value),
+			Offsets: mb.Offsets,
+			Nulls:   mb.Nulls,
+		}
+	default:
+		// Primitive type change: forbidden, so treat as absent.
+		return nullBlock(to, n)
+	}
+}
+
+// evolveBoxed is the slow path for encoded blocks: rebuild via boxed values,
+// reordering struct fields by name since boxed rows are positional.
+func evolveBoxed(b block.Block, from, to *types.Type) block.Block {
+	builder := block.NewBuilder(to, b.Count())
+	for i := 0; i < b.Count(); i++ {
+		builder.Append(evolveValue(b.Value(i), from, to))
+	}
+	return builder.Build()
+}
+
+func evolveValue(v any, from, to *types.Type) any {
+	if v == nil || from.Equals(to) {
+		return v
+	}
+	if from.Kind != to.Kind {
+		return nil
+	}
+	switch to.Kind {
+	case types.KindRow:
+		fields := v.([]any)
+		out := make([]any, len(to.Fields))
+		for i, tf := range to.Fields {
+			idx := from.FieldIndex(tf.Name)
+			if idx < 0 {
+				out[i] = nil
+				continue
+			}
+			out[i] = evolveValue(fields[idx], from.Fields[idx].Type, tf.Type)
+		}
+		return out
+	case types.KindArray:
+		items := v.([]any)
+		out := make([]any, len(items))
+		for i, it := range items {
+			out[i] = evolveValue(it, from.Elem, to.Elem)
+		}
+		return out
+	case types.KindMap:
+		entries := v.([][2]any)
+		out := make([][2]any, len(entries))
+		for i, e := range entries {
+			out[i] = [2]any{evolveValue(e[0], from.Key, to.Key), evolveValue(e[1], from.Value, to.Value)}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func nullBlock(t *types.Type, n int) block.Block {
+	builder := block.NewBuilder(t, n)
+	for i := 0; i < n; i++ {
+		builder.AppendNull()
+	}
+	return builder.Build()
+}

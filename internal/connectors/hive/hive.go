@@ -1,0 +1,488 @@
+// Package hive implements the warehouse connector: tables are directories
+// of columnar files on a FileSystem (simulated HDFS, local disk, or S3),
+// schemas live in the external metastore, and partitions are subdirectories
+// keyed like datestr=2017-03-02 (the layout Uber's trips tables use, §II/§V).
+//
+// The connector exercises the full §IV pushdown surface (predicate,
+// projection, limit), routes listFiles through the coordinator file-list
+// cache and footer reads through the worker footer cache (§VII), prunes
+// partitions from pushed predicates, and reads files with either the legacy
+// or the new Parquet reader (§V).
+package hive
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/cache"
+	"prestolite/internal/connector"
+	"prestolite/internal/fsys"
+	"prestolite/internal/metastore"
+	"prestolite/internal/parquet"
+	"prestolite/internal/types"
+)
+
+func init() {
+	gob.Register(&TableHandle{})
+	gob.Register(&Split{})
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+}
+
+// Options configures reader strategy and caches.
+type Options struct {
+	// UseLegacyReader selects the old row-based reader (§V.C) instead of
+	// the new columnar reader.
+	UseLegacyReader bool
+	// Reader toggles each new-reader optimization; zero value = all on.
+	Reader ReaderToggles
+	// DisableFileListCache turns off §VII.A caching.
+	DisableFileListCache bool
+	// DisableFooterCache turns off §VII.B caching.
+	DisableFooterCache bool
+}
+
+// ReaderToggles disables individual optimizations (all false = everything
+// enabled; the ablation benches flip one at a time).
+type ReaderToggles struct {
+	NoColumnPruning      bool
+	NoPredicatePushdown  bool
+	NoDictionaryPushdown bool
+	NoLazyReads          bool
+	NoVectorized         bool
+}
+
+// Connector is the hive-style connector.
+type Connector struct {
+	name string
+	ms   *metastore.Metastore
+	fs   fsys.FileSystem
+	opts Options
+
+	listCache   *cache.FileListCache
+	footerCache *cache.FooterCache[footerEntry]
+}
+
+type footerEntry struct {
+	meta   *parquet.FileMeta
+	schema *parquet.Schema
+}
+
+// New creates a hive connector over a metastore and filesystem.
+func New(name string, ms *metastore.Metastore, fs fsys.FileSystem, opts Options) *Connector {
+	return &Connector{
+		name:        name,
+		ms:          ms,
+		fs:          fs,
+		opts:        opts,
+		listCache:   cache.NewFileListCache(fs, 4096, 10*time.Minute),
+		footerCache: cache.NewFooterCache[footerEntry](8192, 10*time.Minute),
+	}
+}
+
+// FileListCacheMetrics exposes §VII.A cache effectiveness.
+func (c *Connector) FileListCacheMetrics() *cache.Metrics { return c.listCache.Metrics }
+
+// FooterCacheMetrics exposes §VII.B cache effectiveness.
+func (c *Connector) FooterCacheMetrics() *cache.Metrics { return c.footerCache.FooterMetrics }
+
+// Name implements connector.Connector.
+func (c *Connector) Name() string { return c.name }
+
+// Metadata implements connector.Connector.
+func (c *Connector) Metadata() connector.Metadata { return (*hiveMetadata)(c) }
+
+// SplitManager implements connector.Connector.
+func (c *Connector) SplitManager() connector.SplitManager { return (*hiveSplits)(c) }
+
+// RecordSetProvider implements connector.Connector.
+func (c *Connector) RecordSetProvider() connector.RecordSetProvider { return (*hiveRecords)(c) }
+
+// allColumns returns data columns followed by partition-key virtual columns.
+func allColumns(t *metastore.Table) []connector.Column {
+	out := make([]connector.Column, 0, len(t.Columns)+len(t.PartitionKeys))
+	for _, col := range t.Columns {
+		out = append(out, connector.Column{Name: col.Name, Type: col.Type})
+	}
+	for _, k := range t.PartitionKeys {
+		out = append(out, connector.Column{Name: k, Type: types.Varchar})
+	}
+	return out
+}
+
+// TableHandle carries table identity plus pushed-down state. Serializable
+// for distributed scheduling.
+type TableHandle struct {
+	Schema string
+	Table  string
+	// PartitionPreds prune partitions by key value.
+	PartitionPreds []parquet.ColumnPredicate
+	// DataPreds evaluate inside the reader (§V.F/§V.G).
+	DataPreds []parquet.ColumnPredicate
+	// Projection lists retained table ordinals (nil = all).
+	Projection []int
+	// NestedPaths, when set, replaces the scan's output with these dotted
+	// struct paths (nested column pruning, §V.D).
+	NestedPaths []string
+	// Limit is a per-split row limit (-1 = none).
+	Limit int64
+}
+
+// Description implements connector.TableHandle.
+func (h *TableHandle) Description() string {
+	s := fmt.Sprintf("hive:%s.%s", h.Schema, h.Table)
+	for _, p := range h.PartitionPreds {
+		s += fmt.Sprintf(" partition[%s]", p)
+	}
+	for _, p := range h.DataPreds {
+		s += fmt.Sprintf(" predicate[%s]", p)
+	}
+	if h.Projection != nil {
+		s += fmt.Sprintf(" columns=%v", h.Projection)
+	}
+	if h.NestedPaths != nil {
+		s += fmt.Sprintf(" nestedPaths=%v", h.NestedPaths)
+	}
+	if h.Limit >= 0 {
+		s += fmt.Sprintf(" limit=%d", h.Limit)
+	}
+	return s
+}
+
+// Split is one file of one partition.
+type Split struct {
+	Handle          *TableHandle
+	Path            string
+	PartitionValues map[string]string
+}
+
+// Description implements connector.Split.
+func (s *Split) Description() string { return "hive:" + s.Path }
+
+// ---------------------------------------------------------------------------
+
+type hiveMetadata Connector
+
+func (m *hiveMetadata) ListSchemas() ([]string, error) {
+	return (*Connector)(m).ms.ListSchemas(), nil
+}
+
+func (m *hiveMetadata) ListTables(schema string) ([]string, error) {
+	return (*Connector)(m).ms.ListTables(schema), nil
+}
+
+func (m *hiveMetadata) GetTable(schema, table string) (*connector.TableSchema, connector.TableHandle, error) {
+	t, err := (*Connector)(m).ms.GetTable(schema, table)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &connector.TableSchema{
+		Catalog: m.name,
+		Schema:  schema,
+		Table:   table,
+		Columns: allColumns(t),
+	}, &TableHandle{Schema: schema, Table: table, Limit: -1}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+type hiveSplits Connector
+
+func (sm *hiveSplits) Splits(handle connector.TableHandle) ([]connector.Split, error) {
+	c := (*Connector)(sm)
+	h, ok := handle.(*TableHandle)
+	if !ok {
+		return nil, fmt.Errorf("hive: foreign table handle %T", handle)
+	}
+	t, err := c.ms.GetTable(h.Schema, h.Table)
+	if err != nil {
+		return nil, err
+	}
+	type partDir struct {
+		dir    string
+		sealed bool
+		values map[string]string
+	}
+	var dirs []partDir
+	if len(t.PartitionKeys) == 0 {
+		dirs = append(dirs, partDir{dir: t.Location, sealed: true, values: map[string]string{}})
+	} else {
+		for _, p := range t.Partitions() {
+			values, err := parsePartitionName(p.Name)
+			if err != nil {
+				return nil, err
+			}
+			if !partitionMatches(values, h.PartitionPreds) {
+				continue // partition pruning from pushed predicates
+			}
+			dirs = append(dirs, partDir{dir: p.Location, sealed: p.Sealed, values: values})
+		}
+	}
+	var splits []connector.Split
+	for _, d := range dirs {
+		var files []fsys.FileInfo
+		if c.opts.DisableFileListCache {
+			files, err = c.fs.ListFiles(d.dir)
+		} else {
+			files, err = c.listCache.List(d.dir, d.sealed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hive: listing %s: %w", d.dir, err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f.Path, "/.keep") {
+				continue // directory marker, not data
+			}
+			splits = append(splits, &Split{Handle: h, Path: f.Path, PartitionValues: d.values})
+		}
+	}
+	return splits, nil
+}
+
+// parsePartitionName parses "datestr=2017-03-02/region=us" style names.
+func parsePartitionName(name string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, part := range strings.Split(name, "/") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("hive: bad partition name %q", name)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}
+
+func partitionMatches(values map[string]string, preds []parquet.ColumnPredicate) bool {
+	for _, p := range preds {
+		v, ok := values[p.Path]
+		if !ok {
+			continue
+		}
+		if !p.MatchBoxed(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+
+type hiveRecords Connector
+
+func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split connector.Split, columns []int) (connector.PageSource, error) {
+	c := (*Connector)(r)
+	sp, ok := split.(*Split)
+	if !ok {
+		return nil, fmt.Errorf("hive: foreign split %T", split)
+	}
+	h := sp.Handle
+	t, err := c.ms.GetTable(h.Schema, h.Table)
+	if err != nil {
+		return nil, err
+	}
+	all := allColumns(t)
+
+	// Map requested post-projection indexes to table ordinals.
+	ordinals := make([]int, len(columns))
+	for i, col := range columns {
+		if h.Projection != nil {
+			ordinals[i] = h.Projection[col]
+		} else {
+			ordinals[i] = col
+		}
+	}
+
+	// Stat + open the file through the worker caches (§VII.B).
+	var file fsys.File
+	if c.opts.DisableFooterCache {
+		if _, err := c.fs.GetFileInfo(sp.Path); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := c.footerCache.GetFileInfo(c.fs, sp.Path); err != nil {
+			return nil, err
+		}
+	}
+	file, err = c.fs.Open(sp.Path)
+	if err != nil {
+		return nil, err
+	}
+	var entry footerEntry
+	if c.opts.DisableFooterCache {
+		meta, schema, ferr := parquet.ReadFooter(file)
+		if ferr != nil {
+			file.Close()
+			return nil, ferr
+		}
+		entry = footerEntry{meta: meta, schema: schema}
+	} else {
+		entry, err = c.footerCache.GetFooter(sp.Path, func() (footerEntry, error) {
+			meta, schema, err := parquet.ReadFooter(file)
+			if err != nil {
+				return footerEntry{}, err
+			}
+			return footerEntry{meta: meta, schema: schema}, nil
+		})
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+	}
+
+	// Partition-key columns come from the split; data columns from the
+	// file. Schema evolution (§V.A): columns or struct fields added to the
+	// table after this file was written are absent in the file schema —
+	// they read as NULL; type layouts are adapted by evolveBlock.
+	//
+	// With nested paths pushed (§V.D), the scan's "columns" are dotted
+	// struct paths instead of whole table columns.
+	partKeys := map[string]bool{}
+	for _, k := range t.PartitionKeys {
+		partKeys[k] = true
+	}
+	outCols := all
+	outName := func(ord int) string { return all[ord].Name }
+	isPartKey := func(ord int) bool { return ord >= len(t.Columns) }
+	if h.NestedPaths != nil {
+		nested := make([]connector.Column, len(h.NestedPaths))
+		for i, path := range h.NestedPaths {
+			typ := typeAtPath(t, path)
+			if typ == nil {
+				return nil, fmt.Errorf("hive: nested path %q does not resolve in %s.%s", path, h.Schema, h.Table)
+			}
+			nested[i] = connector.Column{Name: path, Type: typ}
+		}
+		outCols = nested
+		outName = func(ord int) string { return h.NestedPaths[ord] }
+		isPartKey = func(ord int) bool { return partKeys[h.NestedPaths[ord]] }
+	}
+	var dataPaths []string
+	dataSlot := map[int]int{}     // output slot -> index in dataPaths
+	missingSlot := map[int]bool{} // output slot -> column absent in file
+	for i, ord := range ordinals {
+		if isPartKey(ord) {
+			continue
+		}
+		if entry.schema.Resolve(outName(ord)) == nil {
+			missingSlot[i] = true
+			continue
+		}
+		dataSlot[i] = len(dataPaths)
+		dataPaths = append(dataPaths, outName(ord))
+	}
+	// Predicates on columns missing from the file never match rows with a
+	// non-null requirement... except OpNeq, which still cannot match NULL.
+	for _, p := range h.DataPreds {
+		if entry.schema.Resolve(p.Path) == nil {
+			file.Close()
+			return &connector.SlicePageSource{}, nil
+		}
+	}
+
+	src := &pageSource{
+		conn:        c,
+		split:       sp,
+		file:        file,
+		ordinals:    ordinals,
+		dataSlot:    dataSlot,
+		missingSlot: missingSlot,
+		allCols:     outCols,
+		remaining:   h.Limit,
+	}
+	if c.opts.UseLegacyReader {
+		legacy, err := parquet.NewLegacyReader(file, dataPaths)
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		src.nextPage = legacy.Next
+		src.fileTypes = legacy.OutputTypes()
+		return src, nil
+	}
+	tog := c.opts.Reader
+	opts := parquet.ReaderOptions{
+		Columns:            dataPaths,
+		Predicate:          h.DataPreds,
+		ColumnPruning:      !tog.NoColumnPruning,
+		PredicatePushdown:  !tog.NoPredicatePushdown,
+		DictionaryPushdown: !tog.NoDictionaryPushdown,
+		LazyReads:          !tog.NoLazyReads,
+		Vectorized:         !tog.NoVectorized,
+	}
+	reader, err := parquet.NewReaderWithFooter(file, entry.meta, entry.schema, opts)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	src.nextPage = reader.Next
+	src.fileTypes = reader.OutputTypes()
+	return src, nil
+}
+
+// pageSource adapts a file reader into a connector.PageSource, appending
+// partition-key columns and applying the per-split limit.
+type pageSource struct {
+	conn        *Connector
+	split       *Split
+	file        fsys.File
+	nextPage    func() (*block.Page, error)
+	ordinals    []int
+	dataSlot    map[int]int
+	missingSlot map[int]bool
+	fileTypes   []*types.Type
+	allCols     []connector.Column
+	remaining   int64
+	done        bool
+}
+
+func (s *pageSource) Next() (*block.Page, error) {
+	if s.done || s.remaining == 0 {
+		return nil, io.EOF
+	}
+	p, err := s.nextPage()
+	if errors.Is(err, io.EOF) {
+		s.done = true
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.remaining > 0 && int64(p.Count()) > s.remaining {
+		p = p.Region(0, int(s.remaining))
+	}
+	if s.remaining > 0 {
+		s.remaining -= int64(p.Count())
+	}
+	blocks := make([]block.Block, len(s.ordinals))
+	for i, ord := range s.ordinals {
+		if slot, isData := s.dataSlot[i]; isData {
+			b := p.Blocks[slot]
+			tableType := s.allCols[ord].Type
+			if !s.fileTypes[slot].Equals(tableType) {
+				b = evolveBlock(b, s.fileTypes[slot], tableType)
+			}
+			blocks[i] = b
+			continue
+		}
+		if s.missingSlot[i] {
+			blocks[i] = nullBlock(s.allCols[ord].Type, p.Count())
+			continue
+		}
+		key := s.allCols[ord].Name
+		blocks[i] = block.NewRunLengthBlock(
+			block.SingleValue(types.Varchar, s.split.PartitionValues[key]), p.Count())
+	}
+	return &block.Page{Blocks: blocks, N: p.Count()}, nil
+}
+
+func (s *pageSource) Close() error {
+	s.done = true
+	return s.file.Close()
+}

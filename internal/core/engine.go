@@ -1,0 +1,212 @@
+// Package core is the embedded engine façade: it wires the SQL front end,
+// analyzer, optimizer and execution together behind a simple Query API
+// (§III Fig 1, single-process form). The distributed runtime in
+// internal/cluster reuses the same pieces with a fragmenter and scheduler.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/execution"
+	"prestolite/internal/planner"
+	"prestolite/internal/sql"
+	"prestolite/internal/types"
+
+	// Load the geospatial plugin's functions (§VI.E).
+	_ "prestolite/internal/geo"
+)
+
+// Engine is an embedded single-process query engine.
+type Engine struct {
+	Catalogs *connector.Registry
+}
+
+// New creates an engine with an empty catalog registry.
+func New() *Engine {
+	return &Engine{Catalogs: connector.NewRegistry()}
+}
+
+// Register installs a connector under a catalog name.
+func (e *Engine) Register(catalog string, c connector.Connector) {
+	e.Catalogs.Register(catalog, c)
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []planner.Column
+	Pages   []*block.Page
+}
+
+// RowCount returns the total number of result rows.
+func (r *Result) RowCount() int {
+	n := 0
+	for _, p := range r.Pages {
+		n += p.Count()
+	}
+	return n
+}
+
+// Rows returns all rows boxed (convenient for tests and small results).
+func (r *Result) Rows() [][]any {
+	out := make([][]any, 0, r.RowCount())
+	for _, p := range r.Pages {
+		for i := 0; i < p.Count(); i++ {
+			out = append(out, p.Row(i))
+		}
+	}
+	return out
+}
+
+// DefaultSession returns a session with the given defaults.
+func DefaultSession(catalog, schema string) *planner.Session {
+	return &planner.Session{Catalog: catalog, Schema: schema, User: "test", Properties: map[string]string{}}
+}
+
+// Plan parses, analyzes and optimizes a query, returning the physical plan.
+func (e *Engine) Plan(session *planner.Session, query string) (planner.Node, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*sql.Query)
+	if !ok {
+		return nil, fmt.Errorf("core: Plan requires a SELECT query, got %T", stmt)
+	}
+	return e.planQuery(session, q)
+}
+
+func (e *Engine) planQuery(session *planner.Session, q *sql.Query) (planner.Node, error) {
+	analyzer := &planner.Analyzer{Catalogs: e.Catalogs, Session: session}
+	plan, err := analyzer.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	optimizer := &planner.Optimizer{Catalogs: e.Catalogs, Session: session}
+	plan = optimizer.Optimize(plan)
+	if err := planner.CheckTypes(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Query executes a statement and materializes the result. EXPLAIN and SHOW
+// statements return single-column textual results.
+func (e *Engine) Query(session *planner.Session, query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch t := stmt.(type) {
+	case *sql.Query:
+		plan, err := e.planQuery(session, t)
+		if err != nil {
+			return nil, err
+		}
+		return e.execute(session, plan)
+	case *sql.Explain:
+		q, ok := t.Stmt.(*sql.Query)
+		if !ok {
+			return nil, fmt.Errorf("core: EXPLAIN supports only SELECT")
+		}
+		plan, err := e.planQuery(session, q)
+		if err != nil {
+			return nil, err
+		}
+		return textResult("Query Plan", planner.Format(plan)), nil
+	case *sql.ShowTables:
+		conn, err := e.Catalogs.Get(t.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		tables, err := conn.Metadata().ListTables(t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]any, len(tables))
+		for i, name := range tables {
+			vals[i] = name
+		}
+		return &Result{
+			Columns: []planner.Column{{Name: "table", Type: types.Varchar}},
+			Pages:   []*block.Page{block.NewPage(block.FromValues(types.Varchar, vals...))},
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+func textResult(column, text string) *Result {
+	return &Result{
+		Columns: []planner.Column{{Name: column, Type: types.Varchar}},
+		Pages:   []*block.Page{block.NewPage(block.FromValues(types.Varchar, text))},
+	}
+}
+
+func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, error) {
+	ctx := &execution.Context{Catalogs: e.Catalogs}
+	// §XII.C: queries exceeding the session memory limit fail with the
+	// "Insufficient Resources" error rather than taking down the node.
+	if v := session.Property("query_max_memory", ""); v != "" {
+		limit, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad query_max_memory %q: %w", v, err)
+		}
+		ctx.MemoryLimit = limit
+	}
+	op, err := execution.Build(plan, ctx)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := execution.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	// Results leave the engine: force lazy columns (a client always reads
+	// what it asked for, so deferred decode must be charged here).
+	for i, p := range pages {
+		pages[i] = block.MaterializePage(p)
+	}
+	return &Result{Columns: plan.Outputs(), Pages: pages}, nil
+}
+
+// Explain returns the formatted optimized plan.
+func (e *Engine) Explain(session *planner.Session, query string) (string, error) {
+	plan, err := e.Plan(session, query)
+	if err != nil {
+		return "", err
+	}
+	return planner.Format(plan), nil
+}
+
+// QueryWithBatchFallback implements the §XII.C recommendation: users write
+// one SQL dialect, and a query that fails with "Insufficient Resources" is
+// automatically re-run on a batch path (standing in for Presto on Spark)
+// instead of bouncing the error to the user. The batch path here is the same
+// engine with the interactive memory limit lifted — the property that
+// matters is the transparent retry, not the other engine's internals.
+// It reports whether the fallback path served the query.
+func (e *Engine) QueryWithBatchFallback(session *planner.Session, query string) (*Result, bool, error) {
+	res, err := e.Query(session, query)
+	if err == nil {
+		return res, false, nil
+	}
+	var insufficient execution.ErrInsufficientResources
+	if !errors.As(err, &insufficient) {
+		return nil, false, err
+	}
+	batch := &planner.Session{
+		Catalog: session.Catalog, Schema: session.Schema, User: session.User,
+		Properties: map[string]string{},
+	}
+	for k, v := range session.Properties {
+		if k != "query_max_memory" {
+			batch.Properties[k] = v
+		}
+	}
+	res, err = e.Query(batch, query)
+	return res, true, err
+}

@@ -1,0 +1,79 @@
+package druid
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bitset used for the inverted indexes ("in
+// memory bitmap indices, inverted indices ... enabling sub-second query
+// latency", §IV.B).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap creates an empty bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set marks row i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether row i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Len returns the row capacity.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set rows.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects in place.
+func (b *Bitmap) And(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions in place.
+func (b *Bitmap) Or(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// SetAll marks every row.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(rem)) - 1
+	}
+}
+
+// Clone copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n}
+}
+
+// ForEach calls fn for every set row in ascending order; stops early if fn
+// returns false.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

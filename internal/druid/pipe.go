@@ -1,0 +1,20 @@
+package druid
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"net/http"
+)
+
+// pipeEncode gob-encodes v into an in-memory reader for an HTTP body.
+func pipeEncode(v any) io.Reader {
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(v)
+	return &buf
+}
+
+func readError(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return string(bytes.TrimSpace(data))
+}

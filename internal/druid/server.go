@@ -1,0 +1,229 @@
+package druid
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"prestolite/internal/types"
+)
+
+// Server exposes the store over HTTP (the broker endpoint a Presto-Druid
+// connector talks to). The wire format is gob: this is our own substrate,
+// and gob preserves int64/float64 boxing exactly.
+type Server struct {
+	store *Store
+	http  *http.Server
+	ln    net.Listener
+	addr  string
+	once  sync.Once
+}
+
+func init() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("druid: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/druid/v2/query", s.handleQuery)
+	mux.HandleFunc("/druid/v2/tables", s.handleTables)
+	mux.HandleFunc("/druid/v2/schema", s.handleSchema)
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		if s.http != nil {
+			err = s.http.Close()
+		}
+	})
+	return err
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q Query
+	if err := gob.NewDecoder(r.Body).Decode(&q); err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.store.Execute(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	gob.NewEncoder(w).Encode(res)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	gob.NewEncoder(w).Encode(s.store.Tables())
+}
+
+// SchemaResponse describes one table.
+type SchemaResponse struct {
+	Columns []string
+	Types   []string
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("table")
+	t, err := s.store.GetTable(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	resp := SchemaResponse{}
+	for _, c := range t.Columns {
+		resp.Columns = append(resp.Columns, c.Name)
+		resp.Types = append(resp.Types, c.Type.String())
+	}
+	gob.NewEncoder(w).Encode(resp)
+}
+
+// ---------------------------------------------------------------------------
+
+// Client talks to a druid server; it is what the connector embeds.
+type Client interface {
+	Execute(q Query) (*Result, error)
+	Tables() ([]string, error)
+	Schema(table string) ([]Column, error)
+}
+
+// HTTPClient is a Client over the broker HTTP API.
+type HTTPClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewHTTPClient targets a server address ("host:port").
+func NewHTTPClient(addr string) *HTTPClient {
+	return &HTTPClient{BaseURL: "http://" + addr, HTTP: http.DefaultClient}
+}
+
+// Execute implements Client.
+func (c *HTTPClient) Execute(q Query) (*Result, error) {
+	resp, err := c.HTTP.Post(c.BaseURL+"/druid/v2/query", "application/x-gob", pipeEncode(q))
+	if err != nil {
+		return nil, fmt.Errorf("druid: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("druid: query failed: %s", readError(resp))
+	}
+	var res Result
+	if err := gob.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("druid: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// Tables implements Client.
+func (c *HTTPClient) Tables() ([]string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/druid/v2/tables")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []string
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Schema implements Client.
+func (c *HTTPClient) Schema(table string) ([]Column, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/druid/v2/schema?table=" + table)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("druid: schema: %s", readError(resp))
+	}
+	var sr SchemaResponse
+	if err := gob.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	out := make([]Column, len(sr.Columns))
+	for i := range sr.Columns {
+		t, err := types.Parse(sr.Types[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Column{Name: sr.Columns[i], Type: t}
+	}
+	return out, nil
+}
+
+// LatencyClient wraps a Client, charging a fixed round-trip latency per
+// request. Benchmarks use it for both the native and the connector path so
+// comparisons include the broker RTT every production client pays.
+type LatencyClient struct {
+	Inner   Client
+	Latency time.Duration
+}
+
+// Execute implements Client.
+func (c *LatencyClient) Execute(q Query) (*Result, error) {
+	time.Sleep(c.Latency)
+	return c.Inner.Execute(q)
+}
+
+// Tables implements Client.
+func (c *LatencyClient) Tables() ([]string, error) {
+	time.Sleep(c.Latency)
+	return c.Inner.Tables()
+}
+
+// Schema implements Client.
+func (c *LatencyClient) Schema(table string) ([]Column, error) {
+	time.Sleep(c.Latency)
+	return c.Inner.Schema(table)
+}
+
+// EmbeddedClient serves queries from an in-process store (used when the
+// connector and store share a process, e.g. benchmarks).
+type EmbeddedClient struct {
+	Store *Store
+}
+
+// Execute implements Client.
+func (c *EmbeddedClient) Execute(q Query) (*Result, error) { return c.Store.Execute(q) }
+
+// Tables implements Client.
+func (c *EmbeddedClient) Tables() ([]string, error) { return c.Store.Tables(), nil }
+
+// Schema implements Client.
+func (c *EmbeddedClient) Schema(table string) ([]Column, error) {
+	t, err := c.Store.GetTable(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Columns, nil
+}

@@ -1,0 +1,236 @@
+package druid
+
+import (
+	"reflect"
+	"testing"
+
+	"prestolite/internal/types"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	tab, err := s.CreateTable("events", []Column{
+		{Name: "country", Type: types.Varchar},
+		{Name: "device", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+		{Name: "revenue", Type: types.Double},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Ingest([][]any{
+		{"us", "ios", int64(10), 1.5},
+		{"us", "android", int64(20), 2.5},
+		{"de", "ios", int64(5), 0.5},
+		{nil, "web", int64(1), 0.1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Second segment (real-time ingestion appends segments).
+	if err := tab.Ingest([][]any{
+		{"us", "ios", int64(7), 0.9},
+		{"jp", "android", int64(3), 0.3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSelectWithInvertedIndex(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Execute(Query{
+		Table:   "events",
+		Filters: []Filter{{Column: "country", Op: "eq", Values: []any{"us"}}},
+		Columns: []string{"device", "clicks"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "ios" || res.Rows[0][1] != int64(10) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestFilterOps(t *testing.T) {
+	s := testStore(t)
+	cases := []struct {
+		f    Filter
+		want int
+	}{
+		{Filter{Column: "clicks", Op: "gt", Values: []any{int64(5)}}, 3},
+		{Filter{Column: "clicks", Op: "lte", Values: []any{int64(5)}}, 3},
+		{Filter{Column: "country", Op: "in", Values: []any{"de", "jp"}}, 2},
+		{Filter{Column: "country", Op: "neq", Values: []any{"us"}}, 2}, // null country never matches
+		{Filter{Column: "revenue", Op: "gte", Values: []any{1.5}}, 2},
+	}
+	for _, c := range cases {
+		res, err := s.Execute(Query{Table: "events", Filters: []Filter{c.f}, Columns: []string{"clicks"}})
+		if err != nil {
+			t.Fatalf("%+v: %v", c.f, err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("filter %+v: got %d rows, want %d", c.f, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Execute(Query{
+		Table:        "events",
+		GroupBy:      []string{"country"},
+		Aggregations: []Aggregation{{Func: "sum", Column: "clicks", Name: "total"}, {Func: "count", Name: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[any][]any{}
+	for _, r := range res.Rows {
+		got[r[0]] = r[1:]
+	}
+	if !reflect.DeepEqual(got["us"], []any{int64(37), int64(3)}) {
+		t.Errorf("us = %v", got["us"])
+	}
+	if !reflect.DeepEqual(got["de"], []any{int64(5), int64(1)}) {
+		t.Errorf("de = %v", got["de"])
+	}
+	if !reflect.DeepEqual(got[nil], []any{int64(1), int64(1)}) {
+		t.Errorf("null group = %v", got[nil])
+	}
+}
+
+func TestGlobalAggregationAndLimit(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Execute(Query{
+		Table:        "events",
+		Filters:      []Filter{{Column: "device", Op: "eq", Values: []any{"ios"}}},
+		Aggregations: []Aggregation{{Func: "sum", Column: "revenue", Name: "rev"}, {Func: "avg", Column: "clicks", Name: "ac"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	rev := res.Rows[0][0].(float64)
+	if rev < 2.89 || rev > 2.91 {
+		t.Errorf("rev = %v", rev)
+	}
+
+	limited, err := s.Execute(Query{Table: "events", Columns: []string{"device"}, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Rows) != 2 {
+		t.Errorf("limit rows = %v", limited.Rows)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Execute(Query{Table: "missing"}); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := s.Execute(Query{Table: "events", Filters: []Filter{{Column: "nope", Op: "eq", Values: []any{int64(1)}}}}); err == nil {
+		t.Error("bad filter column accepted")
+	}
+	if _, err := s.Execute(Query{Table: "events", Columns: []string{"nope"}}); err == nil {
+		t.Error("bad select column accepted")
+	}
+	if _, err := s.Execute(Query{Table: "events", Aggregations: []Aggregation{{Func: "sum", Column: "nope"}}}); err == nil {
+		t.Error("bad agg column accepted")
+	}
+	if _, err := s.CreateTable("events", nil); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := s.CreateTable("bad", []Column{{Name: "x", Type: types.NewArray(types.Bigint)}}); err == nil {
+		t.Error("array column accepted")
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	s := testStore(t)
+	srv := NewServer(s)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := NewHTTPClient(srv.Addr())
+	tables, err := client.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0] != "events" {
+		t.Fatalf("tables = %v", tables)
+	}
+	cols, err := client.Schema("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 4 || cols[0].Name != "country" || cols[2].Type != types.Bigint {
+		t.Fatalf("schema = %v", cols)
+	}
+	res, err := client.Execute(Query{
+		Table:        "events",
+		Filters:      []Filter{{Column: "country", Op: "eq", Values: []any{"us"}}},
+		GroupBy:      []string{"device"},
+		Aggregations: []Aggregation{{Func: "sum", Column: "clicks", Name: "c"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := client.Schema("missing"); err == nil {
+		t.Error("missing table schema accepted")
+	}
+	if _, err := client.Execute(Query{Table: "missing"}); err == nil {
+		t.Error("missing table query accepted")
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(64) || b.Get(63) {
+		t.Error("get/set wrong")
+	}
+	if b.Count() != 3 {
+		t.Errorf("count = %d", b.Count())
+	}
+	o := NewBitmap(130)
+	o.Set(64)
+	o.Set(100)
+	c := b.Clone()
+	c.And(o)
+	if c.Count() != 1 || !c.Get(64) {
+		t.Error("and wrong")
+	}
+	c.Or(b)
+	if c.Count() != 3 {
+		t.Error("or wrong")
+	}
+	all := NewBitmap(130)
+	all.SetAll()
+	if all.Count() != 130 {
+		t.Errorf("setall count = %d", all.Count())
+	}
+	var seen []int
+	b.ForEach(func(i int) bool { seen = append(seen, i); return true })
+	if !reflect.DeepEqual(seen, []int{0, 64, 129}) {
+		t.Errorf("foreach = %v", seen)
+	}
+	var first []int
+	b.ForEach(func(i int) bool { first = append(first, i); return false })
+	if len(first) != 1 {
+		t.Errorf("early stop = %v", first)
+	}
+}

@@ -1,0 +1,177 @@
+package execution
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"prestolite/internal/block"
+	"prestolite/internal/expr"
+	"prestolite/internal/planner"
+	"prestolite/internal/types"
+)
+
+// aggregateOperator implements hash aggregation with three step modes
+// (Fig 2): SINGLE consumes raw rows and emits finals; PARTIAL consumes raw
+// rows and emits intermediates; FINAL consumes intermediates and emits
+// finals.
+type aggregateOperator struct {
+	node  *planner.Aggregate
+	child Operator
+	fns   []*expr.AggregateFunction
+
+	groups   map[string]*groupState
+	order    []string // deterministic emission order (first-seen)
+	consumed bool
+	emitted  bool
+}
+
+type groupState struct {
+	keys     []any
+	states   []expr.AggState
+	distinct []map[string]struct{} // per-agg seen-set when DISTINCT
+}
+
+func newAggregateOperator(node *planner.Aggregate, child Operator) (Operator, error) {
+	fns := make([]*expr.AggregateFunction, len(node.Aggs))
+	for i, a := range node.Aggs {
+		fn, err := expr.ResolveAggregate(a.FuncName, a.ArgTypes)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return &aggregateOperator{
+		node:   node,
+		child:  child,
+		fns:    fns,
+		groups: map[string]*groupState{},
+	}, nil
+}
+
+// groupKey builds a hashable key from group values.
+func groupKey(vals []any) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&sb, "%T\x00%v\x01", v, v)
+	}
+	return sb.String()
+}
+
+func (o *aggregateOperator) Next() (*block.Page, error) {
+	if !o.consumed {
+		if err := o.consume(); err != nil {
+			return nil, err
+		}
+		o.consumed = true
+	}
+	if o.emitted {
+		return nil, io.EOF
+	}
+	o.emitted = true
+	return o.emit()
+}
+
+func (o *aggregateOperator) consume() error {
+	for {
+		p, err := o.child.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n := p.Count()
+		for row := 0; row < n; row++ {
+			keys := make([]any, len(o.node.GroupBy))
+			for i, ch := range o.node.GroupBy {
+				keys[i] = p.Blocks[ch].Value(row)
+			}
+			k := groupKey(keys)
+			g, ok := o.groups[k]
+			if !ok {
+				g = &groupState{keys: keys, states: make([]expr.AggState, len(o.fns))}
+				for i, fn := range o.fns {
+					g.states[i] = fn.NewState(o.node.Aggs[i].ArgTypes)
+				}
+				g.distinct = make([]map[string]struct{}, len(o.fns))
+				for i, a := range o.node.Aggs {
+					if a.Distinct {
+						g.distinct[i] = map[string]struct{}{}
+					}
+				}
+				o.groups[k] = g
+				o.order = append(o.order, k)
+			}
+			for i, a := range o.node.Aggs {
+				if o.node.Step == planner.AggFinal {
+					// Input channel holds the intermediate value.
+					g.states[i].AddIntermediate(p.Blocks[a.Args[0]].Value(row))
+					continue
+				}
+				vals := make([]any, len(a.Args))
+				for j, ch := range a.Args {
+					vals[j] = p.Blocks[ch].Value(row)
+				}
+				if g.distinct[i] != nil {
+					if len(vals) > 0 && vals[0] == nil {
+						continue
+					}
+					dk := groupKey(vals)
+					if _, seen := g.distinct[i][dk]; seen {
+						continue
+					}
+					g.distinct[i][dk] = struct{}{}
+				}
+				g.states[i].Add(vals)
+			}
+		}
+	}
+	// Global aggregation over empty input still produces one group.
+	if len(o.node.GroupBy) == 0 && len(o.groups) == 0 && o.node.Step != planner.AggFinal {
+		g := &groupState{states: make([]expr.AggState, len(o.fns))}
+		for i, fn := range o.fns {
+			g.states[i] = fn.NewState(o.node.Aggs[i].ArgTypes)
+		}
+		g.distinct = make([]map[string]struct{}, len(o.fns))
+		o.groups[""] = g
+		o.order = append(o.order, "")
+	}
+	if len(o.node.GroupBy) == 0 && len(o.groups) == 0 && o.node.Step == planner.AggFinal {
+		g := &groupState{states: make([]expr.AggState, len(o.fns))}
+		for i, fn := range o.fns {
+			g.states[i] = fn.NewState(o.node.Aggs[i].ArgTypes)
+		}
+		g.distinct = make([]map[string]struct{}, len(o.fns))
+		o.groups[""] = g
+		o.order = append(o.order, "")
+	}
+	return nil
+}
+
+func (o *aggregateOperator) emit() (*block.Page, error) {
+	outs := o.node.Outputs()
+	colTypes := make([]*types.Type, len(outs))
+	for i, c := range outs {
+		colTypes[i] = c.Type
+	}
+	pb := block.NewPageBuilder(colTypes)
+	for _, k := range o.order {
+		g := o.groups[k]
+		row := make([]any, 0, len(outs))
+		row = append(row, g.keys...)
+		for i, st := range g.states {
+			if o.node.Step == planner.AggPartial {
+				row = append(row, st.Intermediate())
+			} else {
+				row = append(row, st.Final())
+			}
+			_ = i
+		}
+		pb.AppendRow(row)
+	}
+	return pb.Build(), nil
+}
+
+func (o *aggregateOperator) Close() error { return o.child.Close() }

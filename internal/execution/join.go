@@ -1,0 +1,296 @@
+package execution
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"prestolite/internal/block"
+	"prestolite/internal/expr"
+	"prestolite/internal/geo"
+	"prestolite/internal/planner"
+	"prestolite/internal/types"
+)
+
+// joinOperator is a hash join: the right (build) side is consumed fully into
+// a hash table, then left (probe) pages stream through. CROSS joins use a
+// nested-loop over the buffered build side.
+type joinOperator struct {
+	node  *planner.Join
+	left  Operator
+	right Operator
+
+	built       bool
+	buildRows   []*rowRef
+	buildTable  map[string][]*rowRef
+	buildPages  []*block.Page
+	memoryLimit int64
+	buildBytes  int64
+
+	leftTypes  []*types.Type
+	rightTypes []*types.Type
+}
+
+type rowRef struct {
+	page *block.Page
+	row  int
+}
+
+func newJoinOperator(node *planner.Join, left, right Operator) *joinOperator {
+	lo, ro := node.Left.Outputs(), node.Right.Outputs()
+	lt := make([]*types.Type, len(lo))
+	for i, c := range lo {
+		lt[i] = c.Type
+	}
+	rt := make([]*types.Type, len(ro))
+	for i, c := range ro {
+		rt[i] = c.Type
+	}
+	return &joinOperator{node: node, left: left, right: right, leftTypes: lt, rightTypes: rt}
+}
+
+func (o *joinOperator) build() error {
+	o.buildTable = map[string][]*rowRef{}
+	for {
+		p, err := o.right.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if p.Count() == 0 {
+			continue
+		}
+		o.buildBytes += int64(p.SizeBytes())
+		if o.memoryLimit > 0 && o.buildBytes > o.memoryLimit {
+			return ErrInsufficientResources{Operator: "the build side of a join", Limit: o.memoryLimit}
+		}
+		o.buildPages = append(o.buildPages, p)
+		for row := 0; row < p.Count(); row++ {
+			ref := &rowRef{page: p, row: row}
+			o.buildRows = append(o.buildRows, ref)
+			if len(o.node.RightKeys) > 0 {
+				keys := make([]any, len(o.node.RightKeys))
+				null := false
+				for i, ch := range o.node.RightKeys {
+					keys[i] = p.Blocks[ch].Value(row)
+					if keys[i] == nil {
+						null = true
+					}
+				}
+				if null {
+					continue // NULL keys never match
+				}
+				k := groupKey(keys)
+				o.buildTable[k] = append(o.buildTable[k], ref)
+			}
+		}
+	}
+	return nil
+}
+
+func (o *joinOperator) Next() (*block.Page, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, err
+		}
+		o.built = true
+	}
+	for {
+		p, err := o.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		out, err := o.probePage(p)
+		if err != nil {
+			return nil, err
+		}
+		if out.Count() == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (o *joinOperator) probePage(p *block.Page) (*block.Page, error) {
+	outTypes := append(append([]*types.Type{}, o.leftTypes...), o.rightTypes...)
+	pb := block.NewPageBuilder(outTypes)
+	combined := make([]any, len(outTypes))
+	for row := 0; row < p.Count(); row++ {
+		var candidates []*rowRef
+		if len(o.node.LeftKeys) > 0 {
+			keys := make([]any, len(o.node.LeftKeys))
+			null := false
+			for i, ch := range o.node.LeftKeys {
+				keys[i] = p.Blocks[ch].Value(row)
+				if keys[i] == nil {
+					null = true
+				}
+			}
+			if !null {
+				candidates = o.buildTable[groupKey(keys)]
+			}
+		} else {
+			candidates = o.buildRows
+		}
+		matched := false
+		for c := 0; c < len(o.leftTypes); c++ {
+			combined[c] = p.Blocks[c].Value(row)
+		}
+		for _, ref := range candidates {
+			for c := 0; c < len(o.rightTypes); c++ {
+				combined[len(o.leftTypes)+c] = ref.page.Blocks[c].Value(row2(ref))
+			}
+			if o.node.Residual != nil {
+				ok, err := expr.EvalRowValue(o.node.Residual, combined)
+				if err != nil {
+					return nil, err
+				}
+				if ok != true {
+					continue
+				}
+			}
+			matched = true
+			pb.AppendRow(combined)
+		}
+		if !matched && o.node.Kind == planner.JoinLeft {
+			for c := 0; c < len(o.rightTypes); c++ {
+				combined[len(o.leftTypes)+c] = nil
+			}
+			pb.AppendRow(combined)
+		}
+	}
+	return pb.Build(), nil
+}
+
+func row2(r *rowRef) int { return r.row }
+
+func (o *joinOperator) Close() error {
+	o.left.Close()
+	return o.right.Close()
+}
+
+// ---------------------------------------------------------------------------
+// geoJoinOperator: the QuadTree spatial join (§VI). Build side geofences are
+// indexed into a GeoIndex (build_geo_index on the fly); probe rows look up
+// candidate shapes via the QuadTree and verify with exact point-in-polygon.
+
+type geoJoinOperator struct {
+	node  *planner.GeoJoin
+	left  Operator
+	right Operator
+
+	built     bool
+	index     *geo.GeoIndex
+	buildRefs []*rowRef // parallel to index shapes
+
+	leftTypes  []*types.Type
+	rightTypes []*types.Type
+}
+
+func newGeoJoinOperator(node *planner.GeoJoin, left, right Operator) *geoJoinOperator {
+	lo, ro := node.Left.Outputs(), node.Right.Outputs()
+	lt := make([]*types.Type, len(lo))
+	for i, c := range lo {
+		lt[i] = c.Type
+	}
+	rt := make([]*types.Type, len(ro))
+	for i, c := range ro {
+		rt[i] = c.Type
+	}
+	return &geoJoinOperator{node: node, left: left, right: right, leftTypes: lt, rightTypes: rt}
+}
+
+func (o *geoJoinOperator) build() error {
+	var wkts []string
+	for {
+		p, err := o.right.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for row := 0; row < p.Count(); row++ {
+			v := p.Blocks[o.node.ShapeChan].Value(row)
+			if v == nil {
+				continue
+			}
+			wkts = append(wkts, v.(string))
+			o.buildRefs = append(o.buildRefs, &rowRef{page: p, row: row})
+		}
+	}
+	idx, err := geo.BuildIndex(wkts)
+	if err != nil {
+		return fmt.Errorf("execution: building geo index: %w", err)
+	}
+	o.index = idx
+	return nil
+}
+
+func (o *geoJoinOperator) Next() (*block.Page, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, err
+		}
+		o.built = true
+	}
+	outTypes := append(append([]*types.Type{}, o.leftTypes...), o.rightTypes...)
+	for {
+		p, err := o.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		lngB, err := expr.Eval(o.node.Lng, p)
+		if err != nil {
+			return nil, err
+		}
+		latB, err := expr.Eval(o.node.Lat, p)
+		if err != nil {
+			return nil, err
+		}
+		lngB, latB = block.Unwrap(lngB), block.Unwrap(latB)
+		pb := block.NewPageBuilder(outTypes)
+		combined := make([]any, len(outTypes))
+		for row := 0; row < p.Count(); row++ {
+			lv, av := lngB.Value(row), latB.Value(row)
+			if lv == nil || av == nil {
+				continue
+			}
+			matches := o.index.Lookup(geo.Point{Lng: toF64(lv), Lat: toF64(av)})
+			if len(matches) == 0 {
+				continue
+			}
+			for c := 0; c < len(o.leftTypes); c++ {
+				combined[c] = p.Blocks[c].Value(row)
+			}
+			for _, shapeIdx := range matches {
+				ref := o.buildRefs[shapeIdx]
+				for c := 0; c < len(o.rightTypes); c++ {
+					combined[len(o.leftTypes)+c] = ref.page.Blocks[c].Value(ref.row)
+				}
+				pb.AppendRow(combined)
+			}
+		}
+		if pb.Len() == 0 {
+			continue
+		}
+		return pb.Build(), nil
+	}
+}
+
+func toF64(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("execution: not numeric: %T", v))
+}
+
+func (o *geoJoinOperator) Close() error {
+	o.left.Close()
+	return o.right.Close()
+}

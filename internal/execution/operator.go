@@ -1,0 +1,321 @@
+// Package execution implements the vectorized physical operators (§III:
+// "Presto is a vectorized engine, which processes a bunch of in memory
+// encoded column values vectorized, instead of row by row") and the
+// plan-to-operator builder.
+package execution
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/expr"
+	"prestolite/internal/planner"
+)
+
+// Operator produces a stream of pages. Next returns io.EOF when exhausted.
+type Operator interface {
+	Next() (*block.Page, error)
+	Close() error
+}
+
+// Context carries what operators need at runtime.
+type Context struct {
+	Catalogs *connector.Registry
+	// RemoteSources resolves RemoteSource nodes to operators (nil outside
+	// distributed execution).
+	RemoteSources func(fragmentID int, cols []planner.Column) (Operator, error)
+	// Splits optionally pins the splits a TableScan should process (used by
+	// distributed tasks); nil means "enumerate all splits".
+	Splits map[string][]connector.Split // key: catalog.schema.table
+	// MemoryLimit bounds bytes buffered by blocking operators (join build
+	// side, sort). 0 = unlimited. Exceeding it fails the query with the
+	// §XII.C "Insufficient Resources" error users know too well.
+	MemoryLimit int64
+}
+
+// ErrInsufficientResources is returned when a blocking operator exceeds the
+// session memory limit — the top complaint in the paper's user surveys
+// (§XII.C): "when users are joining two large tables, Presto will return an
+// error with message Insufficient Resources".
+type ErrInsufficientResources struct {
+	Operator string
+	Limit    int64
+}
+
+func (e ErrInsufficientResources) Error() string {
+	return fmt.Sprintf("Insufficient Resources: %s exceeded the query memory limit of %d bytes; retry on a batch engine (e.g. Presto on Spark) or raise query_max_memory", e.Operator, e.Limit)
+}
+
+// Build constructs the operator tree for a plan.
+func Build(node planner.Node, ctx *Context) (Operator, error) {
+	switch t := node.(type) {
+	case *planner.Output:
+		return Build(t.Child, ctx)
+	case *planner.Values:
+		return newValuesOperator(t), nil
+	case *planner.TableScan:
+		return newScanOperator(t, ctx)
+	case *planner.Filter:
+		child, err := Build(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOperator{child: child, predicate: t.Predicate}, nil
+	case *planner.Project:
+		child, err := Build(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOperator{child: child, exprs: t.Exprs}, nil
+	case *planner.Limit:
+		child, err := Build(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOperator{child: child, remaining: t.N}, nil
+	case *planner.Sort:
+		child, err := Build(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOperator{child: child, keys: t.Keys, memoryLimit: ctx.MemoryLimit}, nil
+	case *planner.Aggregate:
+		child, err := Build(t.Child, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return newAggregateOperator(t, child)
+	case *planner.Join:
+		left, err := Build(t.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(t.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		op := newJoinOperator(t, left, right)
+		op.memoryLimit = ctx.MemoryLimit
+		return op, nil
+	case *planner.GeoJoin:
+		left, err := Build(t.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(t.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return newGeoJoinOperator(t, left, right), nil
+	case *planner.RemoteSource:
+		if ctx.RemoteSources == nil {
+			return nil, fmt.Errorf("execution: RemoteSource outside distributed execution")
+		}
+		return ctx.RemoteSources(t.FragmentID, t.Cols)
+	default:
+		return nil, fmt.Errorf("execution: no operator for %T", node)
+	}
+}
+
+// Drain pulls all pages from op, closing it afterwards.
+func Drain(op Operator) ([]*block.Page, error) {
+	defer op.Close()
+	var out []*block.Page
+	for {
+		p, err := op.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p != nil && p.Count() > 0 {
+			out = append(out, p)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+type valuesOperator struct {
+	node *planner.Values
+	done bool
+}
+
+func newValuesOperator(v *planner.Values) *valuesOperator { return &valuesOperator{node: v} }
+
+func (o *valuesOperator) Next() (*block.Page, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	o.done = true
+	if len(o.node.Cols) == 0 {
+		// zero-column relation still carries its row count
+		return &block.Page{N: len(o.node.Rows)}, nil
+	}
+	builders := make([]block.Builder, len(o.node.Cols))
+	for i, c := range o.node.Cols {
+		builders[i] = block.NewBuilder(c.Type, len(o.node.Rows))
+	}
+	for _, row := range o.node.Rows {
+		for i, v := range row {
+			builders[i].Append(v)
+		}
+	}
+	blocks := make([]block.Block, len(builders))
+	for i, b := range builders {
+		blocks[i] = b.Build()
+	}
+	return block.NewPage(blocks...), nil
+}
+
+func (o *valuesOperator) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+
+type scanOperator struct {
+	scan     *planner.TableScan
+	provider connector.RecordSetProvider
+	splits   []connector.Split
+	columns  []int
+	current  connector.PageSource
+	pos      int
+}
+
+func newScanOperator(t *planner.TableScan, ctx *Context) (Operator, error) {
+	conn, err := ctx.Catalogs.Get(t.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	var splits []connector.Split
+	key := t.Catalog + "." + t.Schema + "." + t.Table
+	if ctx.Splits != nil {
+		splits = ctx.Splits[key]
+	} else {
+		splits, err = conn.SplitManager().Splits(t.Handle)
+		if err != nil {
+			return nil, fmt.Errorf("execution: enumerating splits for %s: %w", key, err)
+		}
+	}
+	return &scanOperator{
+		scan:     t,
+		provider: conn.RecordSetProvider(),
+		splits:   splits,
+		columns:  t.ColumnOrdinals,
+	}, nil
+}
+
+func (o *scanOperator) Next() (*block.Page, error) {
+	for {
+		if o.current == nil {
+			if o.pos >= len(o.splits) {
+				return nil, io.EOF
+			}
+			src, err := o.provider.CreatePageSource(o.scan.Handle, o.splits[o.pos], o.columns)
+			if err != nil {
+				return nil, fmt.Errorf("execution: opening split %d of %s.%s: %w", o.pos, o.scan.Schema, o.scan.Table, err)
+			}
+			o.current = src
+			o.pos++
+		}
+		p, err := o.current.Next()
+		if errors.Is(err, io.EOF) {
+			o.current.Close()
+			o.current = nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+func (o *scanOperator) Close() error {
+	if o.current != nil {
+		o.current.Close()
+		o.current = nil
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+type filterOperator struct {
+	child     Operator
+	predicate expr.RowExpression
+}
+
+func (o *filterOperator) Next() (*block.Page, error) {
+	for {
+		p, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		positions, err := expr.EvalFilter(o.predicate, p)
+		if err != nil {
+			return nil, err
+		}
+		if len(positions) == 0 {
+			continue
+		}
+		if len(positions) == p.Count() {
+			return p, nil
+		}
+		return p.Mask(positions), nil
+	}
+}
+
+func (o *filterOperator) Close() error { return o.child.Close() }
+
+// ---------------------------------------------------------------------------
+
+type projectOperator struct {
+	child Operator
+	exprs []expr.RowExpression
+}
+
+func (o *projectOperator) Next() (*block.Page, error) {
+	p, err := o.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]block.Block, len(o.exprs))
+	for i, e := range o.exprs {
+		b, err := expr.Eval(e, p)
+		if err != nil {
+			return nil, err
+		}
+		blocks[i] = b
+	}
+	return &block.Page{Blocks: blocks, N: p.Count()}, nil
+}
+
+func (o *projectOperator) Close() error { return o.child.Close() }
+
+// ---------------------------------------------------------------------------
+
+type limitOperator struct {
+	child     Operator
+	remaining int64
+}
+
+func (o *limitOperator) Next() (*block.Page, error) {
+	if o.remaining <= 0 {
+		return nil, io.EOF
+	}
+	p, err := o.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	if int64(p.Count()) > o.remaining {
+		p = p.Region(0, int(o.remaining))
+	}
+	o.remaining -= int64(p.Count())
+	return p, nil
+}
+
+func (o *limitOperator) Close() error { return o.child.Close() }

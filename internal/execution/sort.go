@@ -1,0 +1,164 @@
+package execution
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"prestolite/internal/block"
+	"prestolite/internal/expr"
+	"prestolite/internal/planner"
+)
+
+// sortOperator buffers all input and emits one sorted page. NULLs sort last
+// ascending / first descending. The output page uses indirection blocks over
+// the buffered pages, so sorting never copies or re-encodes values (it works
+// for any block type, including nested ones).
+type sortOperator struct {
+	child       Operator
+	keys        []planner.SortKey
+	memoryLimit int64
+	done        bool
+}
+
+func (o *sortOperator) Next() (*block.Page, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	var pages []*block.Page
+	var buffered int64
+	for {
+		p, err := o.child.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p.Count() > 0 {
+			pages = append(pages, p)
+			buffered += int64(p.SizeBytes())
+			if o.memoryLimit > 0 && buffered > o.memoryLimit {
+				return nil, ErrInsufficientResources{Operator: "ORDER BY buffering", Limit: o.memoryLimit}
+			}
+		}
+	}
+	o.done = true
+	if len(pages) == 0 {
+		return nil, io.EOF
+	}
+	type idx struct {
+		page int32
+		row  int32
+	}
+	var rows []idx
+	for pi, p := range pages {
+		for r := 0; r < p.Count(); r++ {
+			rows = append(rows, idx{page: int32(pi), row: int32(r)})
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, k := range o.keys {
+			va := pages[rows[a].page].Blocks[k.Channel].Value(int(rows[a].row))
+			vb := pages[rows[b].page].Blocks[k.Channel].Value(int(rows[b].row))
+			c := compareNullable(va, vb)
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	pageIdx := make([]int32, len(rows))
+	rowIdx := make([]int32, len(rows))
+	for i, r := range rows {
+		pageIdx[i] = r.page
+		rowIdx[i] = r.row
+	}
+	width := len(pages[0].Blocks)
+	blocks := make([]block.Block, width)
+	for ch := 0; ch < width; ch++ {
+		sources := make([]block.Block, len(pages))
+		for pi, p := range pages {
+			sources[pi] = p.Blocks[ch]
+		}
+		blocks[ch] = &indirectBlock{sources: sources, pageIdx: pageIdx, rowIdx: rowIdx}
+	}
+	return &block.Page{Blocks: blocks, N: len(rows)}, nil
+}
+
+// compareNullable orders values with NULL greatest (NULLS LAST ascending).
+func compareNullable(a, b any) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return 1
+	case b == nil:
+		return -1
+	}
+	return expr.CompareValues(a, b)
+}
+
+func (o *sortOperator) Close() error { return o.child.Close() }
+
+// indirectBlock is a zero-copy view over rows scattered across multiple
+// source blocks.
+type indirectBlock struct {
+	sources []block.Block
+	pageIdx []int32
+	rowIdx  []int32
+}
+
+func (b *indirectBlock) Count() int { return len(b.pageIdx) }
+
+func (b *indirectBlock) IsNull(i int) bool {
+	return b.sources[b.pageIdx[i]].IsNull(int(b.rowIdx[i]))
+}
+
+func (b *indirectBlock) Value(i int) any {
+	return b.sources[b.pageIdx[i]].Value(int(b.rowIdx[i]))
+}
+
+func (b *indirectBlock) Region(offset, length int) block.Block {
+	return &indirectBlock{
+		sources: b.sources,
+		pageIdx: b.pageIdx[offset : offset+length],
+		rowIdx:  b.rowIdx[offset : offset+length],
+	}
+}
+
+func (b *indirectBlock) Mask(positions []int) block.Block {
+	pi := make([]int32, len(positions))
+	ri := make([]int32, len(positions))
+	for out, p := range positions {
+		pi[out] = b.pageIdx[p]
+		ri[out] = b.rowIdx[p]
+	}
+	return &indirectBlock{sources: b.sources, pageIdx: pi, rowIdx: ri}
+}
+
+func (b *indirectBlock) SizeBytes() int { return 8 * len(b.pageIdx) }
+
+// Materialize converts the view into concrete blocks (needed before pages
+// cross a process boundary).
+func (b *indirectBlock) Materialize() block.Block {
+	// Mask each source to its positions in output order, then concatenate
+	// runs. Positions alternate between sources, so build per-run masks.
+	var parts []block.Block
+	i := 0
+	for i < len(b.pageIdx) {
+		src := b.pageIdx[i]
+		j := i
+		var positions []int
+		for j < len(b.pageIdx) && b.pageIdx[j] == src {
+			positions = append(positions, int(b.rowIdx[j]))
+			j++
+		}
+		parts = append(parts, b.sources[src].Mask(positions))
+		i = j
+	}
+	return block.Concat(parts)
+}

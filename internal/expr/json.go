@@ -1,0 +1,264 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"prestolite/internal/types"
+)
+
+// RowExpressions are "completely self-contained and can be shared across
+// multiple systems" (§IV.B). This file implements the wire format the engine
+// uses to push expressions down to connectors: a tagged JSON union. Integer
+// values are carried as strings to survive JSON's float64 number model.
+
+type jsonExpr struct {
+	Kind   string          `json:"@type"`
+	Type   string          `json:"type,omitempty"`
+	Value  *jsonValue      `json:"value,omitempty"`
+	Name   string          `json:"name,omitempty"`
+	Chan   int             `json:"channel,omitempty"`
+	Handle *FunctionHandle `json:"functionHandle,omitempty"`
+	Form   string          `json:"form,omitempty"`
+	Args   []jsonExpr      `json:"args,omitempty"`
+	Params []string        `json:"params,omitempty"`
+	PTypes []string        `json:"paramTypes,omitempty"`
+}
+
+type jsonValue struct {
+	Null    bool    `json:"null,omitempty"`
+	Int     *string `json:"int,omitempty"` // int64 as decimal string
+	Float   *float64
+	Bool    *bool
+	Varchar *string
+}
+
+func (v jsonValue) MarshalJSON() ([]byte, error) {
+	m := map[string]any{}
+	switch {
+	case v.Null:
+		m["null"] = true
+	case v.Int != nil:
+		m["int"] = *v.Int
+	case v.Float != nil:
+		m["float"] = *v.Float
+	case v.Bool != nil:
+		m["bool"] = *v.Bool
+	case v.Varchar != nil:
+		m["varchar"] = *v.Varchar
+	}
+	return json.Marshal(m)
+}
+
+func (v *jsonValue) UnmarshalJSON(data []byte) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if _, ok := m["null"]; ok {
+		v.Null = true
+		return nil
+	}
+	if raw, ok := m["int"]; ok {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return err
+		}
+		v.Int = &s
+		return nil
+	}
+	if raw, ok := m["float"]; ok {
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return err
+		}
+		v.Float = &f
+		return nil
+	}
+	if raw, ok := m["bool"]; ok {
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return err
+		}
+		v.Bool = &b
+		return nil
+	}
+	if raw, ok := m["varchar"]; ok {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return err
+		}
+		v.Varchar = &s
+		return nil
+	}
+	return fmt.Errorf("expr: empty json value")
+}
+
+func boxValue(v any) (*jsonValue, error) {
+	switch x := v.(type) {
+	case nil:
+		return &jsonValue{Null: true}, nil
+	case int64:
+		s := fmt.Sprintf("%d", x)
+		return &jsonValue{Int: &s}, nil
+	case float64:
+		return &jsonValue{Float: &x}, nil
+	case bool:
+		return &jsonValue{Bool: &x}, nil
+	case string:
+		return &jsonValue{Varchar: &x}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot serialize constant of Go type %T", v)
+	}
+}
+
+func unboxValue(v *jsonValue) (any, error) {
+	switch {
+	case v == nil || v.Null:
+		return nil, nil
+	case v.Int != nil:
+		var n int64
+		if _, err := fmt.Sscanf(*v.Int, "%d", &n); err != nil {
+			return nil, fmt.Errorf("expr: bad int constant %q", *v.Int)
+		}
+		return n, nil
+	case v.Float != nil:
+		return *v.Float, nil
+	case v.Bool != nil:
+		return *v.Bool, nil
+	case v.Varchar != nil:
+		return *v.Varchar, nil
+	}
+	return nil, fmt.Errorf("expr: empty constant")
+}
+
+func toJSON(e RowExpression) (jsonExpr, error) {
+	switch t := e.(type) {
+	case *Constant:
+		val, err := boxValue(t.Value)
+		if err != nil {
+			return jsonExpr{}, err
+		}
+		return jsonExpr{Kind: "constant", Type: t.Type.String(), Value: val}, nil
+	case *Variable:
+		return jsonExpr{Kind: "variable", Type: t.Type.String(), Name: t.Name, Chan: t.Channel}, nil
+	case *Call:
+		out := jsonExpr{Kind: "call", Type: t.Ret.String(), Handle: &t.Handle}
+		for _, a := range t.Args {
+			ja, err := toJSON(a)
+			if err != nil {
+				return jsonExpr{}, err
+			}
+			out.Args = append(out.Args, ja)
+		}
+		return out, nil
+	case *SpecialForm:
+		out := jsonExpr{Kind: "special", Type: t.Ret.String(), Form: string(t.Form)}
+		for _, a := range t.Args {
+			ja, err := toJSON(a)
+			if err != nil {
+				return jsonExpr{}, err
+			}
+			out.Args = append(out.Args, ja)
+		}
+		return out, nil
+	case *Lambda:
+		body, err := toJSON(t.Body)
+		if err != nil {
+			return jsonExpr{}, err
+		}
+		out := jsonExpr{Kind: "lambda", Params: t.Params, Args: []jsonExpr{body}}
+		for _, pt := range t.ParamTypes {
+			out.PTypes = append(out.PTypes, pt.String())
+		}
+		return out, nil
+	default:
+		return jsonExpr{}, fmt.Errorf("expr: cannot serialize %T", e)
+	}
+}
+
+func fromJSON(j jsonExpr) (RowExpression, error) {
+	switch j.Kind {
+	case "constant":
+		t, err := types.Parse(j.Type)
+		if err != nil {
+			return nil, err
+		}
+		v, err := unboxValue(j.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &Constant{Value: v, Type: t}, nil
+	case "variable":
+		t, err := types.Parse(j.Type)
+		if err != nil {
+			return nil, err
+		}
+		return &Variable{Name: j.Name, Channel: j.Chan, Type: t}, nil
+	case "call":
+		t, err := types.Parse(j.Type)
+		if err != nil {
+			return nil, err
+		}
+		if j.Handle == nil {
+			return nil, fmt.Errorf("expr: call without functionHandle")
+		}
+		args := make([]RowExpression, len(j.Args))
+		for i, ja := range j.Args {
+			args[i], err = fromJSON(ja)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Call{Handle: *j.Handle, Args: args, Ret: t}, nil
+	case "special":
+		t, err := types.Parse(j.Type)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]RowExpression, len(j.Args))
+		for i, ja := range j.Args {
+			args[i], err = fromJSON(ja)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &SpecialForm{Form: Form(j.Form), Args: args, Ret: t}, nil
+	case "lambda":
+		if len(j.Args) != 1 {
+			return nil, fmt.Errorf("expr: lambda needs exactly one body")
+		}
+		body, err := fromJSON(j.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]*types.Type, len(j.PTypes))
+		for i, s := range j.PTypes {
+			pts[i], err = types.Parse(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Lambda{Params: j.Params, ParamTypes: pts, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown expression kind %q", j.Kind)
+	}
+}
+
+// Marshal serializes a RowExpression to its wire form.
+func Marshal(e RowExpression) ([]byte, error) {
+	j, err := toJSON(e)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(j)
+}
+
+// Unmarshal reconstructs a RowExpression from its wire form.
+func Unmarshal(data []byte) (RowExpression, error) {
+	var j jsonExpr
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("expr: unmarshal: %w", err)
+	}
+	return fromJSON(j)
+}

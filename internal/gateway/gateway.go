@@ -1,0 +1,166 @@
+// Package gateway implements cluster federation (§VIII): a presto gateway
+// that redirects incoming queries to specific clusters based on user and
+// group, with the user/group → cluster mapping stored in MySQL (the
+// mysqlite substrate) so administrators can dynamically re-route any traffic
+// to any cluster — e.g. draining a cluster for maintenance or upgrade with
+// no downtime.
+//
+// The gateway uses HTTP redirect (307) rather than proxying: the lesson of
+// §XII.B is that a general proxying gateway becomes the bottleneck, while a
+// redirecting gateway lets clients connect directly to each cluster.
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"prestolite/internal/mysqlite"
+	"prestolite/internal/types"
+)
+
+// Rule kinds, matched in priority order: user rules beat group rules beat
+// the default.
+const (
+	KindUser    = "user"
+	KindGroup   = "group"
+	KindDefault = "default"
+)
+
+// Gateway routes query traffic.
+type Gateway struct {
+	db *mysqlite.DB
+
+	http *http.Server
+	ln   net.Listener
+	addr string
+
+	// Redirects counts issued redirects (for tests/monitoring).
+	Redirects atomic.Int64
+}
+
+// New creates a gateway backed by a fresh routing database.
+func New() (*Gateway, error) {
+	db := mysqlite.New()
+	if _, err := db.CreateTable("clusters", []mysqlite.Column{
+		{Name: "name", Type: types.Varchar},
+		{Name: "addr", Type: types.Varchar},
+		{Name: "enabled", Type: types.Bigint},
+	}, "name"); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("routes", []mysqlite.Column{
+		{Name: "principal", Type: types.Varchar}, // "user:alice", "group:etl", "default"
+		{Name: "cluster", Type: types.Varchar},
+	}, "principal"); err != nil {
+		return nil, err
+	}
+	return &Gateway{db: db}, nil
+}
+
+// DB exposes the routing store — "Presto administrators could play with
+// MySQL to dynamically redirect any traffic to any cluster".
+func (g *Gateway) DB() *mysqlite.DB { return g.db }
+
+// AddCluster registers a cluster coordinator address.
+func (g *Gateway) AddCluster(name, addr string) error {
+	return g.db.Upsert("clusters", []any{name, addr, int64(1)})
+}
+
+// SetClusterEnabled marks a cluster in or out of rotation.
+func (g *Gateway) SetClusterEnabled(name string, enabled bool) error {
+	row, ok, err := g.db.GetByPK("clusters", name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gateway: cluster %q is not registered", name)
+	}
+	e := int64(0)
+	if enabled {
+		e = 1
+	}
+	return g.db.Upsert("clusters", []any{row[0], row[1], e})
+}
+
+// SetRoute maps a principal ("user:alice", "group:growth", "default") to a
+// cluster name.
+func (g *Gateway) SetRoute(principal, cluster string) error {
+	return g.db.Upsert("routes", []any{principal, cluster})
+}
+
+// DeleteRoute removes a mapping.
+func (g *Gateway) DeleteRoute(principal string) error {
+	_, err := g.db.DeleteByPK("routes", principal)
+	return err
+}
+
+// Resolve returns the target cluster address for a user and group.
+func (g *Gateway) Resolve(user, group string) (string, error) {
+	for _, principal := range []string{"user:" + user, "group:" + group, "default"} {
+		row, ok, err := g.db.GetByPK("routes", principal)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			continue
+		}
+		cluster := row[1].(string)
+		crow, ok, err := g.db.GetByPK("clusters", cluster)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("gateway: route %s points at unknown cluster %q", principal, cluster)
+		}
+		if crow[2].(int64) == 0 {
+			// Cluster drained: fall through to the next principal (group or
+			// default), achieving no-downtime maintenance.
+			continue
+		}
+		return crow[1].(string), nil
+	}
+	return "", fmt.Errorf("gateway: no route for user %q group %q", user, group)
+}
+
+// Start serves the gateway on addr.
+func (g *Gateway) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("gateway: listen: %w", err)
+	}
+	g.ln = ln
+	g.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/statement", g.handleStatement)
+	g.http = &http.Server{Handler: mux}
+	go g.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the gateway address.
+func (g *Gateway) Addr() string { return g.addr }
+
+// Close stops the server.
+func (g *Gateway) Close() error {
+	if g.http != nil {
+		return g.http.Close()
+	}
+	return nil
+}
+
+// handleStatement issues a 307 redirect to the resolved cluster. 307
+// preserves the method and body, so the client's POST replays against the
+// coordinator directly.
+func (g *Gateway) handleStatement(w http.ResponseWriter, r *http.Request) {
+	user := r.Header.Get("X-Presto-User")
+	group := r.Header.Get("X-Presto-Group")
+	target, err := g.Resolve(user, group)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	g.Redirects.Add(1)
+	http.Redirect(w, r, "http://"+target+"/v1/statement", http.StatusTemporaryRedirect)
+}

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/cluster"
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/types"
+)
+
+// startCluster creates a one-worker cluster whose memory catalog carries a
+// marker value so tests can see which cluster served a query.
+func startCluster(t *testing.T, marker string) *cluster.Coordinator {
+	t.Helper()
+	mem := memory.New("memory")
+	if err := mem.CreateTable("meta", "whoami", []connector.Column{
+		{Name: "cluster", Type: types.Varchar},
+	}, []*block.Page{block.NewPage(block.FromValues(types.Varchar, marker))}); err != nil {
+		t.Fatal(err)
+	}
+	reg := connector.NewRegistry()
+	reg.Register("memory", mem)
+	coord := cluster.NewCoordinator(reg)
+	w := cluster.NewWorker(reg)
+	w.GracePeriod = 10 * time.Millisecond
+	if err := w.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	coord.AddWorker(w.Addr())
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+func askVia(t *testing.T, gw *Gateway, user, group string) string {
+	t.Helper()
+	client := cluster.NewClient(gw.Addr())
+	res, err := client.QueryWithIdentity(cluster.StatementRequest{
+		Query:   "SELECT cluster FROM whoami",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    user,
+	}, user, group)
+	if err != nil {
+		t.Fatalf("query via gateway as %s/%s: %v", user, group, err)
+	}
+	rows, err := res.Rows()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	return rows[0][0].(string)
+}
+
+func newGateway(t *testing.T) (*Gateway, *cluster.Coordinator, *cluster.Coordinator) {
+	t.Helper()
+	dedicated := startCluster(t, "dedicated")
+	shared := startCluster(t, "shared")
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AddCluster("dedicated", dedicated.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AddCluster("shared", shared.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("user:alice", "dedicated"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("group:growth", "dedicated"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("default", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return gw, dedicated, shared
+}
+
+func TestRoutingByUserAndGroup(t *testing.T) {
+	gw, _, _ := newGateway(t)
+	if got := askVia(t, gw, "alice", ""); got != "dedicated" {
+		t.Errorf("alice routed to %s", got)
+	}
+	if got := askVia(t, gw, "bob", "growth"); got != "dedicated" {
+		t.Errorf("growth group routed to %s", got)
+	}
+	if got := askVia(t, gw, "bob", "etl"); got != "shared" {
+		t.Errorf("bob routed to %s", got)
+	}
+	if gw.Redirects.Load() != 3 {
+		t.Errorf("redirects = %d", gw.Redirects.Load())
+	}
+}
+
+func TestDynamicRerouting(t *testing.T) {
+	gw, _, _ := newGateway(t)
+	if got := askVia(t, gw, "alice", ""); got != "dedicated" {
+		t.Fatalf("alice initially on %s", got)
+	}
+	// Administrator rewrites the MySQL mapping; traffic moves immediately.
+	if err := gw.SetRoute("user:alice", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if got := askVia(t, gw, "alice", ""); got != "shared" {
+		t.Errorf("alice rerouted to %s", got)
+	}
+	if err := gw.DeleteRoute("user:alice"); err != nil {
+		t.Fatal(err)
+	}
+	if got := askVia(t, gw, "alice", ""); got != "shared" {
+		t.Errorf("alice after delete on %s (default)", got)
+	}
+}
+
+func TestDrainClusterForMaintenance(t *testing.T) {
+	// §VIII: "when we are doing cluster maintenance or software upgrade, we
+	// will redirect traffic ... to guarantee no downtime for end users."
+	gw, _, _ := newGateway(t)
+	if err := gw.SetClusterEnabled("dedicated", false); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's user rule points at the drained cluster; she falls through to
+	// the default (shared) with zero failures.
+	if got := askVia(t, gw, "alice", ""); got != "shared" {
+		t.Errorf("alice during maintenance on %s", got)
+	}
+	// Maintenance over.
+	if err := gw.SetClusterEnabled("dedicated", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := askVia(t, gw, "alice", ""); got != "dedicated" {
+		t.Errorf("alice after maintenance on %s", got)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Resolve("nobody", ""); err == nil {
+		t.Error("no routes should fail")
+	}
+	if err := gw.SetRoute("default", "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Resolve("nobody", ""); err == nil {
+		t.Error("route to unknown cluster should fail")
+	}
+	if err := gw.SetClusterEnabled("ghost", true); err == nil {
+		t.Error("enabling unknown cluster should fail")
+	}
+}

@@ -1,0 +1,5 @@
+package geo
+
+import "math"
+
+func mathSin(x float64) float64 { return math.Sin(x) }

@@ -1,0 +1,290 @@
+// Package mysqlite is a small embedded row-oriented transactional store
+// standing in for MySQL (§IV: "MySQL is used widely in all companies with
+// transaction support"). It provides primary-key indexed tables with
+// insert/update/delete and predicate scans. Two consumers exercise it: the
+// Presto-MySQL connector (unified SQL without data copy) and the gateway's
+// user/group → cluster routing table (§VIII).
+package mysqlite
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"prestolite/internal/expr"
+	"prestolite/internal/types"
+)
+
+// Column is a typed column.
+type Column struct {
+	Name string
+	Type *types.Type
+}
+
+// Predicate is a scan filter: Column <Op> Values.
+type Predicate struct {
+	Column string
+	Op     string // eq, neq, lt, lte, gt, gte, in
+	Values []any
+}
+
+// Table is a row-oriented table with an optional primary key index.
+type Table struct {
+	Name    string
+	Columns []Column
+	PKCol   int // -1 when no primary key
+
+	rows  [][]any
+	index map[any]int // pk value -> row offset (-1 entries are tombstones)
+	live  int
+}
+
+// DB is the embedded database.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// CreateTable registers a table; pk names the primary key column ("" for
+// none).
+func (db *DB) CreateTable(name string, cols []Column, pk string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("mysqlite: table %q already exists", name)
+	}
+	t := &Table{Name: name, Columns: cols, PKCol: -1, index: map[any]int{}}
+	if pk != "" {
+		for i, c := range cols {
+			if c.Name == pk {
+				t.PKCol = i
+			}
+		}
+		if t.PKCol < 0 {
+			return nil, fmt.Errorf("mysqlite: primary key column %q not found", pk)
+		}
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table resolves a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("mysqlite: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var tableLocks sync.Mutex
+
+// Insert adds a row, enforcing primary key uniqueness.
+func (db *DB) Insert(table string, row []any) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("mysqlite: %s expects %d values, got %d", table, len(t.Columns), len(row))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t.PKCol >= 0 {
+		pk := row[t.PKCol]
+		if pk == nil {
+			return fmt.Errorf("mysqlite: %s primary key cannot be NULL", table)
+		}
+		if old, exists := t.index[pk]; exists && old >= 0 {
+			return fmt.Errorf("mysqlite: duplicate primary key %v in %s", pk, table)
+		}
+		t.index[pk] = len(t.rows)
+	}
+	t.rows = append(t.rows, append([]any(nil), row...))
+	t.live++
+	return nil
+}
+
+// Upsert inserts or replaces by primary key.
+func (db *DB) Upsert(table string, row []any) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if t.PKCol < 0 {
+		return fmt.Errorf("mysqlite: %s has no primary key", table)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pk := row[t.PKCol]
+	if old, exists := t.index[pk]; exists && old >= 0 {
+		t.rows[old] = append([]any(nil), row...)
+		return nil
+	}
+	t.index[pk] = len(t.rows)
+	t.rows = append(t.rows, append([]any(nil), row...))
+	t.live++
+	return nil
+}
+
+// DeleteByPK removes a row; returns whether it existed.
+func (db *DB) DeleteByPK(table string, pk any) (bool, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return false, err
+	}
+	if t.PKCol < 0 {
+		return false, fmt.Errorf("mysqlite: %s has no primary key", table)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	off, exists := t.index[pk]
+	if !exists || off < 0 {
+		return false, nil
+	}
+	t.rows[off] = nil // tombstone
+	t.index[pk] = -1
+	t.live--
+	return true, nil
+}
+
+// GetByPK does a point lookup through the index.
+func (db *DB) GetByPK(table string, pk any) ([]any, bool, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	if t.PKCol < 0 {
+		return nil, false, fmt.Errorf("mysqlite: %s has no primary key", table)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	off, exists := t.index[pk]
+	if !exists || off < 0 {
+		return nil, false, nil
+	}
+	return append([]any(nil), t.rows[off]...), true, nil
+}
+
+// Scan returns rows matching all predicates, projected to the given column
+// ordinals (nil = all), stopping at limit (<=0 = unlimited). Point lookups
+// on the primary key use the index.
+func (db *DB) Scan(table string, preds []Predicate, projection []int, limit int64) ([][]any, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := map[string]int{}
+	for i, c := range t.Columns {
+		colIdx[c.Name] = i
+	}
+	for _, p := range preds {
+		if _, ok := colIdx[p.Column]; !ok {
+			return nil, fmt.Errorf("mysqlite: unknown column %q in %s", p.Column, table)
+		}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	project := func(row []any) []any {
+		if projection == nil {
+			return append([]any(nil), row...)
+		}
+		out := make([]any, len(projection))
+		for i, ord := range projection {
+			out[i] = row[ord]
+		}
+		return out
+	}
+
+	// Index fast path: single eq predicate on the primary key.
+	if t.PKCol >= 0 && len(preds) == 1 && preds[0].Op == "eq" && colIdx[preds[0].Column] == t.PKCol {
+		off, exists := t.index[preds[0].Values[0]]
+		if !exists || off < 0 {
+			return nil, nil
+		}
+		return [][]any{project(t.rows[off])}, nil
+	}
+
+	var out [][]any
+	for _, row := range t.rows {
+		if row == nil {
+			continue // tombstone
+		}
+		ok := true
+		for _, p := range preds {
+			v := row[colIdx[p.Column]]
+			if v == nil || !matchPredicate(p, v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, project(row))
+		if limit > 0 && int64(len(out)) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Count returns live row count.
+func (db *DB) Count(table string) (int, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return t.live, nil
+}
+
+func matchPredicate(p Predicate, v any) bool {
+	switch p.Op {
+	case "in":
+		for _, w := range p.Values {
+			if expr.CompareValues(v, w) == 0 {
+				return true
+			}
+		}
+		return false
+	default:
+		c := expr.CompareValues(v, p.Values[0])
+		switch p.Op {
+		case "eq":
+			return c == 0
+		case "neq":
+			return c != 0
+		case "lt":
+			return c < 0
+		case "lte":
+			return c <= 0
+		case "gt":
+			return c > 0
+		case "gte":
+			return c >= 0
+		}
+		return false
+	}
+}

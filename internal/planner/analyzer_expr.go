@@ -1,0 +1,344 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"prestolite/internal/expr"
+	"prestolite/internal/sql"
+	"prestolite/internal/types"
+)
+
+var binaryOpNames = map[string]string{
+	"+": "add", "-": "subtract", "*": "multiply", "/": "divide", "%": "modulus",
+	"=": "eq", "<>": "neq", "<": "lt", "<=": "lte", ">": "gt", ">=": "gte",
+}
+
+// analyzeExpr converts an AST expression to a RowExpression over sc's
+// channels. allowAgg permits aggregate calls (used only via the aggregation
+// planner's dedicated resolver, so normal paths pass false).
+func (a *Analyzer) analyzeExpr(e sql.Expr, sc *scope, allowAgg bool) (expr.RowExpression, error) {
+	switch t := e.(type) {
+	case *sql.Literal:
+		return literalToConstant(t)
+	case *sql.Ident:
+		ch, rest, err := sc.resolve(t.Parts)
+		if err != nil {
+			return nil, err
+		}
+		var out expr.RowExpression = expr.NewVariable(strings.Join(t.Parts[:len(t.Parts)-len(rest)], "."), ch, sc.entries[ch].typ)
+		for _, field := range rest {
+			out, err = expr.Dereference(out, field)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case *sql.Binary:
+		return a.analyzeBinary(t, sc, allowAgg)
+	case *sql.Unary:
+		inner, err := a.analyzeExpr(t.Expr, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "NOT":
+			if inner.TypeOf().Kind != types.KindBoolean && inner.TypeOf().Kind != types.KindUnknown {
+				return nil, fmt.Errorf("planner: NOT requires boolean, got %s", inner.TypeOf())
+			}
+			return expr.Not(inner), nil
+		case "-":
+			if c, ok := inner.(*expr.Constant); ok {
+				switch v := c.Value.(type) {
+				case int64:
+					return expr.NewConstant(-v, c.Type), nil
+				case float64:
+					return expr.NewConstant(-v, c.Type), nil
+				}
+			}
+			return expr.NewCall("negate", inner)
+		}
+		return nil, fmt.Errorf("planner: unsupported unary operator %q", t.Op)
+	case *sql.FuncCall:
+		if expr.IsAggregate(t.Name) && !allowAgg {
+			return nil, fmt.Errorf("planner: aggregate %q is not allowed here", t.Name)
+		}
+		args := make([]expr.RowExpression, len(t.Args))
+		for i, arg := range t.Args {
+			ae, err := a.analyzeExpr(arg, sc, allowAgg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ae
+		}
+		return a.resolveCallWithCoercion(t.Name, args)
+	case *sql.Between:
+		v, err := a.analyzeExpr(t.Expr, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := a.analyzeExpr(t.Lo, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := a.analyzeExpr(t.Hi, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		v, lo, err = coercePair(v, lo)
+		if err != nil {
+			return nil, err
+		}
+		v, hi, err = coercePair(v, hi)
+		if err != nil {
+			return nil, err
+		}
+		out := &expr.SpecialForm{Form: expr.FormBetween, Args: []expr.RowExpression{v, lo, hi}, Ret: types.Boolean}
+		if t.Not {
+			return expr.Not(out), nil
+		}
+		return out, nil
+	case *sql.InList:
+		needle, err := a.analyzeExpr(t.Expr, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		args := []expr.RowExpression{needle}
+		for _, item := range t.List {
+			ie, err := a.analyzeExpr(item, sc, allowAgg)
+			if err != nil {
+				return nil, err
+			}
+			n2, i2, err := coercePair(needle, ie)
+			if err != nil {
+				return nil, err
+			}
+			if n2 != needle {
+				// Needle widened: re-coerce all previous items.
+				needle = n2
+				args[0] = needle
+			}
+			args = append(args, i2)
+		}
+		out := &expr.SpecialForm{Form: expr.FormIn, Args: args, Ret: types.Boolean}
+		if t.Not {
+			return expr.Not(out), nil
+		}
+		return out, nil
+	case *sql.IsNull:
+		inner, err := a.analyzeExpr(t.Expr, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		var out expr.RowExpression = &expr.SpecialForm{Form: expr.FormIsNull, Args: []expr.RowExpression{inner}, Ret: types.Boolean}
+		if t.Not {
+			out = expr.Not(out)
+		}
+		return out, nil
+	case *sql.Case:
+		return a.analyzeCase(t, sc, allowAgg)
+	case *sql.Cast:
+		inner, err := a.analyzeExpr(t.Expr, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		target, err := types.Parse(t.TypeName)
+		if err != nil {
+			return nil, fmt.Errorf("planner: bad CAST target: %w", err)
+		}
+		return castTo(inner, target)
+	default:
+		return nil, fmt.Errorf("planner: unsupported expression %T", e)
+	}
+}
+
+func literalToConstant(l *sql.Literal) (expr.RowExpression, error) {
+	if l.IsDate {
+		days, err := expr.EpochDate(l.Value.(string))
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewConstant(days, types.Date), nil
+	}
+	switch v := l.Value.(type) {
+	case nil:
+		return expr.Null(), nil
+	case int64:
+		return expr.NewConstant(v, types.Bigint), nil
+	case float64:
+		return expr.NewConstant(v, types.Double), nil
+	case string:
+		return expr.NewConstant(v, types.Varchar), nil
+	case bool:
+		return expr.NewConstant(v, types.Boolean), nil
+	}
+	return nil, fmt.Errorf("planner: unsupported literal %T", l.Value)
+}
+
+func (a *Analyzer) analyzeBinary(b *sql.Binary, sc *scope, allowAgg bool) (expr.RowExpression, error) {
+	left, err := a.analyzeExpr(b.Left, sc, allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	right, err := a.analyzeExpr(b.Right, sc, allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "AND":
+		return expr.And(left, right), nil
+	case "OR":
+		return expr.Or(left, right), nil
+	case "||":
+		return a.resolveCallWithCoercion("concat", []expr.RowExpression{left, right})
+	case "LIKE":
+		return a.resolveCallWithCoercion("like", []expr.RowExpression{left, right})
+	}
+	name, ok := binaryOpNames[b.Op]
+	if !ok {
+		return nil, fmt.Errorf("planner: unsupported operator %q", b.Op)
+	}
+	left, right, err = coercePair(left, right)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %s: %w", b, err)
+	}
+	return expr.NewCall(name, left, right)
+}
+
+func (a *Analyzer) analyzeCase(c *sql.Case, sc *scope, allowAgg bool) (expr.RowExpression, error) {
+	// Desugar to nested IFs; result type is the common super type of arms.
+	var conds, thens []expr.RowExpression
+	for _, w := range c.Whens {
+		cond, err := a.analyzeExpr(w.Cond, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		then, err := a.analyzeExpr(w.Then, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond)
+		thens = append(thens, then)
+	}
+	var elseE expr.RowExpression = expr.Null()
+	if c.Else != nil {
+		var err error
+		elseE, err = a.analyzeExpr(c.Else, sc, allowAgg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resType := elseE.TypeOf()
+	for _, t := range thens {
+		ct := types.CommonSuperType(resType, t.TypeOf())
+		if ct == nil {
+			return nil, fmt.Errorf("planner: CASE arms have incompatible types %s and %s", resType, t.TypeOf())
+		}
+		resType = ct
+	}
+	var err error
+	elseE, err = castTo(elseE, resType)
+	if err != nil {
+		return nil, err
+	}
+	out := elseE
+	for i := len(conds) - 1; i >= 0; i-- {
+		then, err := castTo(thens[i], resType)
+		if err != nil {
+			return nil, err
+		}
+		out = &expr.SpecialForm{Form: expr.FormIf, Args: []expr.RowExpression{conds[i], then, out}, Ret: resType}
+	}
+	return out, nil
+}
+
+// resolveCallWithCoercion tries an exact overload, then numeric widening of
+// all numeric args to double.
+func (a *Analyzer) resolveCallWithCoercion(name string, args []expr.RowExpression) (expr.RowExpression, error) {
+	call, err := expr.NewCall(name, args...)
+	if err == nil {
+		return call, nil
+	}
+	// Widen bigint args to double and retry (e.g. sqrt(bigint)).
+	widened := make([]expr.RowExpression, len(args))
+	changed := false
+	for i, arg := range args {
+		if arg.TypeOf().Kind == types.KindBigint || arg.TypeOf().Kind == types.KindInteger {
+			w, werr := castTo(arg, types.Double)
+			if werr == nil {
+				widened[i] = w
+				changed = true
+				continue
+			}
+		}
+		widened[i] = arg
+	}
+	if changed {
+		if call2, err2 := expr.NewCall(name, widened...); err2 == nil {
+			return call2, nil
+		}
+	}
+	return nil, err
+}
+
+// coercePair inserts casts so both sides share a common super type.
+func coercePair(l, r expr.RowExpression) (expr.RowExpression, expr.RowExpression, error) {
+	lt, rt := l.TypeOf(), r.TypeOf()
+	if lt.Equals(rt) {
+		return l, r, nil
+	}
+	common := types.CommonSuperType(lt, rt)
+	if common == nil {
+		return nil, nil, fmt.Errorf("cannot compare or combine %s with %s", lt, rt)
+	}
+	var err error
+	l, err = castTo(l, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err = castTo(r, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// castTo coerces e to target, inserting a to_<type> call when needed.
+func castTo(e expr.RowExpression, target *types.Type) (expr.RowExpression, error) {
+	src := e.TypeOf()
+	if src.Equals(target) {
+		return e, nil
+	}
+	if src.Kind == types.KindUnknown {
+		// NULL literal adopts the target type directly.
+		if c, ok := e.(*expr.Constant); ok && c.Value == nil {
+			return expr.NewConstant(nil, target), nil
+		}
+	}
+	var fn string
+	switch target.Kind {
+	case types.KindBigint, types.KindInteger:
+		fn = "to_bigint"
+	case types.KindDouble:
+		fn = "to_double"
+	case types.KindVarchar:
+		fn = "to_varchar"
+	case types.KindBoolean:
+		fn = "to_boolean"
+	case types.KindDate:
+		fn = "to_date"
+	default:
+		return nil, fmt.Errorf("planner: cannot cast %s to %s", src, target)
+	}
+	// Fold constant casts eagerly so literals keep their natural form.
+	call, err := expr.NewCall(fn, e)
+	if err != nil {
+		return nil, fmt.Errorf("planner: cannot cast %s to %s: %w", src, target, err)
+	}
+	if c, ok := e.(*expr.Constant); ok && c.Value != nil {
+		if v, err := expr.EvalRowValue(call, nil); err == nil {
+			return expr.NewConstant(v, target), nil
+		}
+	}
+	return call, nil
+}

@@ -1,0 +1,127 @@
+package planner
+
+import (
+	"prestolite/internal/connector"
+	"prestolite/internal/expr"
+	"prestolite/internal/types"
+)
+
+// Dereference pushdown: nested column pruning at the plan level (§V.D). A
+// projection that only touches subfields of a struct column —
+// e.g. SELECT base.driver_uuid ... WHERE base.city_id = 12 — becomes a scan
+// of exactly those dotted paths when the connector supports
+// NestedProjectionPushdown, so the reader never materializes the other 18+
+// fields of the struct.
+
+// pushDereferences matches Project(TableScan) and lowers dereference chains
+// into nested scan paths.
+func (o *Optimizer) pushDereferences(n Node) Node {
+	p, ok := n.(*Project)
+	if !ok {
+		return n
+	}
+	scan, ok := p.Child.(*TableScan)
+	if !ok {
+		return n
+	}
+	if scan.PushedAgg != "" {
+		return n
+	}
+	conn, err := o.Catalogs.Get(scan.Catalog)
+	if err != nil {
+		return n
+	}
+	npd, ok := conn.(connector.NestedProjectionPushdown)
+	if !ok {
+		return n
+	}
+
+	var paths []string
+	pathIdx := map[string]int{}
+	anyDeref := false
+	getVar := func(path string, t *types.Type) *expr.Variable {
+		idx, seen := pathIdx[path]
+		if !seen {
+			idx = len(paths)
+			pathIdx[path] = idx
+			paths = append(paths, path)
+		}
+		return expr.NewVariable(path, idx, t)
+	}
+
+	// Top-down rewrite: match whole dereference chains before descending.
+	var rw func(e expr.RowExpression) expr.RowExpression
+	rw = func(e expr.RowExpression) expr.RowExpression {
+		switch t := e.(type) {
+		case *expr.Variable:
+			return getVar(scan.Cols[t.Channel].Name, t.Type)
+		case *expr.SpecialForm:
+			if t.Form == expr.FormDereference {
+				if path, ok := derefChainPath(t, scan); ok {
+					anyDeref = true
+					return getVar(path, t.Ret)
+				}
+			}
+			args := make([]expr.RowExpression, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = rw(a)
+			}
+			return &expr.SpecialForm{Form: t.Form, Args: args, Ret: t.Ret}
+		case *expr.Call:
+			args := make([]expr.RowExpression, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = rw(a)
+			}
+			return &expr.Call{Handle: t.Handle, Args: args, Ret: t.Ret}
+		default:
+			return e
+		}
+	}
+	newExprs := make([]expr.RowExpression, len(p.Exprs))
+	for i, e := range p.Exprs {
+		newExprs[i] = rw(e)
+	}
+	if !anyDeref {
+		return n
+	}
+	newHandle, newCols, pushed := npd.PushNestedPaths(scan.Handle, paths)
+	if !pushed {
+		return n
+	}
+	ns := *scan
+	ns.Handle = newHandle
+	ns.Cols = make([]Column, len(newCols))
+	for i, c := range newCols {
+		ns.Cols[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	ns.ColumnOrdinals = identityChannels(len(newCols))
+	return &Project{Child: &ns, Exprs: newExprs, Names: p.Names}
+}
+
+// derefChainPath extracts "col.f1.f2" from a dereference chain rooted at a
+// scan output variable. The DEREFERENCE field argument is a constant name.
+func derefChainPath(sf *expr.SpecialForm, scan *TableScan) (string, bool) {
+	fieldConst, ok := sf.Args[1].(*expr.Constant)
+	if !ok {
+		return "", false
+	}
+	field, ok := fieldConst.Value.(string)
+	if !ok {
+		return "", false
+	}
+	switch base := sf.Args[0].(type) {
+	case *expr.Variable:
+		return scan.Cols[base.Channel].Name + "." + field, true
+	case *expr.SpecialForm:
+		if base.Form != expr.FormDereference {
+			return "", false
+		}
+		prefix, ok := derefChainPath(base, scan)
+		if !ok {
+			return "", false
+		}
+		return prefix + "." + field, true
+	default:
+		return "", false
+	}
+}

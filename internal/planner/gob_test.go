@@ -1,0 +1,22 @@
+package planner
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func encodeGob(n Node) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&n); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte) (Node, error) {
+	var n Node
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

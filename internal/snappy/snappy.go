@@ -1,0 +1,225 @@
+// Package snappy implements the Snappy block-format codec from scratch
+// (stdlib-only), used by the columnar file format for the Fig 18 writer
+// benchmarks. The format is the standard one: a uvarint-encoded decompressed
+// length followed by a stream of literal and copy elements.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	maxOffset = 1 << 15 // window for match search (block format allows 2^32-1; we emit copy-2 max)
+)
+
+// ErrCorrupt reports malformed input.
+var ErrCorrupt = errors.New("snappy: corrupt input")
+
+// MaxEncodedLen returns the worst-case compressed size for srcLen bytes.
+func MaxEncodedLen(srcLen int) int {
+	return 32 + srcLen + srcLen/6
+}
+
+// Encode compresses src, appending to dst's capacity if possible.
+func Encode(dst, src []byte) []byte {
+	if n := MaxEncodedLen(len(src)); cap(dst) < n {
+		dst = make([]byte, 0, n)
+	} else {
+		dst = dst[:0]
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(src)))
+	dst = append(dst, lenBuf[:n]...)
+
+	if len(src) == 0 {
+		return dst
+	}
+
+	// Hash-table match finder over 4-byte sequences.
+	const tableBits = 14
+	var table [1 << tableBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(u uint32) uint32 {
+		return (u * 0x1e35a7bd) >> (32 - tableBits)
+	}
+	load32 := func(i int) uint32 {
+		return binary.LittleEndian.Uint32(src[i:])
+	}
+
+	litStart := 0
+	i := 0
+	for i+4 <= len(src) {
+		h := hash(load32(i))
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) <= maxOffset && load32(int(cand)) == load32(i) {
+			// Emit pending literals.
+			dst = emitLiteral(dst, src[litStart:i])
+			// Extend the match.
+			matchLen := 4
+			for i+matchLen < len(src) && src[int(cand)+matchLen] == src[i+matchLen] {
+				matchLen++
+			}
+			dst = emitCopy(dst, i-int(cand), matchLen)
+			i += matchLen
+			litStart = i
+			continue
+		}
+		i++
+	}
+	dst = emitLiteral(dst, src[litStart:])
+	return dst
+}
+
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		chunk := lit
+		if len(chunk) > 1<<16 {
+			chunk = chunk[:1<<16]
+		}
+		n := len(chunk) - 1
+		switch {
+		case n < 60:
+			dst = append(dst, byte(n)<<2|tagLiteral)
+		case n < 1<<8:
+			dst = append(dst, 60<<2|tagLiteral, byte(n))
+		default:
+			dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+		}
+		dst = append(dst, chunk...)
+		lit = lit[len(chunk):]
+	}
+	return dst
+}
+
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches: emit 64-byte copies.
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		// Emit a 60-byte copy, leaving >= 4 bytes.
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 || length < 4 {
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	// copy-1: 4 <= length <= 11, offset < 2048
+	dst = append(dst, byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1, byte(offset))
+	return dst
+}
+
+// DecodedLen returns the decompressed length of src.
+func DecodedLen(src []byte) (int, error) {
+	n, read := binary.Uvarint(src)
+	if read <= 0 {
+		return 0, ErrCorrupt
+	}
+	return int(n), nil
+}
+
+// Decode decompresses src. dst is used when large enough.
+func Decode(dst, src []byte) ([]byte, error) {
+	dLen, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	_, hdr := binary.Uvarint(src)
+	s := src[hdr:]
+	if cap(dst) < dLen {
+		dst = make([]byte, dLen)
+	} else {
+		dst = dst[:dLen]
+	}
+	d := 0
+	for len(s) > 0 {
+		tag := s[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			n := int(tag >> 2)
+			switch {
+			case n < 60:
+				n++
+				s = s[1:]
+			case n == 60:
+				if len(s) < 2 {
+					return nil, ErrCorrupt
+				}
+				n = int(s[1]) + 1
+				s = s[2:]
+			case n == 61:
+				if len(s) < 3 {
+					return nil, ErrCorrupt
+				}
+				n = int(s[1]) | int(s[2])<<8
+				n++
+				s = s[3:]
+			default:
+				return nil, ErrCorrupt // 62/63: 3- and 4-byte lengths unused by our encoder
+			}
+			if n > len(s) || d+n > dLen {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], s[:n])
+			d += n
+			s = s[n:]
+		case tagCopy1:
+			if len(s) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2&0x07) + 4
+			offset := int(tag>>5)<<8 | int(s[1])
+			s = s[2:]
+			if err := copyWithin(dst, &d, offset, length, dLen); err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if len(s) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(s[1]) | int(s[2])<<8
+			s = s[3:]
+			if err := copyWithin(dst, &d, offset, length, dLen); err != nil {
+				return nil, err
+			}
+		case tagCopy4:
+			if len(s) < 5 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint32(s[1:]))
+			s = s[5:]
+			if err := copyWithin(dst, &d, offset, length, dLen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d != dLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+func copyWithin(dst []byte, d *int, offset, length, dLen int) error {
+	if offset <= 0 || offset > *d || *d+length > dLen {
+		return ErrCorrupt
+	}
+	// Byte-at-a-time to honor overlapping copies (RLE-style matches).
+	for i := 0; i < length; i++ {
+		dst[*d] = dst[*d-offset]
+		*d++
+	}
+	return nil
+}

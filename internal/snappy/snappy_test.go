@@ -1,0 +1,132 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := Encode(nil, src)
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d bytes out", len(src), len(dec))
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte(strings.Repeat("abcd", 1000)),
+		[]byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 100)),
+		bytes.Repeat([]byte{0}, 1<<17),
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	src := []byte(strings.Repeat("hello world, hello world, hello world. ", 1000))
+	enc := Encode(nil, src)
+	if len(enc) > len(src)/4 {
+		t.Errorf("repetitive input compressed to %d of %d bytes", len(enc), len(src))
+	}
+	if n, err := DecodedLen(enc); err != nil || n != len(src) {
+		t.Errorf("DecodedLen = %d, %v", n, err)
+	}
+}
+
+func TestIncompressibleInput(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := make([]byte, 1<<16)
+	r.Read(src)
+	enc := Encode(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Errorf("encoded %d > MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+	}
+	roundTrip(t, src)
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // bad uvarint
+		{0x04, 0xf0},             // literal longer than input
+		{0x04, 0x01, 0x00, 0x00}, // copy with zero offset
+		{0x08, 0x00, 'a'},        // truncated
+	}
+	for _, c := range bad {
+		if _, err := Decode(nil, c); err == nil {
+			t.Errorf("Decode(%x) unexpectedly succeeded", c)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint16, repetitive bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(size) % 8192
+		src := make([]byte, n)
+		if repetitive {
+			// Low-entropy input exercises the copy paths.
+			pattern := make([]byte, 1+r.Intn(16))
+			r.Read(pattern)
+			for i := range src {
+				src[i] = pattern[i%len(pattern)]
+			}
+			// Random mutations.
+			for k := 0; k < n/20; k++ {
+				src[r.Intn(n+1)%max(n, 1)] = byte(r.Intn(256))
+			}
+		} else {
+			r.Read(src)
+		}
+		enc := Encode(nil, src)
+		dec, err := Decode(nil, enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEncodeRepetitive(b *testing.B) {
+	src := []byte(strings.Repeat("uber trips in san francisco ", 4096))
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Encode(dst, src)
+	}
+}
+
+func BenchmarkDecodeRepetitive(b *testing.B) {
+	src := []byte(strings.Repeat("uber trips in san francisco ", 4096))
+	enc := Encode(nil, src)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		dst, err = Decode(dst, enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

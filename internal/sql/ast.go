@@ -1,0 +1,357 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface {
+	statementNode()
+	String() string
+}
+
+// Explain wraps a statement whose plan should be shown instead of executed.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) statementNode()   {}
+func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+
+// ShowTables lists tables in a catalog.schema.
+type ShowTables struct {
+	Catalog string
+	Schema  string
+}
+
+func (*ShowTables) statementNode() {}
+func (s *ShowTables) String() string {
+	return fmt.Sprintf("SHOW TABLES FROM %s.%s", s.Catalog, s.Schema)
+}
+
+// Query is a SELECT statement.
+type Query struct {
+	Items   []SelectItem
+	From    TableRef // nil for SELECT <exprs>
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   *int64
+}
+
+func (*Query) statementNode() {}
+
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range q.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	if q.From != nil {
+		sb.WriteString(" FROM ")
+		sb.WriteString(q.From.String())
+	}
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit != nil {
+		fmt.Fprintf(&sb, " LIMIT %d", *q.Limit)
+	}
+	return sb.String()
+}
+
+// SelectItem is one projection: an expression with optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause relation.
+type TableRef interface {
+	tableRefNode()
+	String() string
+}
+
+// TableName references catalog.schema.table (1-3 parts) with optional alias.
+type TableName struct {
+	Parts []string
+	Alias string
+}
+
+func (*TableName) tableRefNode() {}
+func (t *TableName) String() string {
+	s := strings.Join(t.Parts, ".")
+	if t.Alias != "" {
+		s += " AS " + t.Alias
+	}
+	return s
+}
+
+// JoinType enumerates supported join types.
+type JoinType int
+
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	CrossJoin
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case LeftJoin:
+		return "LEFT JOIN"
+	case CrossJoin:
+		return "CROSS JOIN"
+	default:
+		return "INNER JOIN"
+	}
+}
+
+// Join combines two relations.
+type Join struct {
+	Type  JoinType
+	Left  TableRef
+	Right TableRef
+	On    Expr // nil for CROSS
+}
+
+func (*Join) tableRefNode() {}
+func (j *Join) String() string {
+	s := j.Left.String() + " " + j.Type.String() + " " + j.Right.String()
+	if j.On != nil {
+		s += " ON " + j.On.String()
+	}
+	return s
+}
+
+// Subquery is a derived table: (SELECT ...) alias.
+type Subquery struct {
+	Query *Query
+	Alias string
+}
+
+func (*Subquery) tableRefNode() {}
+func (s *Subquery) String() string {
+	return "(" + s.Query.String() + ") AS " + s.Alias
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an AST expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Ident is a possibly-qualified name: a, t.a, t.a.b (struct field access is
+// resolved during analysis, not parsing).
+type Ident struct {
+	Parts []string
+}
+
+func (*Ident) exprNode()        {}
+func (i *Ident) String() string { return strings.Join(i.Parts, ".") }
+
+// Literal is a constant. Value is int64, float64, string, bool, or nil.
+// IsDate marks DATE 'yyyy-mm-dd' literals.
+type Literal struct {
+	Value  any
+	IsDate bool
+}
+
+func (*Literal) exprNode() {}
+func (l *Literal) String() string {
+	switch v := l.Value.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		if l.IsDate {
+			return "DATE '" + v + "'"
+		}
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Binary is a binary operation: + - * / % = <> < <= > >= AND OR LIKE ||.
+type Binary struct {
+	Op    string // upper-case
+	Left  Expr
+	Right Expr
+}
+
+func (*Binary) exprNode() {}
+func (b *Binary) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op   string
+	Expr Expr
+}
+
+func (*Unary) exprNode()        {}
+func (u *Unary) String() string { return "(" + u.Op + " " + u.Expr.String() + ")" }
+
+// FuncCall is fn(args), count(*), or agg(DISTINCT x).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncCall) exprNode() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	Expr Expr
+	Lo   Expr
+	Hi   Expr
+	Not  bool
+}
+
+func (*Between) exprNode() {}
+func (b *Between) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.Expr.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+// InList is x [NOT] IN (v1, v2, ...).
+type InList struct {
+	Expr Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InList) exprNode() {}
+func (i *InList) String() string {
+	items := make([]string, len(i.List))
+	for j, e := range i.List {
+		items[j] = e.String()
+	}
+	not := ""
+	if i.Not {
+		not = "NOT "
+	}
+	return "(" + i.Expr.String() + " " + not + "IN (" + strings.Join(items, ", ") + "))"
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	Expr Expr
+	Not  bool
+}
+
+func (*IsNull) exprNode() {}
+func (i *IsNull) String() string {
+	if i.Not {
+		return "(" + i.Expr.String() + " IS NOT NULL)"
+	}
+	return "(" + i.Expr.String() + " IS NULL)"
+}
+
+// Case is CASE WHEN c THEN v ... [ELSE e] END (searched form).
+type Case struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is one WHEN cond THEN value arm.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*Case) exprNode() {}
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// Cast is CAST(x AS type).
+type Cast struct {
+	Expr     Expr
+	TypeName string
+}
+
+func (*Cast) exprNode() {}
+func (c *Cast) String() string {
+	return "CAST(" + c.Expr.String() + " AS " + c.TypeName + ")"
+}

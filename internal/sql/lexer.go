@@ -1,0 +1,161 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser producing the AST the analyzer turns into a
+// logical plan (§III Fig 1: SQL → Abstract Syntax Tree → logical plan).
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenOp // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased, identifiers lower-cased
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "DISTINCT": true, "ASC": true,
+	"DESC": true, "EXPLAIN": true, "DATE": true, "UNION": true, "ALL": true,
+	"WITH": true, "SHOW": true, "TABLES": true, "SCHEMAS": true, "CATALOGS": true,
+	"DESCRIBE": true, "INSERT": true, "INTO": true, "VALUES": true,
+}
+
+// Lex tokenizes input, returning an error for unterminated strings or
+// illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokenNumber, Text: input[start:i], Pos: start + 1})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", start+1)
+			}
+			toks = append(toks, Token{Kind: TokenString, Text: sb.String(), Pos: start + 1})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokenKeyword, Text: upper, Pos: start + 1})
+			} else {
+				toks = append(toks, Token{Kind: TokenIdent, Text: strings.ToLower(word), Pos: start + 1})
+			}
+		case c == '"':
+			// quoted identifier
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start+1)
+			}
+			toks = append(toks, Token{Kind: TokenIdent, Text: strings.ToLower(sb.String()), Pos: start + 1})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=", "||":
+				toks = append(toks, Token{Kind: TokenOp, Text: two, Pos: start + 1})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '%', '<', '>', '=', ';':
+				toks = append(toks, Token{Kind: TokenOp, Text: string(c), Pos: start + 1})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: illegal character %q at %d", string(c), start+1)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokenEOF, Pos: n + 1})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

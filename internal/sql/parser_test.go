@@ -1,0 +1,305 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Statement {
+	t.Helper()
+	stmt, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, "SELECT a, b FROM t WHERE a = 1").(*Query)
+	if len(q.Items) != 2 || q.Where == nil {
+		t.Fatalf("bad query: %+v", q)
+	}
+	tn := q.From.(*TableName)
+	if len(tn.Parts) != 1 || tn.Parts[0] != "t" {
+		t.Errorf("table = %v", tn.Parts)
+	}
+	bin := q.Where.(*Binary)
+	if bin.Op != "=" {
+		t.Errorf("where op = %s", bin.Op)
+	}
+}
+
+func TestParseQualifiedTable(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM hive.rawdata.trips").(*Query)
+	tn := q.From.(*TableName)
+	if strings.Join(tn.Parts, ".") != "hive.rawdata.trips" {
+		t.Errorf("parts = %v", tn.Parts)
+	}
+	if !q.Items[0].Star {
+		t.Error("expected star")
+	}
+	if _, err := Parse("SELECT * FROM a.b.c.d"); err == nil {
+		t.Error("4-part table should fail")
+	}
+}
+
+func TestParsePaperQueryNested(t *testing.T) {
+	// The §V.C example query.
+	q := mustParse(t, `SELECT base.driver_uuid FROM rawdata.schemaless_mezzanine_trips_rows
+		WHERE datestr = '2017-03-02' AND base.city_id in (12)`).(*Query)
+	id := q.Items[0].Expr.(*Ident)
+	if strings.Join(id.Parts, ".") != "base.driver_uuid" {
+		t.Errorf("ident = %v", id.Parts)
+	}
+	and := q.Where.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("where = %v", q.Where)
+	}
+	in := and.Right.(*InList)
+	if len(in.List) != 1 {
+		t.Errorf("in list = %v", in.List)
+	}
+}
+
+func TestParsePaperGeoQuery(t *testing.T) {
+	// The §VI.C example query.
+	q := mustParse(t, `SELECT c.city_id, count(*)
+		FROM trips_table as t
+		JOIN city_table as c
+		ON st_contains(c.geo_shape, st_point(t.dest_lng, t.dest_lat))
+		WHERE datestr = '2017-08-01'
+		GROUP BY 1`).(*Query)
+	j := q.From.(*Join)
+	if j.Type != InnerJoin {
+		t.Errorf("join type = %v", j.Type)
+	}
+	if j.Left.(*TableName).Alias != "t" || j.Right.(*TableName).Alias != "c" {
+		t.Error("aliases wrong")
+	}
+	on := j.On.(*FuncCall)
+	if on.Name != "st_contains" || len(on.Args) != 2 {
+		t.Errorf("on = %v", j.On)
+	}
+	if len(q.GroupBy) != 1 {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	fc := q.Items[1].Expr.(*FuncCall)
+	if fc.Name != "count" || !fc.Star {
+		t.Errorf("count(*) = %v", fc)
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c").(*Query)
+	outer := q.From.(*Join)
+	if outer.Type != CrossJoin {
+		t.Errorf("outer = %v", outer.Type)
+	}
+	inner := outer.Left.(*Join)
+	if inner.Type != LeftJoin || inner.On == nil {
+		t.Errorf("inner = %v", inner.Type)
+	}
+	// comma join
+	q2 := mustParse(t, "SELECT * FROM a, b WHERE a.x = b.x").(*Query)
+	if q2.From.(*Join).Type != CrossJoin {
+		t.Error("comma join should be cross")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q := mustParse(t, "SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) AS sub WHERE x < 10").(*Query)
+	sub := q.From.(*Subquery)
+	if sub.Alias != "sub" || sub.Query.Where == nil {
+		t.Errorf("subquery = %+v", sub)
+	}
+	if _, err := Parse("SELECT x FROM (SELECT a FROM t)"); err == nil {
+		t.Error("subquery without alias should fail")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT 1 + 2 * 3").(*Query)
+	bin := q.Items[0].Expr.(*Binary)
+	if bin.Op != "+" {
+		t.Fatalf("top = %s", bin.Op)
+	}
+	if bin.Right.(*Binary).Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+
+	q2 := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*Query)
+	or := q2.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	if or.Right.(*Binary).Op != "AND" {
+		t.Error("AND should bind tighter than OR")
+	}
+
+	q3 := mustParse(t, "SELECT * FROM t WHERE NOT a = 1 AND b = 2").(*Query)
+	and := q3.Where.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("top = %v", q3.Where)
+	}
+	if _, ok := and.Left.(*Unary); !ok {
+		t.Error("NOT should bind tighter than AND")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT 42, 3.14, 'it''s', TRUE, FALSE, NULL, DATE '2017-08-01'").(*Query)
+	want := []any{int64(42), 3.14, "it's", true, false, nil, "2017-08-01"}
+	for i, w := range want {
+		lit := q.Items[i].Expr.(*Literal)
+		if lit.Value != w {
+			t.Errorf("item %d = %v, want %v", i, lit.Value, w)
+		}
+	}
+	if !q.Items[6].Expr.(*Literal).IsDate {
+		t.Error("DATE literal flag not set")
+	}
+}
+
+func TestParsePredicateForms(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 10
+		AND b NOT IN (1, 2) AND c IS NOT NULL AND d LIKE 'x%' AND e NOT LIKE 'y%'
+		AND f NOT BETWEEN 0 AND 1 AND g IS NULL`).(*Query)
+	s := q.Where.String()
+	for _, want := range []string{"BETWEEN", "NOT IN", "IS NOT NULL", "LIKE", "IS NULL", "NOT BETWEEN"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestParseCaseCastConcat(t *testing.T) {
+	q := mustParse(t, `SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END,
+		CAST(a AS varchar), CAST(b AS array(bigint)), 'a' || 'b' FROM t`).(*Query)
+	c := q.Items[0].Expr.(*Case)
+	if len(c.Whens) != 1 || c.Else == nil {
+		t.Errorf("case = %v", c)
+	}
+	if q.Items[1].Expr.(*Cast).TypeName != "varchar" {
+		t.Errorf("cast = %v", q.Items[1].Expr)
+	}
+	if q.Items[2].Expr.(*Cast).TypeName != "array(bigint)" {
+		t.Errorf("nested cast = %q", q.Items[2].Expr.(*Cast).TypeName)
+	}
+	if q.Items[3].Expr.(*Binary).Op != "||" {
+		t.Error("concat op missing")
+	}
+}
+
+func TestParseAggregatesAndClauses(t *testing.T) {
+	q := mustParse(t, `SELECT city, count(*) AS c, sum(fare), avg(distinct x)
+		FROM trips GROUP BY city HAVING count(*) > 10 ORDER BY c DESC, city LIMIT 5`).(*Query)
+	if q.Items[1].Alias != "c" {
+		t.Error("alias wrong")
+	}
+	if !q.Items[3].Expr.(*FuncCall).Distinct {
+		t.Error("distinct flag missing")
+	}
+	if q.Having == nil || len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Error("clauses wrong")
+	}
+	if *q.Limit != 5 {
+		t.Errorf("limit = %d", *q.Limit)
+	}
+}
+
+func TestParseExplainAndShow(t *testing.T) {
+	e := mustParse(t, "EXPLAIN SELECT 1").(*Explain)
+	if _, ok := e.Stmt.(*Query); !ok {
+		t.Error("explain should wrap query")
+	}
+	s := mustParse(t, "SHOW TABLES FROM hive.rawdata").(*ShowTables)
+	if s.Catalog != "hive" || s.Schema != "rawdata" {
+		t.Errorf("show = %+v", s)
+	}
+}
+
+func TestParseSelectWithoutFrom(t *testing.T) {
+	q := mustParse(t, "SELECT 1 + 2 AS three").(*Query)
+	if q.From != nil || q.Items[0].Alias != "three" {
+		t.Error("from-less select wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t LIMIT abc",
+		"SELECT * FROM t JOIN u",
+		"FROBNICATE",
+		"SELECT 'unterminated",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT CAST(a AS) FROM t",
+		"SELECT CASE END",
+		"SELECT * FROM t extra garbage beyond alias",
+		"SELECT count(* FROM t",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestParseSemicolonAndComments(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t; ").(*Query)
+	if len(q.Items) != 1 {
+		t.Error("semicolon handling wrong")
+	}
+	q2 := mustParse(t, "SELECT a -- trailing comment\nFROM t").(*Query)
+	if q2.From == nil {
+		t.Error("comment handling wrong")
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	q := mustParse(t, `SELECT "Select" FROM "Weird Table"`).(*Query)
+	if q.Items[0].Expr.(*Ident).Parts[0] != "select" {
+		t.Error("quoted ident wrong")
+	}
+	if q.From.(*TableName).Parts[0] != "weird table" {
+		t.Error("quoted table wrong")
+	}
+}
+
+// Property: String() output of a parsed query re-parses to the same string
+// (idempotent rendering — a standard parser round-trip invariant).
+func TestQuickParseStringFixpoint(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t WHERE a = 1 AND b < 2 ORDER BY a LIMIT 3",
+		"SELECT count(*) FROM hive.s.t GROUP BY x HAVING count(*) > 1",
+		"SELECT base.driver_uuid FROM trips WHERE base.city_id IN (12, 13)",
+		"SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
+		"SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT CAST(a AS double) FROM t WHERE s LIKE 'abc%' OR s IS NULL",
+		"SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x BETWEEN 1 AND 2",
+		"SELECT -a + 2 * 3 FROM t WHERE NOT (a = 1)",
+	}
+	f := func(idx uint8) bool {
+		src := queries[int(idx)%len(queries)]
+		q1, err := Parse(src)
+		if err != nil {
+			t.Logf("parse %q: %v", src, err)
+			return false
+		}
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Logf("re-parse %q: %v", s1, err)
+			return false
+		}
+		return q2.String() == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"prestolite/internal/connector"
+	druidconn "prestolite/internal/connectors/druid"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/druid"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+)
+
+// DemoCatalogs builds the catalog registry the demo binaries share: a hive
+// catalog over simulated HDFS holding the nested trips warehouse, and a
+// druid catalog holding the events table. Coordinator and workers must call
+// this with the same seedings (they do — everything is deterministic).
+func DemoCatalogs() (*connector.Registry, error) {
+	nn := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	cfg := TripsConfig{RowsPerDate: 5000, Dates: 3, FilesPerDate: 4, RowGroupRows: 2048, NeedleCityID: 99999}
+	if _, err := BuildTripsWarehouse(ms, nn, cfg); err != nil {
+		return nil, err
+	}
+	store := druid.NewStore()
+	if err := BuildEventsTable(store, EventsConfig{Rows: 50000, Segments: 4}); err != nil {
+		return nil, err
+	}
+	reg := connector.NewRegistry()
+	reg.Register("hive", hive.New("hive", ms, nn, hive.Options{}))
+	reg.Register("druid", druidconn.New("druid", &druid.EmbeddedClient{Store: store}))
+	return reg, nil
+}

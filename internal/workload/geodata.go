@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/geo"
+	"prestolite/internal/types"
+)
+
+// The §VI geospatial workload: a cities table of geofences ("for a real
+// city, it is not uncommon to see its geofence composed of hundreds or
+// thousands of points") and a trips table of destination points.
+
+// GeoConfig sizes the tables.
+type GeoConfig struct {
+	Cities          int
+	VerticesPerCity int
+	Trips           int
+}
+
+// DefaultGeoConfig is the benchmark sizing: hundreds of cities, hundreds of
+// vertices per geofence.
+func DefaultGeoConfig() GeoConfig {
+	return GeoConfig{Cities: 200, VerticesPerCity: 400, Trips: 20000}
+}
+
+// BuildGeoTables registers cities + trips tables into a memory connector.
+func BuildGeoTables(mem *memory.Connector, cfg GeoConfig) error {
+	r := rand.New(rand.NewSource(11))
+	// Cities on a grid with irregular polygon boundaries.
+	grid := int(math.Ceil(math.Sqrt(float64(cfg.Cities))))
+	if err := mem.CreateTable("geo", "cities", []connector.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "geo_shape", Type: types.Varchar},
+	}, nil); err != nil {
+		return err
+	}
+	var cityRows [][]any
+	centers := make([]geo.Point, cfg.Cities)
+	for i := 0; i < cfg.Cities; i++ {
+		cx := float64(i%grid)*10 + 5
+		cy := float64(i/grid)*10 + 5
+		centers[i] = geo.Point{Lng: cx, Lat: cy}
+		ring := make(geo.Ring, 0, cfg.VerticesPerCity+1)
+		for v := 0; v < cfg.VerticesPerCity; v++ {
+			theta := 2 * math.Pi * float64(v) / float64(cfg.VerticesPerCity)
+			radius := 3 + r.Float64() // irregular boundary
+			ring = append(ring, geo.Point{Lng: cx + radius*math.Cos(theta), Lat: cy + radius*math.Sin(theta)})
+		}
+		ring = append(ring, ring[0])
+		cityRows = append(cityRows, []any{int64(i), geo.FormatPolygon(geo.Polygon{Outer: ring})})
+	}
+	if err := mem.AppendRows("geo", "cities", cityRows); err != nil {
+		return err
+	}
+
+	if err := mem.CreateTable("geo", "trips", []connector.Column{
+		{Name: "trip_id", Type: types.Bigint},
+		{Name: "dest_lng", Type: types.Double},
+		{Name: "dest_lat", Type: types.Double},
+		{Name: "datestr", Type: types.Varchar},
+	}, nil); err != nil {
+		return err
+	}
+	extent := float64(grid) * 10
+	var rows [][]any
+	for i := 0; i < cfg.Trips; i++ {
+		var p geo.Point
+		if r.Intn(4) > 0 {
+			// Most trips end inside some city.
+			c := centers[r.Intn(len(centers))]
+			p = geo.Point{Lng: c.Lng + r.Float64()*4 - 2, Lat: c.Lat + r.Float64()*4 - 2}
+		} else {
+			p = geo.Point{Lng: r.Float64() * extent, Lat: r.Float64() * extent}
+		}
+		rows = append(rows, []any{int64(i), p.Lng, p.Lat, fmt.Sprintf("2017-08-%02d", 1+i%2)})
+		if len(rows) == 4096 {
+			if err := mem.AppendRows("geo", "trips", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if len(rows) > 0 {
+		return mem.AppendRows("geo", "trips", rows)
+	}
+	return nil
+}
+
+// GeoQuery is the §VI.C query.
+const GeoQuery = `SELECT c.city_id, count(*)
+	FROM trips AS t
+	JOIN cities AS c
+	ON st_contains(c.geo_shape, st_point(t.dest_lng, t.dest_lat))
+	WHERE datestr = '2017-08-01'
+	GROUP BY 1`

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/fsys"
+	"prestolite/internal/metastore"
+	"prestolite/internal/types"
+)
+
+// The Fig 17 workload: a wide, deeply nested trips table (the paper: "users
+// define one high level column with struct type. The struct consists of 20
+// or sometimes up to 50 fields ... more than 5 levels of nesting"), plus 21
+// production-style queries: 4 table scans (2 needle-in-a-haystack), 5 group
+// bys, and 12 joins.
+
+// TripsBaseType is the nested "base" struct with 20 fields.
+func TripsBaseType() *types.Type {
+	status := types.NewRow(
+		types.Field{Name: "code", Type: types.Bigint},
+		types.Field{Name: "reason", Type: types.Varchar},
+		types.Field{Name: "detail", Type: types.NewRow(
+			types.Field{Name: "source", Type: types.Varchar},
+			types.Field{Name: "retries", Type: types.Bigint},
+		)},
+	)
+	vehicle := types.NewRow(
+		types.Field{Name: "make", Type: types.Varchar},
+		types.Field{Name: "model", Type: types.Varchar},
+		types.Field{Name: "year", Type: types.Bigint},
+	)
+	fields := []types.Field{
+		{Name: "driver_uuid", Type: types.Varchar},
+		{Name: "client_uuid", Type: types.Varchar},
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "vehicle_id", Type: types.Bigint},
+		{Name: "status", Type: status},
+		{Name: "vehicle", Type: vehicle},
+		{Name: "fare", Type: types.Double},
+		{Name: "surge", Type: types.Double},
+		{Name: "tip", Type: types.Double},
+		{Name: "distance_km", Type: types.Double},
+		{Name: "duration_s", Type: types.Bigint},
+		{Name: "pickup_lng", Type: types.Double},
+		{Name: "pickup_lat", Type: types.Double},
+		{Name: "dest_lng", Type: types.Double},
+		{Name: "dest_lat", Type: types.Double},
+		{Name: "product", Type: types.Varchar},
+		{Name: "promo_code", Type: types.Varchar},
+		{Name: "rating", Type: types.Bigint},
+		{Name: "tags", Type: types.NewArray(types.Varchar)},
+		{Name: "metrics", Type: types.NewMap(types.Varchar, types.Double)},
+	}
+	return types.NewRow(fields...)
+}
+
+// TripsConfig sizes the dataset.
+type TripsConfig struct {
+	// RowsPerDate per partition; Dates is the partition count.
+	RowsPerDate int
+	Dates       int
+	// FilesPerDate spreads each partition across files.
+	FilesPerDate int
+	// RowGroupRows per file row group.
+	RowGroupRows int
+	// NeedleCityID appears exactly once per date (needle in a haystack).
+	NeedleCityID int64
+}
+
+// DefaultTripsConfig is the benchmark sizing.
+func DefaultTripsConfig() TripsConfig {
+	return TripsConfig{RowsPerDate: 20000, Dates: 3, FilesPerDate: 4, RowGroupRows: 2048, NeedleCityID: 99999}
+}
+
+var products = []string{"uberx", "pool", "black", "xl", "eats"}
+var makes = []string{"toyota", "honda", "ford", "tesla", "bmw"}
+
+// BuildTripsWarehouse writes the trips table (partitioned by datestr) and
+// two dimension tables (cities, drivers) into a metastore + filesystem, with
+// the given writer strategy. Returns the date partition names.
+func BuildTripsWarehouse(ms *metastore.Metastore, fs fsys.FileSystem, cfg TripsConfig) ([]string, error) {
+	baseType := TripsBaseType()
+	cols := []metastore.Column{
+		{Name: "trip_id", Type: types.Bigint},
+		{Name: "base", Type: baseType},
+	}
+	loader := &hive.Loader{MS: ms, FS: fs}
+	loader.WriterOptions.RowGroupRows = cfg.RowGroupRows
+
+	var dates []string
+	partitions := map[string][]*block.Page{}
+	sealed := map[string]bool{}
+	tripID := int64(0)
+	for d := 0; d < cfg.Dates; d++ {
+		date := fmt.Sprintf("2017-03-%02d", d+1)
+		dates = append(dates, date)
+		r := rand.New(rand.NewSource(int64(d) + 42))
+		var pages []*block.Page
+		rowsPerFile := cfg.RowsPerDate / cfg.FilesPerDate
+		for f := 0; f < cfg.FilesPerDate; f++ {
+			pb := block.NewPageBuilder([]*types.Type{types.Bigint, baseType})
+			for i := 0; i < rowsPerFile; i++ {
+				tripID++
+				cityID := int64(r.Intn(200))
+				if f == 0 && i == 0 {
+					cityID = cfg.NeedleCityID // one needle per date
+				}
+				pb.AppendRow([]any{tripID, tripRow(r, cityID)})
+			}
+			pages = append(pages, pb.Build())
+		}
+		partitions[date] = pages
+		sealed[date] = true
+	}
+	if err := loader.CreatePartitionedTable("rawdata", "trips", cols, "datestr", partitions, sealed); err != nil {
+		return nil, err
+	}
+
+	// Dimension tables for the join queries.
+	cityCols := []metastore.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "name", Type: types.Varchar},
+		{Name: "region", Type: types.Varchar},
+	}
+	cpb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Varchar, types.Varchar})
+	for i := 0; i < 200; i++ {
+		cpb.AppendRow([]any{int64(i), fmt.Sprintf("city-%03d", i), []string{"na", "emea", "apac", "latam"}[i%4]})
+	}
+	if err := loader.CreateTable("rawdata", "cities", cityCols, []*block.Page{cpb.Build()}); err != nil {
+		return nil, err
+	}
+	driverCols := []metastore.Column{
+		{Name: "driver_uuid", Type: types.Varchar},
+		{Name: "tier", Type: types.Varchar},
+	}
+	dpb := block.NewPageBuilder([]*types.Type{types.Varchar, types.Varchar})
+	for i := 0; i < 1000; i++ {
+		dpb.AppendRow([]any{fmt.Sprintf("d-%04d", i), []string{"gold", "silver", "bronze"}[i%3]})
+	}
+	if err := loader.CreateTable("rawdata", "drivers", driverCols, []*block.Page{dpb.Build()}); err != nil {
+		return nil, err
+	}
+	return dates, nil
+}
+
+func tripRow(r *rand.Rand, cityID int64) []any {
+	status := []any{
+		int64(200 + 100*r.Intn(3)),
+		[]string{"completed", "canceled", "no_show"}[r.Intn(3)],
+		[]any{[]string{"app", "dispatch"}[r.Intn(2)], int64(r.Intn(3))},
+	}
+	vehicle := []any{makes[r.Intn(len(makes))], fmt.Sprintf("model-%d", r.Intn(20)), int64(2008 + r.Intn(12))}
+	tags := make([]any, r.Intn(3))
+	for i := range tags {
+		tags[i] = []string{"airport", "downtown", "surge", "pool"}[r.Intn(4)]
+	}
+	metrics := [][2]any{{"wait_s", float64(r.Intn(600))}, {"route_eff", r.Float64()}}
+	return []any{
+		fmt.Sprintf("d-%04d", r.Intn(1000)),   // driver_uuid
+		fmt.Sprintf("c-%06d", r.Intn(100000)), // client_uuid
+		cityID,
+		int64(r.Intn(50000)),
+		status,
+		vehicle,
+		5 + r.Float64()*45,
+		1 + float64(r.Intn(30))/10,
+		r.Float64() * 10,
+		r.Float64() * 30,
+		int64(120 + r.Intn(3600)),
+		-122.5 + r.Float64(),
+		37.2 + r.Float64(),
+		-122.5 + r.Float64(),
+		37.2 + r.Float64(),
+		products[r.Intn(len(products))],
+		"",
+		int64(1 + r.Intn(5)),
+		tags,
+		metrics,
+	}
+}
+
+// TripQuery is one of the 21 Fig 17 queries.
+type TripQuery struct {
+	Name string
+	SQL  string
+	Kind string // "scan", "needle", "groupby", "join"
+}
+
+// TripQueries returns the 21-query workload: 4 table scans (2 needle in a
+// haystack), 5 group bys, 12 joins.
+func TripQueries(cfg TripsConfig) []TripQuery {
+	needle := fmt.Sprintf("%d", cfg.NeedleCityID)
+	qs := []TripQuery{
+		// 4 scans, 2 of them needle-in-a-haystack.
+		{"Q01 scan projection", "SELECT base.driver_uuid, base.fare FROM trips WHERE datestr = '2017-03-01'", "scan"},
+		{"Q02 scan nested fields", "SELECT base.status.code, base.vehicle.make, base.distance_km FROM trips", "scan"},
+		{"Q03 needle city", "SELECT base.driver_uuid FROM trips WHERE datestr = '2017-03-02' AND base.city_id IN (" + needle + ")", "needle"},
+		{"Q04 needle deep field", "SELECT base.client_uuid FROM trips WHERE base.city_id = " + needle, "needle"},
+		// 5 group bys.
+		{"Q05 groupby city", "SELECT base.city_id, count(*) FROM trips GROUP BY base.city_id", "groupby"},
+		{"Q06 groupby date revenue", "SELECT datestr, sum(base.fare), avg(base.tip) FROM trips GROUP BY datestr", "groupby"},
+		{"Q07 groupby product", "SELECT base.product, count(*), avg(base.distance_km) FROM trips GROUP BY base.product", "groupby"},
+		{"Q08 groupby status", "SELECT base.status.code, count(*) FROM trips GROUP BY base.status.code", "groupby"},
+		{"Q09 groupby filtered", "SELECT base.city_id, max(base.fare) FROM trips WHERE base.fare > 40.0 GROUP BY base.city_id", "groupby"},
+		// 12 joins.
+		{"Q10 join cities", "SELECT c.name, count(*) FROM trips t JOIN cities c ON t.base.city_id = c.city_id GROUP BY c.name", "join"},
+		{"Q11 join cities filtered", "SELECT c.region, sum(t.base.fare) FROM trips t JOIN cities c ON t.base.city_id = c.city_id WHERE t.datestr = '2017-03-01' GROUP BY c.region", "join"},
+		{"Q12 join drivers", "SELECT d.tier, count(*) FROM trips t JOIN drivers d ON t.base.driver_uuid = d.driver_uuid GROUP BY d.tier", "join"},
+		{"Q13 join drivers gold", "SELECT count(*) FROM trips t JOIN drivers d ON t.base.driver_uuid = d.driver_uuid WHERE d.tier = 'gold'", "join"},
+		{"Q14 join both dims", "SELECT c.region, d.tier, count(*) FROM trips t JOIN cities c ON t.base.city_id = c.city_id JOIN drivers d ON t.base.driver_uuid = d.driver_uuid GROUP BY c.region, d.tier", "join"},
+		{"Q15 join revenue by region", "SELECT c.region, sum(t.base.fare + t.base.tip) FROM trips t JOIN cities c ON t.base.city_id = c.city_id GROUP BY c.region", "join"},
+		{"Q16 join high fares", "SELECT c.name, max(t.base.fare) FROM trips t JOIN cities c ON t.base.city_id = c.city_id WHERE t.base.fare > 45.0 GROUP BY c.name", "join"},
+		{"Q17 join product mix", "SELECT c.region, t.base.product, count(*) FROM trips t JOIN cities c ON t.base.city_id = c.city_id GROUP BY c.region, t.base.product", "join"},
+		{"Q18 join canceled", "SELECT c.name, count(*) FROM trips t JOIN cities c ON t.base.city_id = c.city_id WHERE t.base.status.reason = 'canceled' GROUP BY c.name", "join"},
+		{"Q19 join vehicles", "SELECT t.base.vehicle.make, c.region, avg(t.base.distance_km) FROM trips t JOIN cities c ON t.base.city_id = c.city_id GROUP BY t.base.vehicle.make, c.region", "join"},
+		{"Q20 join driver revenue", "SELECT d.tier, sum(t.base.fare) FROM trips t JOIN drivers d ON t.base.driver_uuid = d.driver_uuid WHERE t.datestr = '2017-03-02' GROUP BY d.tier", "join"},
+		{"Q21 join top cities", "SELECT c.name, count(*) AS n FROM trips t JOIN cities c ON t.base.city_id = c.city_id GROUP BY c.name ORDER BY n DESC LIMIT 10", "join"},
+	}
+	return qs
+}

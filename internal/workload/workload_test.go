@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/core"
+	"prestolite/internal/druid"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+	"prestolite/internal/parquet"
+)
+
+func TestWriterDatasetsGenerate(t *testing.T) {
+	for _, ds := range WriterDatasets() {
+		page := ds.Generate(1, 200)
+		if page.Count() != 200 {
+			t.Errorf("%s: %d rows", ds.Name, page.Count())
+		}
+		if len(page.Blocks) != len(ds.Cols) {
+			t.Errorf("%s: %d blocks for %d cols", ds.Name, len(page.Blocks), len(ds.Cols))
+		}
+		// Deterministic.
+		again := ds.Generate(1, 200)
+		if again.SizeBytes() != page.SizeBytes() {
+			t.Errorf("%s: non-deterministic generation", ds.Name)
+		}
+		// Round-trips through the file format (schema validity).
+		if _, err := parquet.NewSchema(ds.Cols, ds.Types); err != nil {
+			t.Errorf("%s: schema: %v", ds.Name, err)
+		}
+	}
+	if n := len(WriterDatasets()); n != 11 {
+		t.Errorf("datasets = %d, want 11 (Figs 18-20)", n)
+	}
+}
+
+func TestEventQueriesCategoryCounts(t *testing.T) {
+	qs := EventQueries() // panics internally if counts are off
+	if len(qs) != 20 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	store := druid.NewStore()
+	if err := BuildEventsTable(store, EventsConfig{Rows: 2000, Segments: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Every native query executes; every SQL query parses and runs.
+	e := core.New()
+	// no druid connector here; just run natives
+	for _, q := range qs {
+		if _, err := store.Execute(q.Native); err != nil {
+			t.Errorf("%s native: %v", q.Name, err)
+		}
+	}
+	_ = e
+}
+
+func TestTripsWarehouseAndQueries(t *testing.T) {
+	nn := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	cfg := TripsConfig{RowsPerDate: 200, Dates: 2, FilesPerDate: 2, RowGroupRows: 64, NeedleCityID: 777}
+	dates, err := BuildTripsWarehouse(ms, nn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dates) != 2 {
+		t.Fatalf("dates = %v", dates)
+	}
+	qs := TripQueries(cfg)
+	if len(qs) != 21 {
+		t.Fatalf("queries = %d, want 21 (Fig 17)", len(qs))
+	}
+	kinds := map[string]int{}
+	for _, q := range qs {
+		kinds[q.Kind]++
+	}
+	// Paper: 4 scans (2 needle), 5 group-bys, 12 joins.
+	if kinds["scan"] != 2 || kinds["needle"] != 2 || kinds["groupby"] != 5 || kinds["join"] != 12 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestGeoTables(t *testing.T) {
+	mem := memory.New("memory")
+	cfg := GeoConfig{Cities: 9, VerticesPerCity: 12, Trips: 500}
+	if err := BuildGeoTables(mem, cfg); err != nil {
+		t.Fatal(err)
+	}
+	e := core.New()
+	e.Register("memory", mem)
+	s := core.DefaultSession("memory", "geo")
+	res, err := e.Query(s, "SELECT count(*) FROM cities")
+	if err != nil || res.Rows()[0][0] != int64(9) {
+		t.Fatalf("cities = %v, %v", res.Rows(), err)
+	}
+	res, err = e.Query(s, GeoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowCount() == 0 {
+		t.Error("geo query matched nothing")
+	}
+}
+
+func TestDemoCatalogs(t *testing.T) {
+	reg, err := DemoCatalogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("hive"); err != nil {
+		t.Error(err)
+	}
+	if _, err := reg.Get("druid"); err != nil {
+		t.Error(err)
+	}
+}

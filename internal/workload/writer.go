@@ -1,0 +1,114 @@
+// Package workload builds the deterministic synthetic datasets and query
+// sets behind every figure of the paper's evaluation (§X): the writer
+// datasets of Figs 18-20, the nested trips warehouse and 21 queries of
+// Fig 17, the druid events table and 20 queries of Fig 16, and the
+// geospatial tables of §VI.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prestolite/internal/block"
+	"prestolite/internal/tpch"
+	"prestolite/internal/types"
+)
+
+// WriterDataset is one row of Figs 18-20: a named column layout plus a data
+// generator.
+type WriterDataset struct {
+	Name  string
+	Cols  []string
+	Types []*types.Type
+	// Generate builds n rows.
+	Generate func(seed int64, n int) *block.Page
+}
+
+func randString(r *rand.Rand, minLen, maxLen int) string {
+	n := minLen + r.Intn(maxLen-minLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func singleColumn(name string, t *types.Type, gen func(r *rand.Rand) any) WriterDataset {
+	return WriterDataset{
+		Name:  name,
+		Cols:  []string{"v"},
+		Types: []*types.Type{t},
+		Generate: func(seed int64, n int) *block.Page {
+			r := rand.New(rand.NewSource(seed))
+			pb := block.NewPageBuilder([]*types.Type{t})
+			for i := 0; i < n; i++ {
+				pb.AppendRow([]any{gen(r)})
+			}
+			return pb.Build()
+		},
+	}
+}
+
+// WriterDatasets returns the 11 datasets of Figs 18-20, in the figures'
+// order: All Lineitem columns, Bigint Sequential, Bigint Random, Small
+// Varchar, Large Varchar, Varchar Dictionary, Map Varchar To Double, Large
+// Map Varchar To Double, Map Int To Double, Large Map Int To Double, Array
+// Varchar.
+func WriterDatasets() []WriterDataset {
+	mapVD := types.NewMap(types.Varchar, types.Double)
+	mapID := types.NewMap(types.Bigint, types.Double)
+	arrV := types.NewArray(types.Varchar)
+	var seq int64
+
+	mapGen := func(keys func(r *rand.Rand, i int) any, entries int) func(r *rand.Rand) any {
+		return func(r *rand.Rand) any {
+			n := 1 + r.Intn(entries)
+			out := make([][2]any, n)
+			for i := range out {
+				out[i] = [2]any{keys(r, i), r.Float64() * 100}
+			}
+			return out
+		}
+	}
+	varcharKey := func(r *rand.Rand, i int) any { return fmt.Sprintf("key_%d_%s", i, randString(r, 3, 8)) }
+	intKey := func(r *rand.Rand, i int) any { return int64(i*1000) + r.Int63n(1000) }
+
+	return []WriterDataset{
+		{
+			Name:  "All Lineitem columns",
+			Cols:  tpch.ColumnNames(),
+			Types: tpch.ColumnTypes(),
+			Generate: func(seed int64, n int) *block.Page {
+				return tpch.GeneratePage(seed, n)
+			},
+		},
+		singleColumn("Bigint Sequential", types.Bigint, func(r *rand.Rand) any {
+			seq++
+			return seq
+		}),
+		singleColumn("Bigint Random", types.Bigint, func(r *rand.Rand) any {
+			return r.Int63()
+		}),
+		singleColumn("Small Varchar", types.Varchar, func(r *rand.Rand) any {
+			return randString(r, 3, 10)
+		}),
+		singleColumn("Large Varchar", types.Varchar, func(r *rand.Rand) any {
+			return randString(r, 100, 300)
+		}),
+		singleColumn("Varchar Dictionary", types.Varchar, func(r *rand.Rand) any {
+			return []string{"us", "de", "jp", "br", "in", "fr", "uk", "mx"}[r.Intn(8)]
+		}),
+		singleColumn("Map Varchar To Double", mapVD, mapGen(varcharKey, 4)),
+		singleColumn("Large Map Varchar To Double", mapVD, mapGen(varcharKey, 24)),
+		singleColumn("Map Int To Double", mapID, mapGen(intKey, 4)),
+		singleColumn("Large Map Int To Double", mapID, mapGen(intKey, 24)),
+		singleColumn("Array Varchar", arrV, func(r *rand.Rand) any {
+			n := 1 + r.Intn(6)
+			out := make([]any, n)
+			for i := range out {
+				out[i] = randString(r, 4, 16)
+			}
+			return out
+		}),
+	}
+}
