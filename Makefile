@@ -1,12 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test bench experiments examples fmt vet
+.PHONY: build test test-race bench experiments examples fmt vet
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# Race-check the concurrency-heavy packages: the obs metric primitives are
+# written against concurrent snapshot readers, and the cluster coordinator
+# mutates query/task state from handler goroutines.
+test-race:
+	go test -race ./internal/obs/... ./internal/cluster/...
 
 bench:
 	go test -bench=. -benchmem ./...

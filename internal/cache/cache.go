@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"prestolite/internal/fsys"
+	"prestolite/internal/obs"
 )
 
 // Metrics counts cache effectiveness; experiments read these to reproduce
@@ -29,6 +30,18 @@ func (m *Metrics) HitRate() float64 {
 		return 0
 	}
 	return float64(h) / float64(h+mi)
+}
+
+// RegisterObs publishes the cache counters and hit rate into an observability
+// registry under prefix (e.g. "hive.cache.footer"), so they show up in
+// /v1/stats snapshots and EXPLAIN ANALYZE cache footers. The existing
+// atomics stay the source of truth; the registry reads them at snapshot
+// time.
+func (m *Metrics) RegisterObs(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".hits", func() float64 { return float64(m.Hits.Load()) })
+	reg.GaugeFunc(prefix+".misses", func() float64 { return float64(m.Misses.Load()) })
+	reg.GaugeFunc(prefix+".bypasses", func() float64 { return float64(m.Bypasses.Load()) })
+	reg.GaugeFunc(prefix+".hit_rate", m.HitRate)
 }
 
 // LRU is a thread-safe LRU cache with optional TTL.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -10,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,8 +19,10 @@ import (
 	"prestolite/internal/block"
 	"prestolite/internal/connector"
 	"prestolite/internal/execution"
+	"prestolite/internal/obs"
 	"prestolite/internal/planner"
 	"prestolite/internal/sql"
+	"prestolite/internal/types"
 
 	// Geospatial plugin functions must exist on the coordinator too.
 	_ "prestolite/internal/geo"
@@ -26,7 +30,11 @@ import (
 
 // Coordinator is the single stateful node of a cluster (§VIII): it parses,
 // plans, optimizes, fragments, schedules tasks onto workers, tracks task
-// status and streams results to clients.
+// status and streams results to clients. It also tracks every query as a
+// QueryInfo (state, lifecycle timestamps, per-stage operator statistics) in
+// a bounded ring served at /v1/query, and publishes cluster-level metrics —
+// including the queries_outstanding gauge the gateway routes on — at
+// /v1/stats.
 type Coordinator struct {
 	Catalogs *connector.Registry
 
@@ -34,10 +42,19 @@ type Coordinator struct {
 	ln   net.Listener
 	addr string
 
-	mu      sync.Mutex
-	workers map[string]*workerClient // addr -> client
+	mu       sync.Mutex
+	workers  map[string]*workerClient // addr -> client
+	inflight map[string]map[*taskHandle]struct{}
 
 	queryCounter atomic.Int64
+	queries      *queryLog
+	obs          *obs.Registry
+
+	submitted   *obs.Counter
+	finished    *obs.Counter
+	failed      *obs.Counter
+	outstanding *obs.Gauge
+	queryWall   *obs.Histogram
 }
 
 type workerClient struct {
@@ -47,8 +64,30 @@ type workerClient struct {
 
 // NewCoordinator creates a coordinator over a catalog registry.
 func NewCoordinator(catalogs *connector.Registry) *Coordinator {
-	return &Coordinator{Catalogs: catalogs, workers: map[string]*workerClient{}}
+	c := &Coordinator{
+		Catalogs: catalogs,
+		workers:  map[string]*workerClient{},
+		inflight: map[string]map[*taskHandle]struct{}{},
+		queries:  newQueryLog(128),
+		obs:      obs.NewRegistry(),
+	}
+	c.submitted = c.obs.Counter("queries_submitted")
+	c.finished = c.obs.Counter("queries_finished")
+	c.failed = c.obs.Counter("queries_failed")
+	c.outstanding = c.obs.Gauge("queries_outstanding")
+	c.queryWall = c.obs.Histogram("query_wall")
+	registerCatalogMetrics(catalogs, c.obs)
+	return c
 }
+
+// Obs exposes the coordinator's metrics registry (served at /v1/stats).
+func (c *Coordinator) Obs() *obs.Registry { return c.obs }
+
+// QueryInfos lists the retained recent queries, most recent first.
+func (c *Coordinator) QueryInfos() []QueryInfo { return c.queries.list() }
+
+// GetQueryInfo returns one query's info by id.
+func (c *Coordinator) GetQueryInfo(id string) (QueryInfo, bool) { return c.queries.get(id) }
 
 // AddWorker registers a worker (graceful expansion, §IX: "new workers are
 // automatically added to the existing cluster").
@@ -58,11 +97,43 @@ func (c *Coordinator) AddWorker(addr string) {
 	c.workers[addr] = &workerClient{addr: addr, http: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// RemoveWorker forgets a worker.
+// RemoveWorker forgets a worker. Tasks still in flight on that worker are
+// aborted so the affected queries fail immediately with a descriptive error
+// instead of hanging until the 30s HTTP timeout against a vanished node.
 func (c *Coordinator) RemoveWorker(addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.workers, addr)
+	handles := c.inflight[addr]
+	delete(c.inflight, addr)
+	c.mu.Unlock()
+	for th := range handles {
+		th.abort(fmt.Errorf("cluster: worker %s was removed from the cluster with task %s in flight", addr, th.taskID))
+	}
+}
+
+// trackTask registers a handle as in flight on its worker.
+func (c *Coordinator) trackTask(th *taskHandle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.inflight[th.worker.addr]
+	if !ok {
+		m = map[*taskHandle]struct{}{}
+		c.inflight[th.worker.addr] = m
+	}
+	m[th] = struct{}{}
+}
+
+// releaseTask untracks and deletes a task on its worker.
+func (c *Coordinator) releaseTask(th *taskHandle) {
+	c.mu.Lock()
+	if m, ok := c.inflight[th.worker.addr]; ok {
+		delete(m, th)
+		if len(m) == 0 {
+			delete(c.inflight, th.worker.addr)
+		}
+	}
+	c.mu.Unlock()
+	th.delete()
 }
 
 // Workers lists registered worker addresses, sorted.
@@ -132,16 +203,43 @@ func (qr *QueryResult) Rows() ([][]any, error) {
 	return out, nil
 }
 
-// Query plans and executes a SQL query across the cluster.
+// Query plans and executes a SQL statement across the cluster. SELECT
+// returns rows; EXPLAIN renders the fragmented plan; EXPLAIN ANALYZE
+// executes the statement and renders the plan annotated with the actual
+// per-operator statistics gathered from every worker task.
 func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResult, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	q, ok := stmt.(*sql.Query)
-	if !ok {
-		return nil, fmt.Errorf("cluster: only SELECT queries are supported, got %T", stmt)
+	switch t := stmt.(type) {
+	case *sql.Query:
+		res, _, err := c.runTracked(session, t, query, false)
+		return res, err
+	case *sql.Explain:
+		q, ok := t.Stmt.(*sql.Query)
+		if !ok {
+			return nil, fmt.Errorf("cluster: EXPLAIN supports only SELECT, got %T", t.Stmt)
+		}
+		if !t.Analyze {
+			plan, err := c.planQuery(session, q)
+			if err != nil {
+				return nil, err
+			}
+			fragmenter := &planner.Fragmenter{}
+			return planTextResult(planner.FormatFragments(fragmenter.Fragment(plan)))
+		}
+		_, text, err := c.runTracked(session, q, query, true)
+		if err != nil {
+			return nil, err
+		}
+		return planTextResult(text)
+	default:
+		return nil, fmt.Errorf("cluster: unsupported statement %T", stmt)
 	}
+}
+
+func (c *Coordinator) planQuery(session *planner.Session, q *sql.Query) (planner.Node, error) {
 	analyzer := &planner.Analyzer{Catalogs: c.Catalogs, Session: session}
 	plan, err := analyzer.Analyze(q)
 	if err != nil {
@@ -152,26 +250,75 @@ func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResul
 	if err := planner.CheckTypes(plan); err != nil {
 		return nil, err
 	}
+	return plan, nil
+}
 
+// planTextResult packages rendered plan text as a one-row result.
+func planTextResult(text string) (*QueryResult, error) {
+	data, err := block.EncodePage(block.NewPage(block.FromValues(types.Varchar, text)))
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Columns: []string{"Query Plan"},
+		Types:   []string{types.Varchar.String()},
+		Pages:   [][]byte{data},
+	}, nil
+}
+
+// runTracked wraps execQuery with QueryInfo lifecycle tracking and the
+// cluster-level metrics the gateway routes on.
+func (c *Coordinator) runTracked(session *planner.Session, q *sql.Query, rawSQL string, analyze bool) (*QueryResult, string, error) {
+	queryID := fmt.Sprintf("q%d", c.queryCounter.Add(1))
+	c.queries.add(&QueryInfo{ID: queryID, Query: rawSQL, User: session.User, State: QueryQueued, Queued: time.Now()})
+	c.submitted.Inc()
+	c.outstanding.Add(1)
+	start := time.Now()
+
+	res, text, err := c.execQuery(session, q, queryID, analyze)
+
+	c.outstanding.Add(-1)
+	c.queryWall.Observe(time.Since(start))
+	if err != nil {
+		c.failed.Inc()
+		now := time.Now()
+		c.queries.update(queryID, func(qi *QueryInfo) {
+			qi.State = QueryFailed
+			qi.Error = err.Error()
+			qi.Finished = now
+		})
+		return nil, "", err
+	}
+	c.finished.Inc()
+	return res, text, nil
+}
+
+func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID string, analyze bool) (*QueryResult, string, error) {
+	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryPlanning; qi.Planning = time.Now() })
+	plan, err := c.planQuery(session, q)
+	if err != nil {
+		return nil, "", err
+	}
 	fragmenter := &planner.Fragmenter{}
 	fp := fragmenter.Fragment(plan)
 
+	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryRunning; qi.Running = time.Now() })
+
 	// Schedule source fragments onto active workers.
-	queryID := c.queryCounter.Add(1)
 	remotes := map[int][]*taskHandle{}
 	if !fp.SingleFragment() {
 		workers := c.activeWorkers()
 		if len(workers) == 0 {
-			return nil, errors.New("cluster: no active workers")
+			return nil, "", errors.New("cluster: no active workers")
 		}
 		for id, frag := range fp.Sources {
 			conn, err := c.Catalogs.Get(frag.Scan.Catalog)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			splits, err := conn.SplitManager().Splits(frag.Scan.Handle)
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			// Split assignment across workers ("scheduler assigns tasks on
 			// worker execution slots"): round-robin by default, or affinity
@@ -193,7 +340,7 @@ func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResul
 				if len(splitSet) == 0 {
 					continue
 				}
-				taskID := fmt.Sprintf("q%d.f%d.t%d", queryID, id, wi)
+				taskID := fmt.Sprintf("%s.f%d.t%d", queryID, id, wi)
 				th, err := workers[wi].startTask(TaskRequest{
 					TaskID:   taskID,
 					Fragment: frag.Root,
@@ -201,8 +348,9 @@ func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResul
 					Splits:   splitSet,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("cluster: scheduling task on %s: %w", workers[wi].addr, err)
+					return nil, "", fmt.Errorf("cluster: scheduling task on %s: %w", workers[wi].addr, err)
 				}
+				c.trackTask(th)
 				remotes[id] = append(remotes[id], th)
 			}
 			if len(remotes[id]) == 0 {
@@ -214,39 +362,96 @@ func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResul
 	defer func() {
 		for _, ths := range remotes {
 			for _, th := range ths {
-				th.delete()
+				c.releaseTask(th)
 			}
 		}
 	}()
 
-	// Execute the root fragment locally, pulling remote pages.
+	// Execute the root fragment locally, pulling remote pages, with the
+	// coordinator-side operators instrumented.
+	rootStats := obs.NewTaskStats()
 	ctx := &execution.Context{
 		Catalogs: c.Catalogs,
+		Stats:    rootStats,
 		RemoteSources: func(fragmentID int, cols []planner.Column) (execution.Operator, error) {
 			return &remoteSourceOperator{tasks: remotes[fragmentID]}, nil
 		},
 	}
 	op, err := execution.Build(fp.Root.Root, ctx)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	pages, err := execution.Drain(op)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+
+	// Aggregate per-stage operator statistics: fragment 0 is the
+	// coordinator's root; each source fragment merges across its tasks.
+	stages := []StageInfo{{FragmentID: 0, Tasks: 1, Operators: rootStats.Snapshot()}}
+	for id := 1; id < 1+len(fp.Sources); id++ {
+		frag, ok := fp.Sources[id]
+		if !ok {
+			continue
+		}
+		stage := StageInfo{FragmentID: id, TableKey: frag.TableKey, Tasks: len(remotes[id])}
+		var taskSnaps [][]obs.OperatorStatsSnapshot
+		for _, th := range remotes[id] {
+			taskSnaps = append(taskSnaps, th.taskStats())
+			stage.Workers = append(stage.Workers, th.worker.addr)
+		}
+		stage.Operators = obs.MergeSnapshots(taskSnaps...)
+		stages = append(stages, stage)
+	}
+
 	res := &QueryResult{}
 	for _, col := range fp.Root.Root.Outputs() {
 		res.Columns = append(res.Columns, col.Name)
 		res.Types = append(res.Types, col.Type.String())
 	}
+	var rows int64
 	for _, p := range pages {
 		data, err := block.EncodePage(p)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
+		rows += int64(p.Count())
 		res.Pages = append(res.Pages, data)
 	}
-	return res, nil
+
+	now := time.Now()
+	c.queries.update(queryID, func(qi *QueryInfo) {
+		qi.State = QueryFinished
+		qi.Finished = now
+		qi.Rows = rows
+		qi.Stages = stages
+	})
+
+	text := ""
+	if analyze {
+		text = formatAnalyzedFragments(fp, stages) + c.obs.Snapshot().CacheSection()
+	}
+	return res, text, nil
+}
+
+// formatAnalyzedFragments renders the distributed EXPLAIN ANALYZE: every
+// fragment's tree annotated with the stats aggregated in stages.
+func formatAnalyzedFragments(fp *planner.FragmentedPlan, stages []StageInfo) string {
+	byFrag := map[int]StageInfo{}
+	for _, s := range stages {
+		byFrag[s.FragmentID] = s
+	}
+	out := "Fragment 0 (coordinator):\n" + execution.FormatAnnotated(fp.Root.Root, byFrag[0].Operators)
+	for id := 1; id < 1+len(fp.Sources); id++ {
+		frag, ok := fp.Sources[id]
+		if !ok {
+			continue
+		}
+		stage := byFrag[id]
+		out += fmt.Sprintf("Fragment %d (source, table %s, %d tasks):\n%s",
+			id, frag.TableKey, stage.Tasks, execution.FormatAnnotated(frag.Root, stage.Operators))
+	}
+	return out
 }
 
 // ExplainDistributed renders the fragmented plan.
@@ -272,6 +477,56 @@ func (c *Coordinator) ExplainDistributed(session *planner.Session, query string)
 type taskHandle struct {
 	worker *workerClient
 	taskID string
+
+	mu       sync.Mutex
+	stats    []obs.OperatorStatsSnapshot // from the Done chunk, if seen
+	abortErr error
+}
+
+// abort marks the handle failed (worker removed); readers see the error on
+// their next poll instead of timing out against a vanished node.
+func (t *taskHandle) abort(err error) {
+	t.mu.Lock()
+	if t.abortErr == nil {
+		t.abortErr = err
+	}
+	t.mu.Unlock()
+}
+
+func (t *taskHandle) aborted() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.abortErr
+}
+
+func (t *taskHandle) setStats(s []obs.OperatorStatsSnapshot) {
+	t.mu.Lock()
+	t.stats = s
+	t.mu.Unlock()
+}
+
+// taskStats returns the task's operator statistics. Tasks drained to
+// completion shipped them on the Done chunk; tasks abandoned early (LIMIT
+// satisfied upstream) are asked for a live snapshot.
+func (t *taskHandle) taskStats() []obs.OperatorStatsSnapshot {
+	t.mu.Lock()
+	s := t.stats
+	t.mu.Unlock()
+	if s != nil {
+		return s
+	}
+	resp, err := t.worker.http.Get("http://" + t.worker.addr + "/v1/task/" + t.taskID + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	if err := gob.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil
+	}
+	return s
 }
 
 func (w *workerClient) startTask(req TaskRequest) (*taskHandle, error) {
@@ -322,8 +577,14 @@ type remoteSourceOperator struct {
 func (o *remoteSourceOperator) Next() (*block.Page, error) {
 	for o.pos < len(o.tasks) {
 		th := o.tasks[o.pos]
+		if err := th.aborted(); err != nil {
+			return nil, err
+		}
 		chunk, err := th.next()
 		if err != nil {
+			if aerr := th.aborted(); aerr != nil {
+				return nil, aerr
+			}
 			return nil, fmt.Errorf("cluster: fetching results from %s: %w", th.worker.addr, err)
 		}
 		if chunk.Err != "" {
@@ -333,6 +594,9 @@ func (o *remoteSourceOperator) Next() (*block.Page, error) {
 			return block.DecodePage(chunk.Page)
 		}
 		if chunk.Done {
+			if chunk.Stats != nil {
+				th.setStats(chunk.Stats)
+			}
 			o.pos++
 			continue
 		}
@@ -367,6 +631,9 @@ func (c *Coordinator) Start(addr string) error {
 	mux.HandleFunc("/v1/statement", c.handleStatement)
 	mux.HandleFunc("/v1/workers", c.handleWorkers)
 	mux.HandleFunc("/v1/announce", c.handleAnnounce)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/query", c.handleQueries)
+	mux.HandleFunc("/v1/query/", c.handleQueryByID)
 	c.http = &http.Server{Handler: mux}
 	go c.http.Serve(ln)
 	return nil
@@ -400,6 +667,35 @@ func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleWorkers(rw http.ResponseWriter, r *http.Request) {
 	gob.NewEncoder(rw).Encode(c.Workers())
+}
+
+// handleStats serves the coordinator's metrics registry as JSON.
+func (c *Coordinator) handleStats(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(c.obs.Snapshot().JSON())
+}
+
+// handleQueries lists retained recent queries, most recent first.
+func (c *Coordinator) handleQueries(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.QueryInfos())
+}
+
+// handleQueryByID serves one query's full QueryInfo (per-stage operator
+// statistics included) at /v1/query/{id}.
+func (c *Coordinator) handleQueryByID(rw http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/query/")
+	qi, ok := c.GetQueryInfo(id)
+	if !ok {
+		http.Error(rw, "unknown query "+id, http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(qi)
 }
 
 // handleAnnounce lets workers self-register (graceful expansion: start a

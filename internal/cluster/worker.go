@@ -22,6 +22,7 @@ import (
 	"prestolite/internal/cache"
 	"prestolite/internal/connector"
 	"prestolite/internal/execution"
+	"prestolite/internal/obs"
 	"prestolite/internal/planner"
 )
 
@@ -47,6 +48,10 @@ type TaskResultChunk struct {
 	Page []byte // encoded page; empty when none ready yet
 	Done bool
 	Err  string
+	// Stats ships the task's per-operator statistics back with the results
+	// (populated on Done chunks), so the coordinator can aggregate QueryInfo
+	// without extra round trips.
+	Stats []obs.OperatorStatsSnapshot
 }
 
 // WorkerInfo is the status document.
@@ -67,6 +72,10 @@ type Worker struct {
 	EnableFragmentResultCache bool
 	// FragmentCacheHits counts tasks served from the cache.
 	FragmentCacheHits atomic.Int64
+	// Obs is the worker's metrics registry, served as JSON at /v1/stats:
+	// task counters, a task wall-time histogram, and the §VII cache metrics
+	// of every connector that exposes them.
+	Obs *obs.Registry
 
 	http *http.Server
 	ln   net.Listener
@@ -79,9 +88,16 @@ type Worker struct {
 	closed   chan struct{}
 
 	fragCache *cache.LRU[string, []*block.Page]
+
+	tasksStarted   *obs.Counter
+	tasksCompleted *obs.Counter
+	tasksFailed    *obs.Counter
+	taskWall       *obs.Histogram
 }
 
 type workerTask struct {
+	stats *obs.TaskStats // live; snapshot at any time
+
 	mu    sync.Mutex
 	pages []*block.Page
 	done  bool
@@ -91,14 +107,51 @@ type workerTask struct {
 
 // NewWorker creates a worker with the given catalogs.
 func NewWorker(catalogs *connector.Registry) *Worker {
-	return &Worker{
+	w := &Worker{
 		Catalogs:    catalogs,
 		GracePeriod: 2 * time.Minute,
 		state:       StateActive,
 		tasks:       map[string]*workerTask{},
 		closed:      make(chan struct{}),
 		fragCache:   cache.NewLRU[string, []*block.Page](256, 10*time.Minute),
+		Obs:         obs.NewRegistry(),
 	}
+	w.tasksStarted = w.Obs.Counter("tasks_started")
+	w.tasksCompleted = w.Obs.Counter("tasks_completed")
+	w.tasksFailed = w.Obs.Counter("tasks_failed")
+	w.taskWall = w.Obs.Histogram("task_wall")
+	w.Obs.GaugeFunc("fragment_cache.hits", func() float64 { return float64(w.FragmentCacheHits.Load()) })
+	w.Obs.GaugeFunc("active_tasks", func() float64 { return float64(w.activeTaskCount()) })
+	registerCatalogMetrics(catalogs, w.Obs)
+	return w
+}
+
+// registerCatalogMetrics wires every connector exposing metrics (e.g. hive's
+// file-list and footer caches) into reg.
+func registerCatalogMetrics(catalogs *connector.Registry, reg *obs.Registry) {
+	for _, name := range catalogs.Catalogs() {
+		conn, err := catalogs.Get(name)
+		if err != nil {
+			continue
+		}
+		if src, ok := conn.(obs.MetricsSource); ok {
+			src.RegisterObsMetrics(reg)
+		}
+	}
+}
+
+func (w *Worker) activeTaskCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, t := range w.tasks {
+		t.mu.Lock()
+		if !t.done {
+			n++
+		}
+		t.mu.Unlock()
+	}
+	return n
 }
 
 // Start listens on addr (use "127.0.0.1:0" for tests).
@@ -113,6 +166,7 @@ func (w *Worker) Start(addr string) error {
 	mux.HandleFunc("/v1/task", w.handleTask)
 	mux.HandleFunc("/v1/task/", w.handleTaskResults)
 	mux.HandleFunc("/v1/info", w.handleInfo)
+	mux.HandleFunc("/v1/stats", w.handleStats)
 	mux.HandleFunc("/v1/shutdown", w.handleShutdown)
 	w.http = &http.Server{Handler: mux}
 	go w.http.Serve(ln)
@@ -149,6 +203,12 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.mu.Unlock()
 	gob.NewEncoder(rw).Encode(info)
+}
+
+// handleStats serves the worker's metrics registry as JSON.
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(w.Obs.Snapshot().JSON())
 }
 
 // handleShutdown begins the §IX graceful-shrink sequence.
@@ -221,7 +281,7 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "bad task: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	task := &workerTask{}
+	task := &workerTask{stats: obs.NewTaskStats()}
 	w.mu.Lock()
 	w.tasks[req.TaskID] = task
 	w.mu.Unlock()
@@ -231,11 +291,14 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
+	w.tasksStarted.Inc()
+	start := time.Now()
 	var cacheKey string
 	if w.EnableFragmentResultCache {
 		cacheKey = fragmentCacheKey(req)
 		if pages, ok := w.fragCache.Get(cacheKey); ok {
 			w.FragmentCacheHits.Add(1)
+			w.tasksCompleted.Inc()
 			task.mu.Lock()
 			task.pages = pages
 			task.done = true
@@ -246,20 +309,25 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 	ctx := &execution.Context{
 		Catalogs: w.Catalogs,
 		Splits:   map[string][]connector.Split{req.TableKey: req.Splits},
+		Stats:    task.stats,
 	}
 	op, err := execution.Build(req.Fragment, ctx)
 	if err != nil {
+		w.tasksFailed.Inc()
 		task.fail(err)
 		return
 	}
 	pages, err := execution.Drain(op)
+	w.taskWall.Observe(time.Since(start))
 	if err != nil {
+		w.tasksFailed.Inc()
 		task.fail(err)
 		return
 	}
 	if w.EnableFragmentResultCache {
 		w.fragCache.Put(cacheKey, pages)
 	}
+	w.tasksCompleted.Inc()
 	task.mu.Lock()
 	task.pages = pages
 	task.done = true
@@ -286,7 +354,8 @@ func (t *workerTask) fail(err error) {
 	t.mu.Unlock()
 }
 
-// handleTaskResults serves GET /v1/task/{id}/results and DELETE /v1/task/{id}.
+// handleTaskResults serves GET /v1/task/{id}/results, GET
+// /v1/task/{id}/stats and DELETE /v1/task/{id}.
 func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/task/"), "/")
 	taskID := parts[0]
@@ -302,6 +371,12 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 		delete(w.tasks, taskID)
 		w.mu.Unlock()
 		rw.WriteHeader(http.StatusOK)
+		return
+	}
+	if len(parts) > 1 && parts[1] == "stats" {
+		// Live per-operator snapshot (used by the coordinator for tasks it
+		// did not drain to completion, e.g. under LIMIT).
+		gob.NewEncoder(rw).Encode(task.stats.Snapshot())
 		return
 	}
 	// Poll one chunk.
@@ -322,6 +397,9 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 		}
 	} else if task.done {
 		chunk.Done = true
+	}
+	if chunk.Done {
+		chunk.Stats = task.stats.Snapshot()
 	}
 	var buf bytes.Buffer
 	gob.NewEncoder(&buf).Encode(chunk)

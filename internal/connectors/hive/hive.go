@@ -23,6 +23,7 @@ import (
 	"prestolite/internal/connector"
 	"prestolite/internal/fsys"
 	"prestolite/internal/metastore"
+	"prestolite/internal/obs"
 	"prestolite/internal/parquet"
 	"prestolite/internal/types"
 )
@@ -92,6 +93,14 @@ func (c *Connector) FileListCacheMetrics() *cache.Metrics { return c.listCache.M
 
 // FooterCacheMetrics exposes §VII.B cache effectiveness.
 func (c *Connector) FooterCacheMetrics() *cache.Metrics { return c.footerCache.FooterMetrics }
+
+// RegisterObsMetrics implements obs.MetricsSource: the §VII cache hit rates
+// appear in /v1/stats snapshots and EXPLAIN ANALYZE cache footers.
+func (c *Connector) RegisterObsMetrics(reg *obs.Registry) {
+	c.listCache.Metrics.RegisterObs(reg, c.name+".cache.file_list")
+	c.footerCache.InfoMetrics.RegisterObs(reg, c.name+".cache.file_info")
+	c.footerCache.FooterMetrics.RegisterObs(reg, c.name+".cache.footer")
+}
 
 // Name implements connector.Connector.
 func (c *Connector) Name() string { return c.name }

@@ -12,6 +12,7 @@ import (
 	"prestolite/internal/block"
 	"prestolite/internal/connector"
 	"prestolite/internal/execution"
+	"prestolite/internal/obs"
 	"prestolite/internal/planner"
 	"prestolite/internal/sql"
 	"prestolite/internal/types"
@@ -23,16 +24,25 @@ import (
 // Engine is an embedded single-process query engine.
 type Engine struct {
 	Catalogs *connector.Registry
+	// Obs is the engine's metrics registry: connectors that expose cache
+	// metrics publish into it at Register time, and EXPLAIN ANALYZE appends
+	// its cache section from it.
+	Obs *obs.Registry
 }
 
 // New creates an engine with an empty catalog registry.
 func New() *Engine {
-	return &Engine{Catalogs: connector.NewRegistry()}
+	return &Engine{Catalogs: connector.NewRegistry(), Obs: obs.NewRegistry()}
 }
 
-// Register installs a connector under a catalog name.
+// Register installs a connector under a catalog name. Connectors that
+// implement obs.MetricsSource (e.g. hive with its §VII caches) are wired
+// into the engine's metrics registry.
 func (e *Engine) Register(catalog string, c connector.Connector) {
 	e.Catalogs.Register(catalog, c)
+	if src, ok := c.(obs.MetricsSource); ok {
+		src.RegisterObsMetrics(e.Obs)
+	}
 }
 
 // Result is a fully materialized query result.
@@ -116,6 +126,13 @@ func (e *Engine) Query(session *planner.Session, query string) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
+		if t.Analyze {
+			text, err := e.explainAnalyze(session, plan)
+			if err != nil {
+				return nil, err
+			}
+			return textResult("Query Plan", text), nil
+		}
 		return textResult("Query Plan", planner.Format(plan)), nil
 	case *sql.ShowTables:
 		conn, err := e.Catalogs.Get(t.Catalog)
@@ -146,16 +163,25 @@ func textResult(column, text string) *Result {
 	}
 }
 
-func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, error) {
+// execContext builds the runtime context for a session (§XII.C: queries
+// exceeding the session memory limit fail with the "Insufficient Resources"
+// error rather than taking down the node).
+func (e *Engine) execContext(session *planner.Session) (*execution.Context, error) {
 	ctx := &execution.Context{Catalogs: e.Catalogs}
-	// §XII.C: queries exceeding the session memory limit fail with the
-	// "Insufficient Resources" error rather than taking down the node.
 	if v := session.Property("query_max_memory", ""); v != "" {
 		limit, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("core: bad query_max_memory %q: %w", v, err)
 		}
 		ctx.MemoryLimit = limit
+	}
+	return ctx, nil
+}
+
+func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, error) {
+	ctx, err := e.execContext(session)
+	if err != nil {
+		return nil, err
 	}
 	op, err := execution.Build(plan, ctx)
 	if err != nil {
@@ -172,6 +198,36 @@ func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, 
 	}
 	return &Result{Columns: plan.Outputs(), Pages: pages}, nil
 }
+
+// explainAnalyze executes plan with instrumentation enabled and renders the
+// physical tree annotated with actual rows, bytes, wall time and batch
+// counts per operator, plus a cache-statistics footer.
+func (e *Engine) explainAnalyze(session *planner.Session, plan planner.Node) (string, error) {
+	ctx, err := e.execContext(session)
+	if err != nil {
+		return "", err
+	}
+	stats := obs.NewTaskStats()
+	ctx.Stats = stats
+	op, err := execution.Build(plan, ctx)
+	if err != nil {
+		return "", err
+	}
+	pages, err := execution.Drain(op)
+	if err != nil {
+		return "", err
+	}
+	// Charge deferred decode exactly as a real client read would.
+	for _, p := range pages {
+		block.MaterializePage(p)
+	}
+	return execution.FormatAnnotated(plan, stats.Snapshot()) + CacheStatsFooter(e.Obs.Snapshot()), nil
+}
+
+// CacheStatsFooter renders the cache-related gauges of a registry snapshot
+// ("" when there are none) — appended to EXPLAIN ANALYZE output so §VII
+// cache effectiveness shows up next to the operators it accelerates.
+func CacheStatsFooter(snap obs.Snapshot) string { return snap.CacheSection() }
 
 // Explain returns the formatted optimized plan.
 func (e *Engine) Explain(session *planner.Session, query string) (string, error) {

@@ -12,6 +12,7 @@ import (
 	"prestolite/internal/block"
 	"prestolite/internal/connector"
 	"prestolite/internal/expr"
+	"prestolite/internal/obs"
 	"prestolite/internal/planner"
 )
 
@@ -34,6 +35,14 @@ type Context struct {
 	// side, sort). 0 = unlimited. Exceeding it fails the query with the
 	// §XII.C "Insufficient Resources" error users know too well.
 	MemoryLimit int64
+	// Stats, when non-nil, makes Build wrap every operator so it records
+	// rows/bytes, wall time and batch counts (the observability subsystem;
+	// used by EXPLAIN ANALYZE and worker task reporting).
+	Stats *obs.TaskStats
+
+	// ids assigns pre-order plan-node ids, computed on the first Build call
+	// when Stats is enabled (see instrument.go).
+	ids map[planner.Node]int
 }
 
 // ErrInsufficientResources is returned when a blocking operator exceeds the
@@ -49,10 +58,25 @@ func (e ErrInsufficientResources) Error() string {
 	return fmt.Sprintf("Insufficient Resources: %s exceeded the query memory limit of %d bytes; retry on a batch engine (e.g. Presto on Spark) or raise query_max_memory", e.Operator, e.Limit)
 }
 
-// Build constructs the operator tree for a plan.
+// Build constructs the operator tree for a plan. With ctx.Stats set, every
+// operator is wrapped to record execution statistics keyed by its pre-order
+// position in the plan.
 func Build(node planner.Node, ctx *Context) (Operator, error) {
+	if ctx.Stats != nil && ctx.ids == nil {
+		ctx.ids = planOperatorIDs(node)
+	}
+	op, err := build(node, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.instrument(node, op), nil
+}
+
+func build(node planner.Node, ctx *Context) (Operator, error) {
 	switch t := node.(type) {
 	case *planner.Output:
+		// Build (not build) so the child is instrumented under its own id;
+		// the Output wrapper then layers its own accounting on top.
 		return Build(t.Child, ctx)
 	case *planner.Values:
 		return newValuesOperator(t), nil

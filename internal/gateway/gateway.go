@@ -8,13 +8,22 @@
 // The gateway uses HTTP redirect (307) rather than proxying: the lesson of
 // §XII.B is that a general proxying gateway becomes the bottleneck, while a
 // redirecting gateway lets clients connect directly to each cluster.
+//
+// Routes may also target the LeastLoaded sentinel ("any") instead of a named
+// cluster: the gateway then polls each enabled coordinator's /v1/stats and
+// redirects to the cluster with the fewest outstanding queries, spreading
+// interactive load across the fleet.
 package gateway
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"prestolite/internal/mysqlite"
 	"prestolite/internal/types"
@@ -28,6 +37,16 @@ const (
 	KindDefault = "default"
 )
 
+// LeastLoaded is a sentinel route target: instead of naming one cluster, the
+// route sends the principal to whichever enabled cluster currently has the
+// fewest outstanding queries. The gateway learns the load by polling each
+// coordinator's GET /v1/stats (the queries_outstanding gauge), cached for
+// loadTTL so a burst of queries doesn't turn into a burst of stats polls.
+const LeastLoaded = "any"
+
+// defaultLoadTTL bounds how stale a cached cluster load may be.
+const defaultLoadTTL = 250 * time.Millisecond
+
 // Gateway routes query traffic.
 type Gateway struct {
 	db *mysqlite.DB
@@ -38,6 +57,20 @@ type Gateway struct {
 
 	// Redirects counts issued redirects (for tests/monitoring).
 	Redirects atomic.Int64
+
+	// LoadTTL bounds how stale a cached cluster load may be.
+	LoadTTL time.Duration
+
+	// loadMu guards the per-cluster outstanding-query cache.
+	loadMu    sync.Mutex
+	loads     map[string]clusterLoad // addr -> last polled load
+	statsHTTP *http.Client
+}
+
+type clusterLoad struct {
+	outstanding float64
+	fetched     time.Time
+	ok          bool
 }
 
 // New creates a gateway backed by a fresh routing database.
@@ -56,7 +89,12 @@ func New() (*Gateway, error) {
 	}, "principal"); err != nil {
 		return nil, err
 	}
-	return &Gateway{db: db}, nil
+	return &Gateway{
+		db:        db,
+		LoadTTL:   defaultLoadTTL,
+		loads:     map[string]clusterLoad{},
+		statsHTTP: &http.Client{Timeout: 2 * time.Second},
+	}, nil
 }
 
 // DB exposes the routing store — "Presto administrators could play with
@@ -107,6 +145,13 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 			continue
 		}
 		cluster := row[1].(string)
+		if cluster == LeastLoaded {
+			addr, err := g.leastLoadedCluster()
+			if err != nil {
+				return "", err
+			}
+			return addr, nil
+		}
 		crow, ok, err := g.db.GetByPK("clusters", cluster)
 		if err != nil {
 			return "", err
@@ -122,6 +167,61 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 		return crow[1].(string), nil
 	}
 	return "", fmt.Errorf("gateway: no route for user %q group %q", user, group)
+}
+
+// leastLoadedCluster polls every enabled cluster's /v1/stats and picks the
+// one with the fewest outstanding queries. Ties break by cluster name so the
+// choice is deterministic; unreachable clusters are skipped.
+func (g *Gateway) leastLoadedCluster() (string, error) {
+	rows, err := g.db.Scan("clusters", nil, nil, -1)
+	if err != nil {
+		return "", err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].(string) < rows[j][0].(string) })
+	best, bestLoad := "", 0.0
+	for _, row := range rows {
+		if row[2].(int64) == 0 {
+			continue
+		}
+		addr := row[1].(string)
+		load, ok := g.clusterLoad(addr)
+		if !ok {
+			continue
+		}
+		if best == "" || load < bestLoad {
+			best, bestLoad = addr, load
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("gateway: no enabled cluster is reachable for least-loaded routing")
+	}
+	return best, nil
+}
+
+// clusterLoad returns a cluster's outstanding-query count, polling its
+// /v1/stats endpoint at most once per LoadTTL.
+func (g *Gateway) clusterLoad(addr string) (float64, bool) {
+	g.loadMu.Lock()
+	cached, ok := g.loads[addr]
+	g.loadMu.Unlock()
+	if ok && time.Since(cached.fetched) < g.LoadTTL {
+		return cached.outstanding, cached.ok
+	}
+	load := clusterLoad{fetched: time.Now()}
+	if resp, err := g.statsHTTP.Get("http://" + addr + "/v1/stats"); err == nil {
+		var snap struct {
+			Gauges map[string]float64
+		}
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snap) == nil {
+			load.outstanding = snap.Gauges["queries_outstanding"]
+			load.ok = true
+		}
+		resp.Body.Close()
+	}
+	g.loadMu.Lock()
+	g.loads[addr] = load
+	g.loadMu.Unlock()
+	return load.outstanding, load.ok
 }
 
 // Start serves the gateway on addr.

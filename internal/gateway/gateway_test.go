@@ -162,3 +162,74 @@ func TestResolveErrors(t *testing.T) {
 		t.Error("enabling unknown cluster should fail")
 	}
 }
+
+// TestLeastLoadedRouting: a route targeting the LeastLoaded sentinel spreads
+// queries across clusters by their live outstanding-query counts, polled from
+// each coordinator's /v1/stats.
+func TestLeastLoadedRouting(t *testing.T) {
+	dedicated := startCluster(t, "dedicated")
+	shared := startCluster(t, "shared")
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.LoadTTL = 0 // always poll live in the test
+	if err := gw.AddCluster("dedicated", dedicated.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AddCluster("shared", shared.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("default", LeastLoaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+
+	// Both idle: the tie breaks deterministically by cluster name.
+	if got := askVia(t, gw, "bob", ""); got != "dedicated" {
+		t.Fatalf("idle tie routed to %s", got)
+	}
+
+	// Pile outstanding queries onto the dedicated cluster; traffic moves to
+	// the other one.
+	dedicated.Obs().Gauge("queries_outstanding").Add(5)
+	if got := askVia(t, gw, "bob", ""); got != "shared" {
+		t.Errorf("with dedicated loaded, routed to %s", got)
+	}
+
+	// Now the shared cluster is busier; traffic moves back.
+	shared.Obs().Gauge("queries_outstanding").Add(9)
+	if got := askVia(t, gw, "bob", ""); got != "dedicated" {
+		t.Errorf("with shared loaded, routed to %s", got)
+	}
+
+	// A drained cluster is excluded even if it is the least loaded.
+	if err := gw.SetClusterEnabled("dedicated", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := askVia(t, gw, "bob", ""); got != "shared" {
+		t.Errorf("with dedicated drained, routed to %s", got)
+	}
+}
+
+// TestLeastLoadedNoReachableCluster: all clusters down -> a clear error, not
+// a hang.
+func TestLeastLoadedNoReachableCluster(t *testing.T) {
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.LoadTTL = 0
+	if err := gw.AddCluster("ghost", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("default", LeastLoaded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Resolve("bob", ""); err == nil {
+		t.Error("expected error with no reachable clusters")
+	}
+}

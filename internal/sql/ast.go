@@ -12,12 +12,20 @@ type Statement interface {
 }
 
 // Explain wraps a statement whose plan should be shown instead of executed.
+// With Analyze set (EXPLAIN ANALYZE), the statement IS executed and the plan
+// is annotated with actual per-operator statistics.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
-func (*Explain) statementNode()   {}
-func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (*Explain) statementNode() {}
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
 
 // ShowTables lists tables in a catalog.schema.
 type ShowTables struct {

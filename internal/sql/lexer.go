@@ -35,7 +35,7 @@ var keywords = map[string]bool{
 	"IN": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
 	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "CAST": true, "DISTINCT": true, "ASC": true,
-	"DESC": true, "EXPLAIN": true, "DATE": true, "UNION": true, "ALL": true,
+	"DESC": true, "EXPLAIN": true, "ANALYZE": true, "DATE": true, "UNION": true, "ALL": true,
 	"WITH": true, "SHOW": true, "TABLES": true, "SCHEMAS": true, "CATALOGS": true,
 	"DESCRIBE": true, "INSERT": true, "INTO": true, "VALUES": true,
 }

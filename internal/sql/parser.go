@@ -87,11 +87,12 @@ func (p *parser) expectIdent() (string, error) {
 
 func (p *parser) parseStatement() (Statement, error) {
 	if p.accept("EXPLAIN") {
+		analyze := p.accept("ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	}
 	if p.accept("SHOW") {
 		if err := p.expect("TABLES"); err != nil {

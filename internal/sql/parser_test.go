@@ -213,6 +213,16 @@ func TestParseExplainAndShow(t *testing.T) {
 	if _, ok := e.Stmt.(*Query); !ok {
 		t.Error("explain should wrap query")
 	}
+	if e.Analyze {
+		t.Error("plain EXPLAIN should not set Analyze")
+	}
+	ea := mustParse(t, "EXPLAIN ANALYZE SELECT 1").(*Explain)
+	if _, ok := ea.Stmt.(*Query); !ok || !ea.Analyze {
+		t.Errorf("EXPLAIN ANALYZE parsed as %+v", ea)
+	}
+	if got := ea.String(); got != "EXPLAIN ANALYZE SELECT 1" {
+		t.Errorf("String() = %q", got)
+	}
 	s := mustParse(t, "SHOW TABLES FROM hive.rawdata").(*ShowTables)
 	if s.Catalog != "hive" || s.Schema != "rawdata" {
 		t.Errorf("show = %+v", s)
