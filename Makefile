@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench experiments examples fmt vet
+.PHONY: build test test-race lint check bench experiments examples fmt vet
 
 build:
 	go build ./...
@@ -8,11 +8,22 @@ build:
 test:
 	go test ./...
 
-# Race-check the concurrency-heavy packages: the obs metric primitives are
-# written against concurrent snapshot readers, and the cluster coordinator
-# mutates query/task state from handler goroutines.
+# Race-check the whole module: shared query/task state is mutated from
+# handler goroutines in cluster/gateway, and the obs metric primitives are
+# written against concurrent snapshot readers.
 test-race:
-	go test -race ./internal/obs/... ./internal/cluster/...
+	go test -race ./...
+
+# Static analysis: go vet plus the project's own invariant suite
+# (internal/analysis, run by cmd/prestolint). prestolint enforces lockheld,
+# ctxflow, errdrop, atomicmix and hotalloc; suppress individual findings
+# only with `//lint:ignore <analyzer> <reason>`.
+lint:
+	go vet ./...
+	go run ./cmd/prestolint ./...
+
+# The pre-commit gate: everything a PR must pass.
+check: build vet lint test test-race
 
 bench:
 	go test -bench=. -benchmem ./...

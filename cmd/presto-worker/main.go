@@ -44,7 +44,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "presto-worker: announce to %s failed: %v\n", *coordinator, err)
 			os.Exit(1)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close() // announce responses carry no body; status already checked
 		fmt.Printf("announced to coordinator %s\n", *coordinator)
 	}
 

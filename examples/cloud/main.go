@@ -73,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, _ := res.Rows()
+	rows, _ := res.Rows() // the query just succeeded; Rows cannot fail here
 	fmt.Println("\ntop cities from S3-backed warehouse (2 workers):")
 	for _, r := range rows {
 		fmt.Printf("  city %v: %v trips, avg fare %.2f\n", r[0], r[1], r[2])
@@ -115,6 +115,6 @@ func main() {
 	wg.Wait()
 	fmt.Printf("worker drained (state=%s); failed queries during shrink: %d\n", workers[0].State(), failures)
 	for _, w := range workers[1:] {
-		w.Close()
+		_ = w.Close() // example teardown
 	}
 }

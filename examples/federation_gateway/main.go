@@ -37,7 +37,7 @@ func startCluster(marker string) (*cluster.Coordinator, func()) {
 	if err := coord.Start("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}
-	return coord, func() { coord.Close(); w.Close() }
+	return coord, func() { _ = coord.Close(); _ = w.Close() } // example teardown
 }
 
 func main() {
@@ -67,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows, _ := res.Rows()
+		rows, _ := res.Rows() // the query just succeeded; Rows cannot fail here
 		return rows[0][0].(string)
 	}
 

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags variables (struct fields or package-level vars) that are
+// accessed both through sync/atomic functions and through plain loads and
+// stores. Mixing the two silently downgrades every atomic guarantee: the
+// plain access races with the atomic one, and the race detector only
+// catches it when both sides actually collide under test. This guards the
+// obs registry pattern — metric fields published to concurrent snapshot
+// readers must be atomic on every access path. (Fields of type
+// atomic.Int64 & co. are immune by construction; this catches the
+// old-style `atomic.AddInt64(&s.n, 1)` fields.)
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags fields accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: find every `atomic.Xxx(&v, ...)` and record v's object, plus
+	// the selector/ident nodes consumed by those calls so pass 2 can skip
+	// them.
+	atomicUse := map[types.Object]token.Pos{}
+	inAtomic := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || recvNamed(fn) != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(unary.X)
+				if obj := addressableObj(pass, target); obj != nil {
+					if _, seen := atomicUse[obj]; !seen {
+						atomicUse[obj] = call.Pos()
+					}
+					inAtomic[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return
+	}
+	// Pass 2: any other load or store of those objects is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if inAtomic[n] {
+				return false
+			}
+			var obj types.Object
+			switch t := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[t]; ok {
+					obj = sel.Obj()
+				}
+			case *ast.Ident:
+				obj = pass.Info.Uses[t]
+			default:
+				return true
+			}
+			pos, ok := atomicUse[obj]
+			if !ok {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s is accessed with sync/atomic (e.g. at %s) but read/written directly here: every access must go through atomic or the guarantee is void",
+				objLabel(obj), pass.Fset.Position(pos))
+			return false
+		})
+	}
+}
+
+// addressableObj resolves the variable object behind `&expr` when expr is a
+// field selection or a plain variable.
+func addressableObj(pass *Pass, e ast.Expr) types.Object {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[t]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+	case *ast.Ident:
+		// Package-level variables only: a local accessed plainly after a
+		// goroutine join is a legitimate (happens-before) pattern.
+		if v, ok := pass.Info.Uses[t].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: attribute the access to the array variable/field.
+		return addressableObj(pass, ast.Unparen(t.X))
+	}
+	return nil
+}
+
+func objLabel(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + strings.TrimPrefix(v.Name(), "*")
+	}
+	return "variable " + obj.Name()
+}

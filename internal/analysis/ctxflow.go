@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards context propagation through request paths. A query that
+// reaches the coordinator carries the client's context; minting a fresh
+// context.Background()/TODO() inside that path detaches downstream work
+// from cancellation — the "leaked request context" incident class: a client
+// disconnects but its tasks keep polling workers forever. Two checks:
+//
+//  1. context.Background()/context.TODO() is reported inside any function
+//     (or closure nested in one) that has a context.Context or
+//     *http.Request parameter: use the parameter / r.Context() instead.
+//     Functions without one — main, tests, background daemons — are
+//     legitimate context roots and are not flagged.
+//  2. A function that accepts a named ctx parameter but never uses it,
+//     while its body calls context-aware callees, silently drops the
+//     caller's cancellation and is reported.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/TODO() inside request paths and ctx parameters dropped on the floor",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		// Collect every function scope (declaration or literal) with its
+		// source extent; closures count as part of their enclosing request
+		// path, which position containment gives us for free.
+		type funcScope struct {
+			node ast.Node
+			ft   *ast.FuncType
+		}
+		var scopes []funcScope
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncDecl:
+				if t.Body != nil {
+					scopes = append(scopes, funcScope{t, t.Type})
+					checkDroppedCtx(pass, t.Type, t.Body, t.Name.Name)
+				}
+			case *ast.FuncLit:
+				scopes = append(scopes, funcScope{t, t.Type})
+				checkDroppedCtx(pass, t.Type, t.Body, "function literal")
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !isPkgFunc(fn, "context", "Background") && !isPkgFunc(fn, "context", "TODO") {
+				return true
+			}
+			// Any enclosing function with a request context makes this a
+			// request path.
+			for _, sc := range scopes {
+				if sc.node.Pos() <= call.Pos() && call.End() <= sc.node.End() {
+					if src := requestCtxSource(pass.Info, sc.ft); src != "" {
+						pass.Reportf(call.Pos(), "context.%s() inside a request path: use %s so cancellation propagates", fn.Name(), src)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCtx implements check 2: ctx accepted, never used, while the
+// body calls context-aware functions.
+func checkDroppedCtx(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, name string) {
+	if ft.Params == nil || body == nil {
+		return
+	}
+	var ctxObj types.Object
+	var ctxName string
+	for _, field := range ft.Params.List {
+		if !isContext(pass.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name != "_" {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					ctxObj, ctxName = obj, id.Name
+				}
+			}
+		}
+	}
+	if ctxObj == nil {
+		return
+	}
+	used := false
+	callsCtxAware := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.Ident:
+			if pass.Info.Uses[t] == ctxObj {
+				used = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, t); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					for i := 0; i < sig.Params().Len(); i++ {
+						if isContext(sig.Params().At(i).Type()) {
+							callsCtxAware = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !used && callsCtxAware {
+		pass.Reportf(ft.Pos(), "%s accepts %s but never uses it while calling context-aware functions: the caller's cancellation is dropped", name, ctxName)
+	}
+}

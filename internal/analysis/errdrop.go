@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDrop flags discarded error results. An error silently dropped in a
+// server is an incident with the evidence deleted: the query fails, the
+// stats endpoint lies, and nobody can say why. Two forms are reported:
+//
+//   - a call statement whose result set contains an error that nobody
+//     reads, including `enc.Encode(v)` in HTTP handlers;
+//   - an error explicitly discarded into `_` without a trailing comment on
+//     the same line saying why that is safe.
+//
+// Deliberately exempt (documented, not configurable): `defer`/`go`
+// statements (error handling there needs named results and is a different
+// idiom), fmt.Print/Printf/Println to stdout, fmt.Fprint* into a
+// *bytes.Buffer or *strings.Builder, writes into those two types and into
+// hash.Hash implementations — all of which are specified never to fail.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns; `_ = err` needs a trailing reason comment",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		// Lines holding a trailing comment: the written-reason escape hatch
+		// for `_ =` discards.
+		commented := map[int]bool{}
+		for _, cg := range file.Comments {
+			commented[pass.Fset.Position(cg.Pos()).Line] = true
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Exempt the deferred/spawned call itself, but keep walking
+				// its arguments (evaluated immediately).
+				var call *ast.CallExpr
+				if d, ok := t.(*ast.DeferStmt); ok {
+					call = d.Call
+				} else {
+					call = t.(*ast.GoStmt).Call
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(n ast.Node) bool { return inspectErrDrop(pass, commented, n) })
+				}
+				ast.Inspect(call.Fun, func(n ast.Node) bool { return inspectErrDrop(pass, commented, n) })
+				return false
+			}
+			return inspectErrDrop(pass, commented, n)
+		})
+	}
+}
+
+func inspectErrDrop(pass *Pass, commented map[int]bool, n ast.Node) bool {
+	switch t := n.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(t.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pos, name := droppedErrCall(pass, call); pos.IsValid() {
+			pass.Reportf(pos, "result of %s contains an error that is never checked", name)
+		}
+	case *ast.AssignStmt:
+		checkBlankErrAssign(pass, commented, t)
+	}
+	return true
+}
+
+// droppedErrCall reports whether the statement-call's results include an
+// error, returning the report position and a callee label.
+func droppedErrCall(pass *Pass, call *ast.CallExpr) (token.Pos, string) {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return token.NoPos, ""
+	}
+	hasErr := false
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = isErrorType(tv.Type)
+	}
+	if !hasErr {
+		return token.NoPos, ""
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return call.Pos(), "call"
+	}
+	if errExemptFunc(pass, fn, call) {
+		return token.NoPos, ""
+	}
+	label := fn.Name()
+	if recv := recvNamed(fn); recv != nil {
+		label = recv.Obj().Name() + "." + label
+	} else if fn.Pkg() != nil {
+		label = fn.Pkg().Name() + "." + label
+	}
+	return call.Pos(), label
+}
+
+// errExemptFunc lists callees whose errors are specified never to occur or
+// have no sane handling (terminal prints).
+func errExemptFunc(pass *Pass, fn *types.Func, call *ast.CallExpr) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if recvNamed(fn) == nil {
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			switch fn.Name() {
+			case "Print", "Printf", "Println":
+				return true // stdout; nothing sane to do on failure
+			case "Fprint", "Fprintf", "Fprintln":
+				// Terminal prints and in-memory buffers: the former have no
+				// recovery, the latter cannot fail.
+				return len(call.Args) > 0 &&
+					(isMemWriter(pass.TypeOf(call.Args[0])) || isStdStream(pass, call.Args[0]))
+			}
+		}
+		return false
+	}
+	// Resolve the receiver's *static expression* type, not the method's
+	// declaring type: hash.Hash64's Write is declared on the embedded
+	// io.Writer, but the receiver expression still has the hash type.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	rt := pass.TypeOf(sel.X)
+	if isMemWriter(rt) {
+		return true
+	}
+	// hash.Hash and friends: "Write ... never returns an error".
+	if n := namedOf(rt); n != nil && n.Obj().Pkg() != nil {
+		pkg := n.Obj().Pkg().Path()
+		return pkg == "hash" || len(pkg) > 5 && pkg[:5] == "hash/"
+	}
+	return false
+}
+
+// isMemWriter reports whether t (through one pointer) is an in-memory
+// writer whose methods never fail.
+func isMemWriter(t types.Type) bool {
+	return isNamedType(t, "bytes", "Buffer") || isNamedType(t, "strings", "Builder")
+}
+
+// isStdStream reports whether e denotes os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" &&
+		(v.Name() == "Stdout" || v.Name() == "Stderr")
+}
+
+// checkBlankErrAssign flags `_ = f()` / `v, _ := g()` discards of error
+// values that lack a trailing reason comment.
+func checkBlankErrAssign(pass *Pass, commented map[int]bool, as *ast.AssignStmt) {
+	resultTypes := func(i int) types.Type {
+		if len(as.Rhs) == len(as.Lhs) {
+			return pass.TypeOf(as.Rhs[i])
+		}
+		// Multi-value form: one call on the RHS.
+		if len(as.Rhs) == 1 {
+			if tuple, ok := pass.TypeOf(as.Rhs[0]).(*types.Tuple); ok && tuple.Len() > i {
+				return tuple.At(i).Type()
+			}
+		}
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if !isErrorType(resultTypes(i)) {
+			continue
+		}
+		// Exempt single-call discards of exempt callees (`_, _ = buf.Write(p)`).
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass.Info, call); fn != nil && errExemptFunc(pass, fn, call) {
+					continue
+				}
+			}
+		}
+		if commented[pass.Fset.Position(as.Pos()).Line] {
+			continue // discard carries a written reason
+		}
+		pass.Reportf(id.Pos(), "error discarded into _ without a reason comment on the same line")
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenCases maps each fixture package under testdata to the analyzers run
+// over it and the import path it is loaded as. The hotalloc fixture
+// impersonates an internal/execution package, since that analyzer is scoped
+// to the hot kernels by import path. The suppress fixture runs the full
+// suite to prove a directive silences exactly its target and nothing else.
+var goldenCases = []struct {
+	dir        string
+	importPath string
+	analyzers  []string // nil means all
+}{
+	{"lockheld", "prestolite/internal/analysis/testdata/lockheld", []string{"lockheld"}},
+	{"ctxflow", "prestolite/internal/analysis/testdata/ctxflow", []string{"ctxflow"}},
+	{"errdrop", "prestolite/internal/analysis/testdata/errdrop", []string{"errdrop"}},
+	{"atomicmix", "prestolite/internal/analysis/testdata/atomicmix", []string{"atomicmix"}},
+	{"hotalloc", "prestolite/internal/execution/testfixture", []string{"hotalloc"}},
+	{"suppress", "prestolite/internal/analysis/testdata/suppress", nil},
+}
+
+// TestGolden type-checks each fixture package, runs its analyzers, and
+// compares the rendered diagnostics against testdata/<dir>/expected.golden.
+// Regenerate expectations with:
+//
+//	PRESTOLINT_UPDATE=1 go test ./internal/analysis -run TestGolden
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", tc.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			analyzers := All()
+			if tc.analyzers != nil {
+				analyzers = analyzers[:0]
+				for _, name := range tc.analyzers {
+					a := ByName(name)
+					if a == nil {
+						t.Fatalf("unknown analyzer %q", name)
+					}
+					analyzers = append(analyzers, a)
+				}
+			}
+			got := Format(Run([]*Package{pkg}, analyzers), true)
+			// Positions embedded inside messages ("acquired at ...") carry
+			// absolute paths; strip the fixture directory so expectations are
+			// machine-independent.
+			got = strings.ReplaceAll(got, dir+string(os.PathSeparator), "")
+
+			goldenPath := filepath.Join("testdata", tc.dir, "expected.golden")
+			if os.Getenv("PRESTOLINT_UPDATE") != "" {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", goldenPath)
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with PRESTOLINT_UPDATE=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			// Every analyzer-specific fixture must demonstrate at least one
+			// true positive, or the golden test proves nothing.
+			for _, name := range tc.analyzers {
+				if !strings.Contains(got, ": "+name+": ") {
+					t.Errorf("fixture %s has no %s finding", tc.dir, name)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressGolden pins the two structural guarantees of the suppression
+// fixture beyond the golden text: the reasoned directives silenced their
+// findings, and the malformed directive surfaced as a "lint" finding.
+func TestSuppressGolden(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "prestolite/internal/analysis/testdata/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, All())
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["lint"] != 1 {
+		t.Errorf("want exactly 1 malformed-directive finding, got %d", byAnalyzer["lint"])
+	}
+	// errdrop fires in malformed() (directive void) and wrongName() (name
+	// mismatch) but not in suppressed() or wildcard().
+	if byAnalyzer["errdrop"] != 2 {
+		t.Errorf("want exactly 2 surviving errdrop findings, got %d", byAnalyzer["errdrop"])
+	}
+}

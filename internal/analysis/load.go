@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, "" for
+// the current directory), type-checks each from source, and returns them
+// ready for Run. Test files are not loaded: the invariants guard production
+// code, and fixtures exercising the analyzers live under testdata instead.
+//
+// Dependencies are resolved from compiler export data: the loader shells
+// out to `go list -export -deps`, which (re)builds whatever is stale and
+// reports the export file of every package in the import graph. That keeps
+// the loader stdlib-only — no golang.org/x/tools — while staying fully
+// module- and build-cache-aware.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, absJoin(p.Dir, p.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a single
+// package under the given import path, resolving its imports from export
+// data. This is the golden-file test harness entry point: fixture packages
+// live under testdata (invisible to the go tool) but still get full type
+// information. importPath is what pass.Pkg.Path() will report, letting
+// fixtures impersonate hot-path packages for path-scoped analyzers.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	parsed := make([]*ast.File, 0, len(files))
+	var imports []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports, err := cachedExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheckParsed(fset, exportImporter(fset, exports), importPath, dir, parsed)
+}
+
+// goList runs `go list -export -deps -json` and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a go/types importer that resolves every import
+// from the export files in exports.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return typeCheckParsed(fset, imp, path, dir, parsed)
+}
+
+func typeCheckParsed(fset *token.FileSet, imp types.Importer, path, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+func absJoin(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// cachedExports resolves export files for the given import paths (plus
+// transitive deps), memoizing across calls so a test binary shells out to
+// `go list` at most once per new package.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+func cachedExports(imports []string) (map[string]string, error) {
+	var missing []string
+	seen := map[string]bool{}
+	exportCache.Lock()
+	for _, p := range imports {
+		if p == "C" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if _, ok := exportCache.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	exportCache.Unlock()
+
+	// Shell out with the lock released (lockheld's own invariant); a racing
+	// goroutine at worst lists the same packages and stores the same paths.
+	var listed []*listPackage
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pkgs, err := goList("", missing)
+		if err != nil {
+			return nil, err
+		}
+		listed = pkgs
+	}
+
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	for _, p := range listed {
+		if p.Export != "" {
+			exportCache.m[p.ImportPath] = p.Export
+		}
+	}
+	out := make(map[string]string, len(exportCache.m))
+	for k, v := range exportCache.m {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held. Holding a lock across HTTP round trips, channel
+// operations, sleeps or file I/O is the coordinator/worker deadlock class:
+// every other goroutine needing the lock (including metric snapshots and
+// task polls) stalls behind one slow peer. The analyzer simulates lock
+// state through each function body: `x.Lock()` / `x.RLock()` marks x held,
+// `x.Unlock()` / `x.RUnlock()` releases it, `defer x.Unlock()` holds it to
+// function end. Branch and loop bodies are analyzed with a copy of the held
+// set, so "unlock early and return" paths do not leak state. Function
+// literals run later on other goroutines and are analyzed as separate
+// roots.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flags blocking calls (HTTP, channel ops, time.Sleep, file/network I/O) made while a sync.Mutex/RWMutex is held",
+	Run:  runLockHeld,
+}
+
+// blockingPkgFuncs are package-level functions that block on the network,
+// the disk or the scheduler.
+var blockingPkgFuncs = map[string][]string{
+	"time":     {"Sleep"},
+	"net/http": {"Get", "Head", "Post", "PostForm", "Error", "Redirect", "Serve", "ServeContent", "ListenAndServe", "ListenAndServeTLS"},
+	"net":      {"Dial", "DialTimeout", "DialTCP", "DialUDP", "DialUnix", "DialIP", "Listen"},
+	"io":       {"ReadAll", "Copy", "CopyN", "CopyBuffer", "ReadFull"},
+	"os":       {"Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir", "Remove", "RemoveAll", "Mkdir", "MkdirAll", "Rename"},
+}
+
+// blockingMethods are methods that block, keyed by receiver type.
+var blockingMethods = []struct {
+	pkg, typ string
+	names    []string
+}{
+	{"net/http", "Client", []string{"Do", "Get", "Head", "Post", "PostForm"}},
+	{"net/http", "ResponseWriter", []string{"Write"}},
+	{"net", "Conn", []string{"Read", "Write"}},
+	{"sync", "WaitGroup", []string{"Wait"}},
+	{"sync", "Cond", []string{"Wait"}},
+	{"os/exec", "Cmd", []string{"Run", "Output", "CombinedOutput", "Wait", "Start"}},
+	{"os", "File", []string{"Read", "ReadAt", "Write", "WriteAt", "WriteString", "Sync"}},
+}
+
+type lockHeldWalker struct {
+	pass *Pass
+}
+
+func runLockHeld(pass *Pass) {
+	w := &lockHeldWalker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Every function body — declarations and literals alike — is an
+			// independent root with no locks held on entry.
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.stmts(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				w.stmts(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// stmts walks a statement list, tracking which lock expressions are held.
+// held maps a printed lock expression ("c.mu") to its acquisition position.
+func (w *lockHeldWalker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (w *lockHeldWalker) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := t.X.(*ast.CallExpr); ok {
+			if key, op := w.lockOp(call); op == lockAcquire {
+				w.checkArgs(call, held) // the lock value itself cannot block
+				held[key] = call.Pos()
+				return
+			} else if op == lockRelease {
+				delete(held, key)
+				return
+			}
+		}
+		w.check(t, held)
+	case *ast.DeferStmt:
+		// `defer x.Unlock()` pins x held to function end; other deferred
+		// work runs after the body and is out of scope here.
+		if _, op := w.lockOp(t.Call); op != lockRelease && op != lockAcquire {
+			// Arguments to the deferred call are evaluated now.
+			w.checkArgs(t.Call, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the held set; argument
+		// evaluation happens on this goroutine though.
+		w.checkArgs(t.Call, held)
+	case *ast.BlockStmt:
+		w.stmts(t.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(t.Stmt, held)
+	case *ast.IfStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, held)
+		}
+		w.check(t.Cond, held)
+		w.stmts(t.Body.List, copyHeld(held))
+		if t.Else != nil {
+			w.stmt(t.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, held)
+		}
+		if t.Cond != nil {
+			w.check(t.Cond, held)
+		}
+		w.stmts(t.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.check(t.X, held)
+		if len(held) > 0 {
+			if x := w.pass.TypeOf(t.X); x != nil {
+				if _, isChan := x.Underlying().(*types.Chan); isChan {
+					w.reportBlocked(t.X.Pos(), "range over channel", held)
+				}
+			}
+		}
+		w.stmts(t.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, held)
+		}
+		if t.Tag != nil {
+			w.check(t.Tag, held)
+		}
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, held)
+		}
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(t) {
+			w.reportBlocked(t.Pos(), "select without default", held)
+		}
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	default:
+		w.check(s, held)
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// check inspects one non-control node for blocking operations, without
+// descending into nested function literals (they execute elsewhere).
+func (w *lockHeldWalker) check(n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch t := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if desc := w.blockingCall(t); desc != "" {
+				w.reportBlocked(t.Pos(), desc, held)
+			}
+		case *ast.SendStmt:
+			w.reportBlocked(t.Arrow, "channel send", held)
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				w.reportBlocked(t.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+// checkArgs inspects only the argument list of a call (used for go/defer
+// statements, whose call itself runs elsewhere/later).
+func (w *lockHeldWalker) checkArgs(call *ast.CallExpr, held map[string]token.Pos) {
+	for _, arg := range call.Args {
+		w.check(arg, held)
+	}
+}
+
+func (w *lockHeldWalker) reportBlocked(pos token.Pos, what string, held map[string]token.Pos) {
+	// Report against one deterministic lock (the lexically smallest name).
+	lock := ""
+	for k := range held {
+		if lock == "" || k < lock {
+			lock = k
+		}
+	}
+	w.pass.Reportf(pos, "%s while %q is held (acquired at %s): blocking with a mutex held stalls every goroutine contending for it",
+		what, lock, w.pass.Fset.Position(held[lock]))
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp classifies a call as acquiring or releasing a sync lock and
+// returns the printed receiver expression as the lock's identity.
+func (w *lockHeldWalker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	if !isLockType(w.pass.TypeOf(sel.X)) {
+		return "", lockNone
+	}
+	key := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return key, lockAcquire
+	case "TryLock", "TryRLock":
+		// Over-approximate: assume the acquisition succeeded.
+		return key, lockAcquire
+	case "Unlock", "RUnlock":
+		return key, lockRelease
+	}
+	return "", lockNone
+}
+
+// blockingCall describes why a call blocks, or returns "".
+func (w *lockHeldWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := recvNamed(fn); recv == nil {
+		for pkg, names := range blockingPkgFuncs {
+			if fn.Pkg().Path() != pkg {
+				continue
+			}
+			for _, name := range names {
+				if fn.Name() == name {
+					return "call to " + pkg + "." + name
+				}
+			}
+		}
+	} else {
+		for _, m := range blockingMethods {
+			if !isNamedType(recv, m.pkg, m.typ) {
+				continue
+			}
+			for _, name := range m.names {
+				if fn.Name() == name {
+					return "call to (" + m.pkg + "." + m.typ + ")." + name
+				}
+			}
+		}
+	}
+	return ""
+}

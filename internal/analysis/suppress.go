@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. Usage:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the same line as the offending code (trailing comment) or
+// on the line immediately above it. <analyzer> is one analyzer name or "*".
+// The reason is mandatory: a directive without one is itself reported, so
+// every suppression in the tree carries a written justification.
+const ignorePrefix = "lint:ignore"
+
+type suppression struct {
+	analyzer string // analyzer name or "*"
+	file     string
+	// line is the source line the directive covers: its own line and the
+	// line immediately after the comment.
+	line    int
+	endLine int
+}
+
+type suppressionSet struct {
+	byFile    map[string][]suppression
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment in the package for lint:ignore
+// directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byFile: map[string][]suppression{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>, the reason is mandatory",
+					})
+					continue
+				}
+				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], suppression{
+					analyzer: name,
+					file:     pos.Filename,
+					line:     pos.Line,
+					endLine:  fset.Position(c.End()).Line,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether d is covered by a directive: same file, same
+// analyzer (or "*"), and d sits on the directive's line or the line right
+// after it.
+func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	for _, sup := range s.byFile[d.Pos.Filename] {
+		if sup.analyzer != "*" && sup.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Pos.Line == sup.line || d.Pos.Line == sup.endLine+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises the atomicmix analyzer: a field or package
+// variable touched both through sync/atomic and through plain loads/stores
+// is reported; all-atomic access and post-join local reads are not.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var hits int64
+
+type counter struct {
+	n     int64
+	clean int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+// racyLoad reads c.n directly even though inc publishes it atomically.
+func (c *counter) racyLoad() int64 {
+	return c.n
+}
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+// reset stores to the package counter without atomic.
+func reset() {
+	hits = 0
+}
+
+// allAtomic is the correct shape: every access path goes through atomic.
+func (c *counter) allAtomic() int64 {
+	atomic.AddInt64(&c.clean, 1)
+	return atomic.LoadInt64(&c.clean)
+}
+
+// joined reads a local plainly after the writers are joined — a legitimate
+// happens-before pattern that must not be flagged.
+func joined() int64 {
+	var local int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&local, 1)
+		}()
+	}
+	wg.Wait()
+	return local
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the ctxflow analyzer: minting a fresh context
+// inside a request path and dropping an accepted ctx are reported; genuine
+// context roots are not.
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func fetch(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handle is a request path (it has an *http.Request): the fresh Background
+// detaches the upstream fetch from the client's cancellation.
+func handle(w http.ResponseWriter, r *http.Request) {
+	_ = fetch(context.Background(), "http://upstream/v1/statement")
+	w.WriteHeader(http.StatusOK)
+}
+
+// dropped accepts ctx but never uses it while calling a context-aware
+// callee; the TODO inside it is additionally a fresh context in a request
+// path.
+func dropped(ctx context.Context, url string) error {
+	return fetch(context.TODO(), url)
+}
+
+// forward is the correct shape: the caller's ctx flows through.
+func forward(ctx context.Context, url string) error {
+	return fetch(ctx, url)
+}
+
+// daemon has no inbound context; it is a legitimate context root.
+func daemon() error {
+	return fetch(context.Background(), "http://peer/v1/heartbeat")
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the errdrop analyzer: dropped error results and
+// reasonless blank discards are reported; checked errors, reasoned
+// discards, and the documented never-fail writers are not.
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func work() error { return nil }
+
+func parse(s string) (int, error) { return len(s), nil }
+
+// bad drops errors three ways: a bare statement call, a handler Encode, and
+// a blank discard with no written reason.
+func bad(w http.ResponseWriter) {
+	work()
+	json.NewEncoder(w).Encode(map[string]int{"rows": 1})
+	_ = work()
+}
+
+// badTuple discards the error half of a multi-value result with no reason.
+func badTuple() int {
+	n, _ := parse("select 1")
+	return n
+}
+
+// good checks, propagates, or discards with a written reason.
+func good(w http.ResponseWriter) error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work() // fixture: the reason-comment escape hatch under test
+	return json.NewEncoder(w).Encode(map[string]int{"rows": 1})
+}
+
+// goodExempt uses the documented never-fail writers and defer.
+func goodExempt(f *os.File) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "plan row %d", 1)
+	buf.WriteString("!")
+	fmt.Fprintln(os.Stderr, buf.String())
+	defer f.Close()
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the hotalloc analyzer. It is loaded by the
+// golden harness under an import path containing internal/execution, which
+// opts it into the hot-package scope: allocation creep inside its loop
+// bodies is reported; hoisted scratch and strconv appends are not.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// render formats per row with fmt — the exact regression hotalloc exists
+// to catch.
+func render(ids []int64) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("row-%d", id))
+	}
+	return out
+}
+
+// box allocates and fills a fresh []any per row.
+func box(ids []int64) [][]any {
+	var pages [][]any
+	for _, id := range ids {
+		row := make([]any, 1)
+		row[0] = id
+		pages = append(pages, row)
+	}
+	return pages
+}
+
+// appendBox boxes a concrete int64 into []any on every row.
+func appendBox(ids []int64) []any {
+	var out []any
+	for _, id := range ids {
+		out = append(out, id)
+	}
+	return out
+}
+
+// renderFast is the correct shape: scratch hoisted out of the loop and
+// strconv instead of reflective formatting.
+func renderFast(ids []int64) []string {
+	out := make([]string, 0, len(ids))
+	buf := make([]byte, 0, 20)
+	for _, id := range ids {
+		buf = strconv.AppendInt(buf[:0], id, 10)
+		out = append(out, string(buf))
+	}
+	return out
+}
+
+// coldSetup allocates before the loop — per batch, not per row.
+func coldSetup(n int) []any {
+	scratch := make([]any, n)
+	for i := range scratch {
+		scratch[i] = nil
+	}
+	return scratch
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the lockheld analyzer: blocking calls made
+// while a sync.Mutex is held are reported; the same calls after Unlock, or
+// on other goroutines, are not.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+}
+
+// bad blocks three ways with s.mu held: a sleep, an HTTP round trip and a
+// channel receive.
+func (s *server) bad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Second)
+	resp, err := http.Get("http://peer/v1/stats")
+	if err == nil {
+		resp.Body.Close()
+	}
+	<-s.ch
+	s.state++
+}
+
+// badSend blocks on a channel send inside a branch that still holds the lock.
+func (s *server) badSend(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.state++
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- s.state
+	s.mu.Unlock()
+}
+
+// good releases the lock before doing the blocking work.
+func (s *server) good() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// goodEarlyUnlock unlocks on the fast path; the blocking call after the
+// branch is clean because the branch body copied the held set.
+func (s *server) goodEarlyUnlock(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	s.state++
+	s.mu.Unlock()
+}
+
+// goodGoroutine spawns the blocking work; the literal runs on another
+// goroutine and is analyzed as its own root.
+func (s *server) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.state++
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the suppression machinery: a well-formed
+// //lint:ignore with a reason silences the finding, a wildcard covers every
+// analyzer, a reasonless directive is itself reported (and suppresses
+// nothing), and a directive naming the wrong analyzer does not apply.
+package fixture
+
+func step() error { return nil }
+
+// suppressed carries a reason and is honored: no errdrop finding here.
+func suppressed() {
+	//lint:ignore errdrop fixture: failure here is unobservable by design
+	step()
+}
+
+// wildcard suppressions cover every analyzer.
+func wildcard() {
+	//lint:ignore * fixture: demonstrating the wildcard form
+	step()
+}
+
+// malformed directives are findings themselves and suppress nothing.
+func malformed() {
+	//lint:ignore errdrop
+	step()
+}
+
+// wrongName suppresses a different analyzer, so errdrop still fires.
+func wrongName() {
+	//lint:ignore hotalloc fixture: names must match for the directive to apply
+	step()
+}

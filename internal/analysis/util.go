@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for calls through function-typed variables, built-ins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified package function: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && recvNamed(fn) == nil
+}
+
+// recvNamed returns the named type of fn's receiver (through one pointer),
+// or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// isMethod reports whether fn is method name on type pkgPath.typeName
+// (value, pointer or interface receiver).
+func isMethod(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	n := recvNamed(fn)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == typeName
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (through one pointer) is pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isEmptyInterface reports whether t is interface{} / any.
+func isEmptyInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// isLockType reports whether t (through one pointer) is sync.Mutex or
+// sync.RWMutex.
+func isLockType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// funcHasCtxParam returns the name of ft's context.Context parameter, or
+// the name of its *http.Request parameter suffixed with ".Context()", or
+// "" when the function carries no request context. Used to phrase ctxflow
+// diagnostics.
+func requestCtxSource(info *types.Info, ft *ast.FuncType) string {
+	if ft == nil || ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		name := ""
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		if name == "_" || name == "" {
+			continue
+		}
+		if isContext(t) {
+			return name
+		}
+		if isNamedType(t, "net/http", "Request") {
+			return name + ".Context()"
+		}
+	}
+	return ""
+}

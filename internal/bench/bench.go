@@ -26,15 +26,18 @@ type Report struct {
 	Summary    string
 }
 
-// Print renders a report as an aligned table.
+// Print renders a report as an aligned table. The report is rendered
+// in memory and flushed with one best-effort write: it goes to a terminal,
+// where a failed write has no sane handling.
 func (r *Report) Print(w io.Writer) {
-	fmt.Fprintf(w, "== %s ==\n", r.Experiment)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", r.Experiment)
 	header := fmt.Sprintf("%-34s", "name")
 	for _, c := range r.Columns {
 		header += fmt.Sprintf("%16s", c)
 	}
-	fmt.Fprintln(w, header)
-	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	fmt.Fprintln(&sb, header)
+	fmt.Fprintln(&sb, strings.Repeat("-", len(header)))
 	for _, row := range r.Rows {
 		line := fmt.Sprintf("%-34s", row.Name)
 		for _, c := range r.Columns {
@@ -43,12 +46,13 @@ func (r *Report) Print(w io.Writer) {
 		if row.Note != "" {
 			line += "  " + row.Note
 		}
-		fmt.Fprintln(w, line)
+		fmt.Fprintln(&sb, line)
 	}
 	if r.Summary != "" {
-		fmt.Fprintln(w, r.Summary)
+		fmt.Fprintln(&sb, r.Summary)
 	}
-	fmt.Fprintln(w)
+	sb.WriteByte('\n')
+	_, _ = io.WriteString(w, sb.String()) // terminal report; a failed write has no recovery
 }
 
 // timeIt measures one run.

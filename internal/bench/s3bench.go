@@ -106,8 +106,8 @@ func RunS3(rows int) (*Report, error) {
 		ok := 0
 		const trials = 200
 		for i := 0; i < trials; i++ {
-			w, _ := fs.Create(fmt.Sprintf("/k%d", i))
-			w.Write([]byte("v"))
+			w, _ := fs.Create(fmt.Sprintf("/k%d", i)) // in-memory store: Create cannot fail
+			_, _ = w.Write([]byte("v"))               // buffered write; upload errors surface at Close
 			if err := w.Close(); err == nil {
 				ok++
 			}

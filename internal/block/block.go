@@ -400,6 +400,7 @@ type RowBlock struct {
 func NewRowBlock(n int, fields []Block, nulls []bool) *RowBlock {
 	for _, f := range fields {
 		if f.Count() != n {
+			//lint:ignore hotalloc only evaluated on the panic path of a broken invariant
 			panic(fmt.Sprintf("block: row field count %d != %d", f.Count(), n))
 		}
 	}
@@ -649,6 +650,7 @@ func NewPage(blocks ...Block) *Page {
 	}
 	for _, b := range blocks {
 		if b.Count() != n {
+			//lint:ignore hotalloc only evaluated on the panic path of a broken invariant
 			panic(fmt.Sprintf("block: page block counts differ: %d vs %d", b.Count(), n))
 		}
 	}

@@ -346,6 +346,7 @@ func (pb *PageBuilder) Build() *Page {
 	page := &Page{Blocks: blocks, N: pb.rows}
 	for _, b := range blocks {
 		if b.Count() != pb.rows {
+			//lint:ignore hotalloc only evaluated on the panic path of a broken invariant
 			panic(fmt.Sprintf("block: page builder channel has %d rows, want %d", b.Count(), pb.rows))
 		}
 	}

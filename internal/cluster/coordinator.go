@@ -50,11 +50,12 @@ type Coordinator struct {
 	queries      *queryLog
 	obs          *obs.Registry
 
-	submitted   *obs.Counter
-	finished    *obs.Counter
-	failed      *obs.Counter
-	outstanding *obs.Gauge
-	queryWall   *obs.Histogram
+	submitted     *obs.Counter
+	finished      *obs.Counter
+	failed        *obs.Counter
+	httpWriteErrs *obs.Counter
+	outstanding   *obs.Gauge
+	queryWall     *obs.Histogram
 }
 
 type workerClient struct {
@@ -74,6 +75,7 @@ func NewCoordinator(catalogs *connector.Registry) *Coordinator {
 	c.submitted = c.obs.Counter("queries_submitted")
 	c.finished = c.obs.Counter("queries_finished")
 	c.failed = c.obs.Counter("queries_failed")
+	c.httpWriteErrs = c.obs.Counter("http_write_errors")
 	c.outstanding = c.obs.Gauge("queries_outstanding")
 	c.queryWall = c.obs.Histogram("query_wall")
 	registerCatalogMetrics(catalogs, c.obs)
@@ -146,6 +148,31 @@ func (c *Coordinator) Workers() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// errTaskRefused marks a worker rejecting a task assignment (it entered
+// SHUTTING_DOWN after the last state poll); the scheduler retries these on
+// another worker instead of failing the query.
+var errTaskRefused = errors.New("worker refused task")
+
+// startTaskAnywhere starts req on workers[prefer], falling back to the
+// remaining workers if the preferred one refuses: a worker may begin a
+// graceful shrink between the activeWorkers poll and this request, and §IX
+// promises in-flight queries survive that window.
+func (c *Coordinator) startTaskAnywhere(workers []*workerClient, prefer int, req TaskRequest) (*taskHandle, error) {
+	var lastErr error
+	for off := 0; off < len(workers); off++ {
+		w := workers[(prefer+off)%len(workers)]
+		th, err := w.startTask(req)
+		if err == nil {
+			return th, nil
+		}
+		lastErr = fmt.Errorf("cluster: scheduling task on %s: %w", w.addr, err)
+		if !errors.Is(err, errTaskRefused) {
+			break // transport failures are not a shrink race; surface them
+		}
+	}
+	return nil, lastErr
 }
 
 // activeWorkers polls worker states, returning only ACTIVE ones — a worker
@@ -341,14 +368,14 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 					continue
 				}
 				taskID := fmt.Sprintf("%s.f%d.t%d", queryID, id, wi)
-				th, err := workers[wi].startTask(TaskRequest{
+				th, err := c.startTaskAnywhere(workers, wi, TaskRequest{
 					TaskID:   taskID,
 					Fragment: frag.Root,
 					TableKey: frag.TableKey,
 					Splits:   splitSet,
 				})
 				if err != nil {
-					return nil, "", fmt.Errorf("cluster: scheduling task on %s: %w", workers[wi].addr, err)
+					return nil, "", err
 				}
 				c.trackTask(th)
 				remotes[id] = append(remotes[id], th)
@@ -540,8 +567,8 @@ func (w *workerClient) startTask(req TaskRequest) (*taskHandle, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("worker refused task: %s", bytes.TrimSpace(body))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024)) // best-effort error detail
+		return nil, fmt.Errorf("%w: %s", errTaskRefused, bytes.TrimSpace(body))
 	}
 	return &taskHandle{worker: w, taskID: req.TaskID}, nil
 }
@@ -561,10 +588,13 @@ func (t *taskHandle) next() (TaskResultChunk, error) {
 }
 
 func (t *taskHandle) delete() {
-	req, _ := http.NewRequest(http.MethodDelete, "http://"+t.worker.addr+"/v1/task/"+t.taskID, nil)
+	req, err := http.NewRequest(http.MethodDelete, "http://"+t.worker.addr+"/v1/task/"+t.taskID, nil)
+	if err != nil {
+		return // static URL; cannot happen
+	}
 	resp, err := t.worker.http.Do(req)
 	if err == nil {
-		resp.Body.Close()
+		_ = resp.Body.Close() // best-effort cleanup of a fire-and-forget DELETE
 	}
 }
 
@@ -662,17 +692,27 @@ func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	gob.NewEncoder(rw).Encode(res)
+	c.replyGob(rw, res)
+}
+
+// replyGob encodes v to the client. A client that disconnects mid-response
+// is normal churn, but it must show up in /v1/stats rather than vanish.
+func (c *Coordinator) replyGob(rw http.ResponseWriter, v any) {
+	if err := gob.NewEncoder(rw).Encode(v); err != nil {
+		c.httpWriteErrs.Inc()
+	}
 }
 
 func (c *Coordinator) handleWorkers(rw http.ResponseWriter, r *http.Request) {
-	gob.NewEncoder(rw).Encode(c.Workers())
+	c.replyGob(rw, c.Workers())
 }
 
 // handleStats serves the coordinator's metrics registry as JSON.
 func (c *Coordinator) handleStats(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
-	rw.Write(c.obs.Snapshot().JSON())
+	if _, err := rw.Write(c.obs.Snapshot().JSON()); err != nil {
+		c.httpWriteErrs.Inc()
+	}
 }
 
 // handleQueries lists retained recent queries, most recent first.
@@ -680,7 +720,9 @@ func (c *Coordinator) handleQueries(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
-	enc.Encode(c.QueryInfos())
+	if err := enc.Encode(c.QueryInfos()); err != nil {
+		c.httpWriteErrs.Inc()
+	}
 }
 
 // handleQueryByID serves one query's full QueryInfo (per-stage operator
@@ -695,7 +737,9 @@ func (c *Coordinator) handleQueryByID(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
-	enc.Encode(qi)
+	if err := enc.Encode(qi); err != nil {
+		c.httpWriteErrs.Inc()
+	}
 }
 
 // handleAnnounce lets workers self-register (graceful expansion: start a
@@ -751,7 +795,7 @@ func (cl *Client) QueryWithIdentity(req StatementRequest, user, group string) (*
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) // best-effort error detail
 		return nil, fmt.Errorf("query failed: %s", bytes.TrimSpace(body))
 	}
 	var out QueryResult

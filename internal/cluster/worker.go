@@ -7,7 +7,6 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
@@ -92,6 +91,7 @@ type Worker struct {
 	tasksStarted   *obs.Counter
 	tasksCompleted *obs.Counter
 	tasksFailed    *obs.Counter
+	httpWriteErrs  *obs.Counter
 	taskWall       *obs.Histogram
 }
 
@@ -119,6 +119,7 @@ func NewWorker(catalogs *connector.Registry) *Worker {
 	w.tasksStarted = w.Obs.Counter("tasks_started")
 	w.tasksCompleted = w.Obs.Counter("tasks_completed")
 	w.tasksFailed = w.Obs.Counter("tasks_failed")
+	w.httpWriteErrs = w.Obs.Counter("http_write_errors")
 	w.taskWall = w.Obs.Histogram("task_wall")
 	w.Obs.GaugeFunc("fragment_cache.hits", func() float64 { return float64(w.FragmentCacheHits.Load()) })
 	w.Obs.GaugeFunc("active_tasks", func() float64 { return float64(w.activeTaskCount()) })
@@ -202,13 +203,23 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 		t.mu.Unlock()
 	}
 	w.mu.Unlock()
-	gob.NewEncoder(rw).Encode(info)
+	w.replyGob(rw, info)
+}
+
+// replyGob encodes v to the client. A client that disconnects mid-response
+// is normal churn, but it must show up in /v1/stats rather than vanish.
+func (w *Worker) replyGob(rw http.ResponseWriter, v any) {
+	if err := gob.NewEncoder(rw).Encode(v); err != nil {
+		w.httpWriteErrs.Inc()
+	}
 }
 
 // handleStats serves the worker's metrics registry as JSON.
 func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
-	rw.Write(w.Obs.Snapshot().JSON())
+	if _, err := rw.Write(w.Obs.Snapshot().JSON()); err != nil {
+		w.httpWriteErrs.Inc()
+	}
 }
 
 // handleShutdown begins the §IX graceful-shrink sequence.
@@ -236,18 +247,15 @@ func (w *Worker) GracefulShutdown() {
 	w.mu.Lock()
 	w.draining = true
 	w.mu.Unlock()
+	// Drain: a task is gone only when its coordinator has consumed the
+	// results and issued the DELETE — waiting for execution alone would race
+	// result polling against the listener closing below. ("The coordinator
+	// sees all tasks complete", made explicit instead of timing-based.)
 	for {
 		w.mu.Lock()
-		active := 0
-		for _, t := range w.tasks {
-			t.mu.Lock()
-			if !t.done {
-				active++
-			}
-			t.mu.Unlock()
-		}
+		remaining := len(w.tasks)
 		w.mu.Unlock()
-		if active == 0 {
+		if remaining == 0 {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -258,7 +266,7 @@ func (w *Worker) GracefulShutdown() {
 	w.state = StateShutdown
 	w.mu.Unlock()
 	close(w.closed)
-	w.http.Close()
+	_ = w.http.Close() // shutting down: the listener is going away regardless
 }
 
 // WaitShutdown blocks until the worker exits.
@@ -269,12 +277,13 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 	// first grace period elapses (§IX: the coordinator becomes aware during
 	// that sleep and stops sending tasks; only then does the worker drain).
 	w.mu.Lock()
-	if w.draining || w.state == StateShutdown {
-		w.mu.Unlock()
-		http.Error(rw, "worker is "+string(w.state), http.StatusServiceUnavailable)
+	refuse := w.draining || w.state == StateShutdown
+	state := w.state
+	w.mu.Unlock()
+	if refuse {
+		http.Error(rw, "worker is "+string(state), http.StatusServiceUnavailable)
 		return
 	}
-	w.mu.Unlock()
 
 	var req TaskRequest
 	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -376,12 +385,13 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 	if len(parts) > 1 && parts[1] == "stats" {
 		// Live per-operator snapshot (used by the coordinator for tasks it
 		// did not drain to completion, e.g. under LIMIT).
-		gob.NewEncoder(rw).Encode(task.stats.Snapshot())
+		w.replyGob(rw, task.stats.Snapshot())
 		return
 	}
-	// Poll one chunk.
+	// Poll one chunk. Build it under the task lock, then write it out with
+	// the lock released: the HTTP write can block on a slow client and must
+	// not stall the executor goroutine publishing pages into this task.
 	task.mu.Lock()
-	defer task.mu.Unlock()
 	chunk := TaskResultChunk{}
 	if task.err != nil {
 		chunk.Err = task.err.Error()
@@ -401,7 +411,6 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 	if chunk.Done {
 		chunk.Stats = task.stats.Snapshot()
 	}
-	var buf bytes.Buffer
-	gob.NewEncoder(&buf).Encode(chunk)
-	rw.Write(buf.Bytes())
+	task.mu.Unlock()
+	w.replyGob(rw, chunk)
 }

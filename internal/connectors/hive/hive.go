@@ -327,7 +327,7 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 	if c.opts.DisableFooterCache {
 		meta, schema, ferr := parquet.ReadFooter(file)
 		if ferr != nil {
-			file.Close()
+			_ = file.Close() // already failing: the footer error is the one to report
 			return nil, ferr
 		}
 		entry = footerEntry{meta: meta, schema: schema}
@@ -340,7 +340,7 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 			return footerEntry{meta: meta, schema: schema}, nil
 		})
 		if err != nil {
-			file.Close()
+			_ = file.Close() // already failing: the footer error is the one to report
 			return nil, err
 		}
 	}
@@ -390,7 +390,7 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 	// non-null requirement... except OpNeq, which still cannot match NULL.
 	for _, p := range h.DataPreds {
 		if entry.schema.Resolve(p.Path) == nil {
-			file.Close()
+			_ = file.Close() // pruned split: nothing was read, nothing to report
 			return &connector.SlicePageSource{}, nil
 		}
 	}
@@ -408,7 +408,7 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 	if c.opts.UseLegacyReader {
 		legacy, err := parquet.NewLegacyReader(file, dataPaths)
 		if err != nil {
-			file.Close()
+			_ = file.Close() // already failing: the reader error is the one to report
 			return nil, err
 		}
 		src.nextPage = legacy.Next
@@ -427,7 +427,7 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 	}
 	reader, err := parquet.NewReaderWithFooter(file, entry.meta, entry.schema, opts)
 	if err != nil {
-		file.Close()
+		_ = file.Close() // already failing: the reader error is the one to report
 		return nil, err
 	}
 	src.nextPage = reader.Next

@@ -10,11 +10,11 @@ import (
 // pipeEncode gob-encodes v into an in-memory reader for an HTTP body.
 func pipeEncode(v any) io.Reader {
 	var buf bytes.Buffer
-	gob.NewEncoder(&buf).Encode(v)
+	_ = gob.NewEncoder(&buf).Encode(v) // in-memory write; type errors surface when the server decodes
 	return &buf
 }
 
 func readError(resp *http.Response) string {
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) // best-effort error detail
 	return string(bytes.TrimSpace(data))
 }

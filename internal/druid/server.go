@@ -77,11 +77,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-gob")
-	gob.NewEncoder(w).Encode(res)
+	_ = gob.NewEncoder(w).Encode(res) // client went away mid-response; nothing to send it
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	gob.NewEncoder(w).Encode(s.store.Tables())
+	_ = gob.NewEncoder(w).Encode(s.store.Tables()) // client went away mid-response; nothing to send it
 }
 
 // SchemaResponse describes one table.
@@ -102,7 +102,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		resp.Columns = append(resp.Columns, c.Name)
 		resp.Types = append(resp.Types, c.Type.String())
 	}
-	gob.NewEncoder(w).Encode(resp)
+	_ = gob.NewEncoder(w).Encode(resp) // client went away mid-response; nothing to send it
 }
 
 // ---------------------------------------------------------------------------

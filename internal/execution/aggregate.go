@@ -4,7 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
+	"math"
+	"strconv"
 
 	"prestolite/internal/block"
 	"prestolite/internal/expr"
@@ -50,14 +51,45 @@ func newAggregateOperator(node *planner.Aggregate, child Operator) (Operator, er
 	}, nil
 }
 
-// groupKey builds a hashable key from group values.
-func groupKey(vals []any) string {
-	var sb strings.Builder
+// appendGroupKey appends a hashable key for vals onto dst. It sits on the
+// per-row hot path of hash aggregation and hash join, so each supported
+// scalar gets a type-tag byte plus a strconv append instead of reflective
+// formatting; strings are length-prefixed so separator bytes cannot collide.
+func appendGroupKey(dst []byte, vals []any) []byte {
 	for _, v := range vals {
-		fmt.Fprintf(&sb, "%T\x00%v\x01", v, v)
+		switch t := v.(type) {
+		case nil:
+			dst = append(dst, 'n')
+		case bool:
+			if t {
+				dst = append(dst, 'b', 1)
+			} else {
+				dst = append(dst, 'b', 0)
+			}
+		case int64:
+			dst = append(dst, 'i')
+			dst = strconv.AppendInt(dst, t, 36)
+		case float64:
+			dst = append(dst, 'f')
+			dst = strconv.AppendUint(dst, math.Float64bits(t), 36)
+		case string:
+			dst = append(dst, 's')
+			dst = strconv.AppendInt(dst, int64(len(t)), 36)
+			dst = append(dst, ':')
+			dst = append(dst, t...)
+		default:
+			// Rare compound values (e.g. intermediate agg states) fall back
+			// to reflective formatting.
+			dst = append(dst, 'x')
+			dst = fmt.Appendf(dst, "%T\x00%v", v, v)
+		}
+		dst = append(dst, 0x01)
 	}
-	return sb.String()
+	return dst
 }
+
+// groupKey is the convenience (allocating) form of appendGroupKey.
+func groupKey(vals []any) string { return string(appendGroupKey(nil, vals)) }
 
 func (o *aggregateOperator) Next() (*block.Page, error) {
 	if !o.consumed {
@@ -74,6 +106,13 @@ func (o *aggregateOperator) Next() (*block.Page, error) {
 }
 
 func (o *aggregateOperator) consume() error {
+	// Scratch reused across every row of every page: keys is cloned only
+	// when it becomes a new group's identity, vals is never retained by
+	// AggState.Add, and the key bytes are materialized to a string only for
+	// new map entries (the lookup itself does not allocate).
+	keys := make([]any, len(o.node.GroupBy))
+	var vals []any
+	var keyBuf, distBuf []byte
 	for {
 		p, err := o.child.Next()
 		if errors.Is(err, io.EOF) {
@@ -84,14 +123,14 @@ func (o *aggregateOperator) consume() error {
 		}
 		n := p.Count()
 		for row := 0; row < n; row++ {
-			keys := make([]any, len(o.node.GroupBy))
 			for i, ch := range o.node.GroupBy {
 				keys[i] = p.Blocks[ch].Value(row)
 			}
-			k := groupKey(keys)
-			g, ok := o.groups[k]
+			keyBuf = appendGroupKey(keyBuf[:0], keys)
+			g, ok := o.groups[string(keyBuf)]
 			if !ok {
-				g = &groupState{keys: keys, states: make([]expr.AggState, len(o.fns))}
+				k := string(keyBuf)
+				g = &groupState{keys: append([]any(nil), keys...), states: make([]expr.AggState, len(o.fns))}
 				for i, fn := range o.fns {
 					g.states[i] = fn.NewState(o.node.Aggs[i].ArgTypes)
 				}
@@ -110,19 +149,19 @@ func (o *aggregateOperator) consume() error {
 					g.states[i].AddIntermediate(p.Blocks[a.Args[0]].Value(row))
 					continue
 				}
-				vals := make([]any, len(a.Args))
-				for j, ch := range a.Args {
-					vals[j] = p.Blocks[ch].Value(row)
+				vals = vals[:0]
+				for _, ch := range a.Args {
+					vals = append(vals, p.Blocks[ch].Value(row))
 				}
 				if g.distinct[i] != nil {
 					if len(vals) > 0 && vals[0] == nil {
 						continue
 					}
-					dk := groupKey(vals)
-					if _, seen := g.distinct[i][dk]; seen {
+					distBuf = appendGroupKey(distBuf[:0], vals)
+					if _, seen := g.distinct[i][string(distBuf)]; seen {
 						continue
 					}
-					g.distinct[i][dk] = struct{}{}
+					g.distinct[i][string(distBuf)] = struct{}{}
 				}
 				g.states[i].Add(vals)
 			}
@@ -157,17 +196,17 @@ func (o *aggregateOperator) emit() (*block.Page, error) {
 		colTypes[i] = c.Type
 	}
 	pb := block.NewPageBuilder(colTypes)
+	row := make([]any, 0, len(outs)) // scratch: AppendRow copies per value
 	for _, k := range o.order {
 		g := o.groups[k]
-		row := make([]any, 0, len(outs))
+		row = row[:0]
 		row = append(row, g.keys...)
-		for i, st := range g.states {
+		for _, st := range g.states {
 			if o.node.Step == planner.AggPartial {
 				row = append(row, st.Intermediate())
 			} else {
 				row = append(row, st.Final())
 			}
-			_ = i
 		}
 		pb.AppendRow(row)
 	}

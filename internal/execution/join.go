@@ -51,6 +51,10 @@ func newJoinOperator(node *planner.Join, left, right Operator) *joinOperator {
 
 func (o *joinOperator) build() error {
 	o.buildTable = map[string][]*rowRef{}
+	// Per-row scratch hoisted out of the build loop; the key bytes are only
+	// materialized to a string at map-insert time.
+	keys := make([]any, len(o.node.RightKeys))
+	var keyBuf []byte
 	for {
 		p, err := o.right.Next()
 		if errors.Is(err, io.EOF) {
@@ -71,7 +75,6 @@ func (o *joinOperator) build() error {
 			ref := &rowRef{page: p, row: row}
 			o.buildRows = append(o.buildRows, ref)
 			if len(o.node.RightKeys) > 0 {
-				keys := make([]any, len(o.node.RightKeys))
 				null := false
 				for i, ch := range o.node.RightKeys {
 					keys[i] = p.Blocks[ch].Value(row)
@@ -82,7 +85,8 @@ func (o *joinOperator) build() error {
 				if null {
 					continue // NULL keys never match
 				}
-				k := groupKey(keys)
+				keyBuf = appendGroupKey(keyBuf[:0], keys)
+				k := string(keyBuf)
 				o.buildTable[k] = append(o.buildTable[k], ref)
 			}
 		}
@@ -117,10 +121,11 @@ func (o *joinOperator) probePage(p *block.Page) (*block.Page, error) {
 	outTypes := append(append([]*types.Type{}, o.leftTypes...), o.rightTypes...)
 	pb := block.NewPageBuilder(outTypes)
 	combined := make([]any, len(outTypes))
+	keys := make([]any, len(o.node.LeftKeys)) // probe-key scratch, reused per row
+	var keyBuf []byte
 	for row := 0; row < p.Count(); row++ {
 		var candidates []*rowRef
 		if len(o.node.LeftKeys) > 0 {
-			keys := make([]any, len(o.node.LeftKeys))
 			null := false
 			for i, ch := range o.node.LeftKeys {
 				keys[i] = p.Blocks[ch].Value(row)
@@ -129,7 +134,8 @@ func (o *joinOperator) probePage(p *block.Page) (*block.Page, error) {
 				}
 			}
 			if !null {
-				candidates = o.buildTable[groupKey(keys)]
+				keyBuf = appendGroupKey(keyBuf[:0], keys)
+				candidates = o.buildTable[string(keyBuf)]
 			}
 		} else {
 			candidates = o.buildRows
@@ -167,8 +173,7 @@ func (o *joinOperator) probePage(p *block.Page) (*block.Page, error) {
 func row2(r *rowRef) int { return r.row }
 
 func (o *joinOperator) Close() error {
-	o.left.Close()
-	return o.right.Close()
+	return errors.Join(o.left.Close(), o.right.Close())
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +242,7 @@ func (o *geoJoinOperator) Next() (*block.Page, error) {
 		o.built = true
 	}
 	outTypes := append(append([]*types.Type{}, o.leftTypes...), o.rightTypes...)
+	combined := make([]any, len(outTypes)) // scratch: AppendRow copies per value
 	for {
 		p, err := o.left.Next()
 		if err != nil {
@@ -252,7 +258,6 @@ func (o *geoJoinOperator) Next() (*block.Page, error) {
 		}
 		lngB, latB = block.Unwrap(lngB), block.Unwrap(latB)
 		pb := block.NewPageBuilder(outTypes)
-		combined := make([]any, len(outTypes))
 		for row := 0; row < p.Count(); row++ {
 			lv, av := lngB.Value(row), latB.Value(row)
 			if lv == nil || av == nil {
@@ -291,6 +296,5 @@ func toF64(v any) float64 {
 }
 
 func (o *geoJoinOperator) Close() error {
-	o.left.Close()
-	return o.right.Close()
+	return errors.Join(o.left.Close(), o.right.Close())
 }

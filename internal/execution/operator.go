@@ -247,8 +247,11 @@ func (o *scanOperator) Next() (*block.Page, error) {
 		}
 		p, err := o.current.Next()
 		if errors.Is(err, io.EOF) {
-			o.current.Close()
+			closeErr := o.current.Close()
 			o.current = nil
+			if closeErr != nil {
+				return nil, fmt.Errorf("execution: closing split of %s.%s: %w", o.scan.Schema, o.scan.Table, closeErr)
+			}
 			continue
 		}
 		if err != nil {
@@ -260,8 +263,9 @@ func (o *scanOperator) Next() (*block.Page, error) {
 
 func (o *scanOperator) Close() error {
 	if o.current != nil {
-		o.current.Close()
+		err := o.current.Close()
 		o.current = nil
+		return err
 	}
 	return nil
 }

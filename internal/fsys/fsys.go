@@ -86,7 +86,7 @@ func (l *Local) Open(path string) (File, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already failing: the Stat error is the one to report
 		return nil, err
 	}
 	return &localFile{File: f, size: st.Size()}, nil

@@ -216,7 +216,7 @@ func (g *Gateway) clusterLoad(addr string) (float64, bool) {
 			load.outstanding = snap.Gauges["queries_outstanding"]
 			load.ok = true
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close() // best-effort: the load snapshot is already decoded
 	}
 	g.loadMu.Lock()
 	g.loads[addr] = load

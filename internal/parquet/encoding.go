@@ -40,7 +40,7 @@ func compress(c Codec, data []byte) ([]byte, error) {
 		return snappy.Encode(nil, data), nil
 	case CodecGzip:
 		var buf bytes.Buffer
-		w, _ := gzip.NewWriterLevel(&buf, gzip.DefaultCompression)
+		w, _ := gzip.NewWriterLevel(&buf, gzip.DefaultCompression) // DefaultCompression is always a valid level
 		if _, err := w.Write(data); err != nil {
 			return nil, err
 		}

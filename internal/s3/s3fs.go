@@ -162,10 +162,16 @@ func (f *s3File) Close() error {
 }
 
 func (f *s3File) ReadAt(p []byte, off int64) (int, error) {
+	// Claim the cached stream under the lock, then do the network I/O with
+	// the lock released: a GET plus a full read can take seconds, and two
+	// readers sharing the handle must not serialize behind each other's
+	// network stalls. Whoever holds the claimed stream owns it exclusively.
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if !f.fs.cfg.LazySeek || f.stream == nil || f.stream.Pos() != off {
-		var stream *ObjectReader
+	stream := f.stream
+	f.stream = nil
+	f.mu.Unlock()
+
+	if !f.fs.cfg.LazySeek || stream == nil || stream.Pos() != off {
 		err := f.fs.withBackoff(func() error {
 			var e error
 			stream, e = f.fs.store.GetRange(f.key, off)
@@ -174,15 +180,17 @@ func (f *s3File) ReadAt(p []byte, off int64) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		f.stream = stream
 	}
-	n, err := io.ReadFull(f.stream, p)
+	n, err := io.ReadFull(stream, p)
 	if err != nil {
-		f.stream = nil
 		return n, fmt.Errorf("s3: read %q at %d: %w", f.key, off, err)
 	}
-	if !f.fs.cfg.LazySeek {
-		f.stream = nil // naive mode never reuses the connection
+	if f.fs.cfg.LazySeek {
+		// Return the advanced stream for the next sequential ReadAt; naive
+		// mode never reuses the connection.
+		f.mu.Lock()
+		f.stream = stream
+		f.mu.Unlock()
 	}
 	return n, nil
 }
