@@ -1,18 +1,27 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race lint check bench experiments examples fmt vet
+.PHONY: build test test-race lint check chaos bench experiments examples fmt vet
 
 build:
 	go build ./...
 
+# -shuffle=on randomizes test order so accidental inter-test state
+# dependencies fail loudly instead of silently passing in source order.
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 # Race-check the whole module: shared query/task state is mutated from
 # handler goroutines in cluster/gateway, and the obs metric primitives are
 # written against concurrent snapshot readers.
 test-race:
 	go test -race ./...
+
+# The seeded chaos suite: TPC-H queries through an embedded cluster while the
+# fault injector kills workers, drops RPCs and stalls reads. Always race-
+# enabled. Each test logs its seed; replay one failure deterministically with
+# `CHAOS_SEED=<seed> make chaos`.
+chaos:
+	go test -race -count=1 -v -run TestChaos ./internal/cluster
 
 # Static analysis: go vet plus the project's own invariant suite
 # (internal/analysis, run by cmd/prestolint). prestolint enforces lockheld,
@@ -22,7 +31,9 @@ lint:
 	go vet ./...
 	go run ./cmd/prestolint ./...
 
-# The pre-commit gate: everything a PR must pass.
+# The pre-commit gate: everything a PR must pass. test covers the chaos suite
+# too (TestChaos* are ordinary go tests); `make chaos` re-runs just that slice
+# verbosely with seeds logged.
 check: build vet lint test test-race
 
 bench:

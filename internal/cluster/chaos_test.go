@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/fault"
+	"prestolite/internal/fsys"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+	"prestolite/internal/planner"
+	"prestolite/internal/tpch"
+)
+
+// The chaos suite (run via `make chaos`): seeded fault injection against an
+// embedded coordinator+workers cluster running TPC-H queries. The invariant
+// every test asserts is the §IX reliability contract — a query either returns
+// row-exact correct results or a clean typed error, never a hang and never
+// wrong rows. Each failure logs its seed; re-run one with
+// CHAOS_SEED=<seed> make chaos.
+
+// chaosSeeds returns the seeds to run, honoring a CHAOS_SEED override.
+func chaosSeeds(t *testing.T) []int64 {
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+		}
+		return []int64{seed}
+	}
+	return []int64{1, 7, 42}
+}
+
+const (
+	chaosDataSeed    = 99 // data is fixed; chaos seeds vary only the faults
+	chaosFiles       = 8
+	chaosRowsPerFile = 250
+)
+
+// chaosQueries are TPC-H-flavored statements over LINEITEM. Aggregates are
+// restricted to counts and sums of small integral doubles (l_quantity is
+// 1..50), so results are bit-exact regardless of the order partial aggregates
+// merge in — which is what lets the suite assert row-exact equality even when
+// tasks are re-executed on different workers.
+var chaosQueries = []string{
+	`SELECT l_returnflag, l_linestatus, count(*) AS n, sum(l_quantity) AS q
+		FROM lineitem GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+	`SELECT count(*) AS n FROM lineitem WHERE l_quantity < 25.0`,
+	`SELECT l_shipmode, count(*) AS n FROM lineitem GROUP BY l_shipmode ORDER BY l_shipmode`,
+}
+
+// chaosCatalogs builds a hive warehouse of TPC-H LINEITEM files over the
+// simulated HDFS, wrapped in the fault-injecting filesystem when inj != nil.
+// The table is loaded before any fault rules exist, so the data itself is
+// always intact — chaos fires on the read path.
+func chaosCatalogs(t *testing.T, inj *fault.Injector) *connector.Registry {
+	t.Helper()
+	var fs fsys.FileSystem = hdfs.New(hdfs.Config{})
+	if inj != nil {
+		fs = &fault.FS{Injector: inj, Base: fs}
+	}
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: fs}
+	cols := make([]metastore.Column, len(tpch.LineItemColumns))
+	for i, c := range tpch.LineItemColumns {
+		cols[i] = metastore.Column{Name: c.Name, Type: c.Type}
+	}
+	var pages []*block.Page
+	for f := 0; f < chaosFiles; f++ {
+		pages = append(pages, tpch.GeneratePage(chaosDataSeed+int64(f), chaosRowsPerFile))
+	}
+	if err := loader.CreateTable("tpch", "lineitem", cols, pages); err != nil {
+		t.Fatal(err)
+	}
+	reg := connector.NewRegistry()
+	reg.Register("hive", hive.New("hive", ms, fs, hive.Options{}))
+	return reg
+}
+
+// chaosConfig is the tightened client config chaos runs use: short timeouts
+// so black holes resolve quickly, fast backoff, a roomy reschedule budget,
+// and hedging off by default (the hedging test turns it on).
+func chaosConfig(inj *fault.Injector) ClientConfig {
+	return ClientConfig{
+		WorkerTimeout:    2 * time.Second,
+		StatementTimeout: 10 * time.Second,
+		Transport:        &fault.Transport{Injector: inj},
+		MaxAttempts:      4,
+		BaseBackoff:      2 * time.Millisecond,
+		MaxBackoff:       20 * time.Millisecond,
+		RetryBudget:      32,
+		HedgeDelay:       -1,
+		PollInterval:     time.Millisecond,
+	}
+}
+
+// chaosCluster starts a coordinator with cfg plus n workers.
+func chaosCluster(t *testing.T, catalogs *connector.Registry, n int, cfg ClientConfig) (*Coordinator, []*Worker) {
+	t.Helper()
+	coord := NewCoordinatorWithConfig(catalogs, cfg)
+	var workers []*Worker
+	for i := 0; i < n; i++ {
+		w := NewWorker(catalogs)
+		w.GracePeriod = 20 * time.Millisecond
+		if err := w.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		coord.AddWorker(w.Addr())
+		workers = append(workers, w)
+	}
+	return coord, workers
+}
+
+func chaosSession() *planner.Session {
+	return &planner.Session{Catalog: "hive", Schema: "tpch", User: "chaos", Properties: map[string]string{}}
+}
+
+// chaosBaseline runs every chaos query on a clean, fault-free cluster and
+// returns the expected row sets.
+func chaosBaseline(t *testing.T) []string {
+	t.Helper()
+	coord, _ := chaosCluster(t, chaosCatalogs(t, nil), 3, ClientConfig{})
+	out := make([]string, len(chaosQueries))
+	for i, q := range chaosQueries {
+		out[i] = mustRows(t, coord, q)
+	}
+	return out
+}
+
+// mustRows runs one query and renders its rows for exact comparison.
+func mustRows(t *testing.T, coord *Coordinator, query string) string {
+	t.Helper()
+	res, err := coord.Query(chaosSession(), query)
+	if err != nil {
+		t.Fatalf("query failed: %v\n  query: %s", err, query)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprint(rows)
+}
+
+// watchdog fails the test if fn has not returned within d — the "never a
+// hang" half of the chaos contract, enforced with a deadline well under the
+// go test timeout so the seed gets logged.
+func watchdog(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("chaos query still running after %v — the cluster hung instead of failing cleanly", d)
+	}
+}
+
+// counter reads one counter from the coordinator's metrics registry.
+func counter(coord *Coordinator, name string) int64 {
+	return coord.Obs().Snapshot().Counters[name]
+}
+
+// TestChaosWorkerDeathReschedules: worker 0 accepts tasks but every result
+// fetch to it fails (the deterministic stand-in for a node dying mid-query).
+// Every query must still return the exact baseline rows, and the recovery
+// must be visible as task_retries — dead-worker splits re-executed on
+// survivors.
+func TestChaosWorkerDeathReschedules(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, workers := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		inj.FaultHTTP(fault.HTTPRule{Target: workers[0].Addr(), Path: "/results", DropProb: 1})
+
+		watchdog(t, 60*time.Second, func() {
+			for i, q := range chaosQueries {
+				if got := mustRows(t, coord, q); got != want[i] {
+					t.Errorf("seed %d query %d: rows diverged from clean baseline\ngot  %s\nwant %s", seed, i, got, want[i])
+				}
+			}
+		})
+		if n := counter(coord, "task_retries"); n < 1 {
+			t.Errorf("seed %d: task_retries = %d, want >= 1 (no split was rescheduled off the dead worker)", seed, n)
+		}
+	}
+}
+
+// TestChaosWorkerKilledMidQuery: a worker is actually torn down (listener
+// closed) while queries run. Queries must return exact rows — the scheduler
+// and retry layers route around the corpse.
+func TestChaosWorkerKilledMidQuery(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, workers := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+
+		var once sync.Once
+		kill := func() { once.Do(func() { workers[0].Close() }) }
+		go func() {
+			time.Sleep(time.Duration(5+seed%10) * time.Millisecond)
+			kill()
+		}()
+		watchdog(t, 60*time.Second, func() {
+			for i, q := range chaosQueries {
+				if got := mustRows(t, coord, q); got != want[i] {
+					t.Errorf("seed %d query %d: rows diverged after worker kill\ngot  %s\nwant %s", seed, i, got, want[i])
+				}
+			}
+		})
+		kill()
+	}
+}
+
+// TestChaosDroppedRPCs: 10% of every coordinator→worker RPC fails before
+// reaching the server. The per-RPC retry layer (and, when retries run dry,
+// task rescheduling) must absorb all of it: every query exact.
+func TestChaosDroppedRPCs(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		inj.FaultHTTP(fault.HTTPRule{DropProb: 0.1})
+
+		watchdog(t, 60*time.Second, func() {
+			for i, q := range chaosQueries {
+				if got := mustRows(t, coord, q); got != want[i] {
+					t.Errorf("seed %d query %d: rows diverged under 10%% RPC drops\ngot  %s\nwant %s", seed, i, got, want[i])
+				}
+			}
+		})
+		if n := inj.Counters.Dropped.Load(); n == 0 {
+			t.Errorf("seed %d: injector dropped nothing — the chaos run was a no-op", seed)
+		}
+	}
+}
+
+// TestChaosStragglerHedging: storage reads stall and most result fetches are
+// slow. With hedging enabled, duplicate fetches race the stragglers
+// (idempotent paged protocol makes the duplicates safe); results stay exact
+// and hedged_fetches shows the mitigation actually fired.
+func TestChaosStragglerHedging(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		cfg := chaosConfig(inj)
+		cfg.HedgeDelay = 40 * time.Millisecond
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, cfg)
+		inj.FaultFS(fault.FSRule{Ops: []string{"read"}, DelayProb: 0.3, Delay: 20 * time.Millisecond})
+		inj.FaultHTTP(fault.HTTPRule{Path: "/results", DelayProb: 0.75, Delay: 250 * time.Millisecond})
+
+		watchdog(t, 60*time.Second, func() {
+			if got := mustRows(t, coord, chaosQueries[0]); got != want[0] {
+				t.Errorf("seed %d: rows diverged under stalled reads\ngot  %s\nwant %s", seed, got, want[0])
+			}
+		})
+		if n := counter(coord, "hedged_fetches"); n < 1 {
+			t.Errorf("seed %d: hedged_fetches = %d, want >= 1 (stragglers were never hedged)", seed, n)
+		}
+	}
+}
+
+// TestChaosFlakyStorage: one warehouse file's reads fail intermittently.
+// Tasks over that split fail and re-execute (budget permitting) until a clean
+// attempt lands; rows stay exact.
+func TestChaosFlakyStorage(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		cfg := chaosConfig(inj)
+		cfg.RetryBudget = 64
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, cfg)
+		inj.FaultFS(fault.FSRule{Path: "lineitem/part-00003", Ops: []string{"read"}, ErrProb: 0.02})
+
+		watchdog(t, 60*time.Second, func() {
+			for i, q := range chaosQueries {
+				if got := mustRows(t, coord, q); got != want[i] {
+					t.Errorf("seed %d query %d: rows diverged under flaky storage\ngot  %s\nwant %s", seed, i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosFullPartition: every RPC is dropped — the coordinator is cut off
+// from all workers. The query must fail with a typed availability error
+// within the retry budget. Hanging (or a wrong answer) is the bug.
+func TestChaosFullPartition(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		inj.FaultHTTP(fault.HTTPRule{DropProb: 1})
+
+		watchdog(t, 30*time.Second, func() {
+			_, err := coord.Query(chaosSession(), chaosQueries[0])
+			if err == nil {
+				t.Errorf("seed %d: query succeeded with every RPC dropped", seed)
+				return
+			}
+			if !IsUnavailable(err) {
+				t.Errorf("seed %d: err = %v, want a typed availability error (IsUnavailable)", seed, err)
+			}
+		})
+	}
+}

@@ -38,6 +38,8 @@ import (
 type Coordinator struct {
 	Catalogs *connector.Registry
 
+	cfg ClientConfig
+
 	http *http.Server
 	ln   net.Listener
 	addr string
@@ -54,6 +56,9 @@ type Coordinator struct {
 	finished      *obs.Counter
 	failed        *obs.Counter
 	httpWriteErrs *obs.Counter
+	taskRetries   *obs.Counter
+	rpcRetries    *obs.Counter
+	hedgedFetches *obs.Counter
 	outstanding   *obs.Gauge
 	queryWall     *obs.Histogram
 }
@@ -63,10 +68,19 @@ type workerClient struct {
 	http *http.Client
 }
 
-// NewCoordinator creates a coordinator over a catalog registry.
+// NewCoordinator creates a coordinator over a catalog registry with the
+// default client configuration.
 func NewCoordinator(catalogs *connector.Registry) *Coordinator {
+	return NewCoordinatorWithConfig(catalogs, ClientConfig{})
+}
+
+// NewCoordinatorWithConfig creates a coordinator with explicit timeouts,
+// transport, clock and retry policy (zero fields take defaults). Chaos
+// tests inject their fault transport and tightened timeouts here.
+func NewCoordinatorWithConfig(catalogs *connector.Registry, cfg ClientConfig) *Coordinator {
 	c := &Coordinator{
 		Catalogs: catalogs,
+		cfg:      cfg.WithDefaults(),
 		workers:  map[string]*workerClient{},
 		inflight: map[string]map[*taskHandle]struct{}{},
 		queries:  newQueryLog(128),
@@ -76,6 +90,9 @@ func NewCoordinator(catalogs *connector.Registry) *Coordinator {
 	c.finished = c.obs.Counter("queries_finished")
 	c.failed = c.obs.Counter("queries_failed")
 	c.httpWriteErrs = c.obs.Counter("http_write_errors")
+	c.taskRetries = c.obs.Counter("task_retries")
+	c.rpcRetries = c.obs.Counter("rpc_retries")
+	c.hedgedFetches = c.obs.Counter("hedged_fetches")
 	c.outstanding = c.obs.Gauge("queries_outstanding")
 	c.queryWall = c.obs.Histogram("query_wall")
 	registerCatalogMetrics(catalogs, c.obs)
@@ -96,7 +113,7 @@ func (c *Coordinator) GetQueryInfo(id string) (QueryInfo, bool) { return c.queri
 func (c *Coordinator) AddWorker(addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.workers[addr] = &workerClient{addr: addr, http: &http.Client{Timeout: 30 * time.Second}}
+	c.workers[addr] = &workerClient{addr: addr, http: c.cfg.workerHTTPClient()}
 }
 
 // RemoveWorker forgets a worker. Tasks still in flight on that worker are
@@ -156,23 +173,29 @@ func (c *Coordinator) Workers() []string {
 var errTaskRefused = errors.New("worker refused task")
 
 // startTaskAnywhere starts req on workers[prefer], falling back to the
-// remaining workers if the preferred one refuses: a worker may begin a
-// graceful shrink between the activeWorkers poll and this request, and §IX
-// promises in-flight queries survive that window.
+// remaining workers on refusal (a worker may begin a graceful shrink
+// between the activeWorkers poll and this request — §IX promises in-flight
+// queries survive that window) or transport failure (a worker may have just
+// died, and the surviving ones can take its splits). Whole-set failures are
+// retried with backoff for MaxAttempts rounds before the typed
+// ErrSchedulingFailed surfaces.
 func (c *Coordinator) startTaskAnywhere(workers []*workerClient, prefer int, req TaskRequest) (*taskHandle, error) {
 	var lastErr error
-	for off := 0; off < len(workers); off++ {
-		w := workers[(prefer+off)%len(workers)]
-		th, err := w.startTask(req)
-		if err == nil {
-			return th, nil
+	for round := 1; round <= c.cfg.MaxAttempts; round++ {
+		if round > 1 {
+			c.rpcRetries.Inc()
+			c.cfg.Clock.Sleep(c.cfg.backoff(round - 1))
 		}
-		lastErr = fmt.Errorf("cluster: scheduling task on %s: %w", w.addr, err)
-		if !errors.Is(err, errTaskRefused) {
-			break // transport failures are not a shrink race; surface them
+		for off := 0; off < len(workers); off++ {
+			w := workers[(prefer+off)%len(workers)]
+			th, err := w.startTask(req)
+			if err == nil {
+				return th, nil
+			}
+			lastErr = fmt.Errorf("scheduling task on %s: %w", w.addr, err)
 		}
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("%w: %v", ErrSchedulingFailed, lastErr)
 }
 
 // activeWorkers polls worker states, returning only ACTIVE ones — a worker
@@ -193,6 +216,18 @@ func (c *Coordinator) activeWorkers() []*workerClient {
 		}
 	}
 	return active
+}
+
+// activeWorkersExcept returns the active workers other than addr — the
+// candidate set for rescheduling a task away from a failed worker.
+func (c *Coordinator) activeWorkersExcept(addr string) []*workerClient {
+	var out []*workerClient
+	for _, w := range c.activeWorkers() {
+		if w.addr != addr {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 func (w *workerClient) info() (WorkerInfo, error) {
@@ -331,12 +366,14 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 
 	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryRunning; qi.Running = time.Now() })
 
-	// Schedule source fragments onto active workers.
+	// Schedule source fragments onto active workers. The query state
+	// carries the shared retry budget its remote sources draw on.
+	qs := newQueryState(&c.cfg)
 	remotes := map[int][]*taskHandle{}
 	if !fp.SingleFragment() {
-		workers := c.activeWorkers()
-		if len(workers) == 0 {
-			return nil, "", errors.New("cluster: no active workers")
+		workers, err := c.waitActiveWorkers()
+		if err != nil {
+			return nil, "", err
 		}
 		for id, frag := range fp.Sources {
 			conn, err := c.Catalogs.Get(frag.Scan.Catalog)
@@ -401,7 +438,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		Catalogs: c.Catalogs,
 		Stats:    rootStats,
 		RemoteSources: func(fragmentID int, cols []planner.Column) (execution.Operator, error) {
-			return &remoteSourceOperator{tasks: remotes[fragmentID]}, nil
+			return &remoteSourceOperator{c: c, qs: qs, tasks: remotes[fragmentID]}, nil
 		},
 	}
 	op, err := execution.Build(fp.Root.Root, ctx)
@@ -504,6 +541,9 @@ func (c *Coordinator) ExplainDistributed(session *planner.Session, query string)
 type taskHandle struct {
 	worker *workerClient
 	taskID string
+	// req is kept so a dead worker's task can be rescheduled onto a
+	// survivor: the same fragment over the same splits.
+	req TaskRequest
 
 	mu       sync.Mutex
 	stats    []obs.OperatorStatsSnapshot // from the Done chunk, if seen
@@ -570,16 +610,23 @@ func (w *workerClient) startTask(req TaskRequest) (*taskHandle, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024)) // best-effort error detail
 		return nil, fmt.Errorf("%w: %s", errTaskRefused, bytes.TrimSpace(body))
 	}
-	return &taskHandle{worker: w, taskID: req.TaskID}, nil
+	return &taskHandle{worker: w, taskID: req.TaskID, req: req}, nil
 }
 
-// next polls the next chunk.
-func (t *taskHandle) next() (TaskResultChunk, error) {
-	resp, err := t.worker.http.Get("http://" + t.worker.addr + "/v1/task/" + t.taskID + "/results")
+// fetchPage fetches result page n by index. Naming the page (instead of the
+// worker keeping a cursor) makes the fetch idempotent, which is what allows
+// the retry and hedging layers to fire duplicates safely.
+func (t *taskHandle) fetchPage(page int) (TaskResultChunk, error) {
+	resp, err := t.worker.http.Get(fmt.Sprintf("http://%s/v1/task/%s/results?page=%d", t.worker.addr, t.taskID, page))
 	if err != nil {
 		return TaskResultChunk{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024)) // best-effort error detail
+		return TaskResultChunk{}, fmt.Errorf("task %s on %s: status %d: %s",
+			t.taskID, t.worker.addr, resp.StatusCode, bytes.TrimSpace(body))
+	}
 	var chunk TaskResultChunk
 	if err := gob.NewDecoder(resp.Body).Decode(&chunk); err != nil {
 		return TaskResultChunk{}, err
@@ -598,39 +645,38 @@ func (t *taskHandle) delete() {
 	}
 }
 
-// remoteSourceOperator streams pages from all tasks of one fragment.
+// remoteSourceOperator streams pages from all tasks of one fragment. Each
+// task is drained to completion (through the retry/reschedule/hedging
+// machinery in retry.go) before any of its pages flow downstream, so a task
+// that dies halfway is replaced wholesale and can never leak a partial —
+// and therefore wrong — page stream into the query.
 type remoteSourceOperator struct {
+	c     *Coordinator
+	qs    *queryState
 	tasks []*taskHandle
-	pos   int
+
+	pos     int
+	buf     []*block.Page // drained pages of tasks[pos]
+	bufPos  int
+	drained bool
 }
 
 func (o *remoteSourceOperator) Next() (*block.Page, error) {
 	for o.pos < len(o.tasks) {
-		th := o.tasks[o.pos]
-		if err := th.aborted(); err != nil {
-			return nil, err
-		}
-		chunk, err := th.next()
-		if err != nil {
-			if aerr := th.aborted(); aerr != nil {
-				return nil, aerr
+		if !o.drained {
+			pages, err := o.c.drainTask(o.qs, o.tasks, o.pos)
+			if err != nil {
+				return nil, err
 			}
-			return nil, fmt.Errorf("cluster: fetching results from %s: %w", th.worker.addr, err)
+			o.buf, o.bufPos, o.drained = pages, 0, true
 		}
-		if chunk.Err != "" {
-			return nil, fmt.Errorf("cluster: task %s failed: %s", th.taskID, chunk.Err)
+		if o.bufPos < len(o.buf) {
+			p := o.buf[o.bufPos]
+			o.bufPos++
+			return p, nil
 		}
-		if len(chunk.Page) > 0 {
-			return block.DecodePage(chunk.Page)
-		}
-		if chunk.Done {
-			if chunk.Stats != nil {
-				th.setStats(chunk.Stats)
-			}
-			o.pos++
-			continue
-		}
-		time.Sleep(time.Millisecond) // task still running
+		o.pos++
+		o.buf, o.drained = nil, false
 	}
 	return nil, io.EOF
 }
@@ -760,9 +806,16 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient targets a coordinator.
+// NewClient targets a coordinator with the default client configuration.
 func NewClient(addr string) *Client {
-	return &Client{Addr: addr, HTTP: &http.Client{Timeout: 120 * time.Second}}
+	return NewClientWithConfig(addr, ClientConfig{})
+}
+
+// NewClientWithConfig targets a coordinator with explicit timeouts and
+// transport (zero fields take defaults).
+func NewClientWithConfig(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.WithDefaults()
+	return &Client{Addr: addr, HTTP: cfg.statementHTTPClient()}
 }
 
 // Query runs one statement.
@@ -787,7 +840,8 @@ func (cl *Client) QueryWithIdentity(req StatementRequest, user, group string) (*
 	httpReq.Header.Set("X-Presto-Group", group)
 	hc := cl.HTTP
 	if hc == nil {
-		hc = &http.Client{Timeout: 120 * time.Second}
+		def := DefaultClientConfig()
+		hc = def.statementHTTPClient()
 	}
 	resp, err := hc.Do(httpReq)
 	if err != nil {

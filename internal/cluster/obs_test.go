@@ -111,11 +111,11 @@ func TestRemoveWorkerAbortsInflight(t *testing.T) {
 	coord.workers[w.addr] = w
 	coord.mu.Unlock()
 
-	th := &taskHandle{worker: w, taskID: "q1.f1.t0"}
+	th := &taskHandle{worker: w, taskID: "q1.f1.t0", req: TaskRequest{TaskID: "q1.f1.t0"}}
 	coord.trackTask(th)
 	coord.RemoveWorker(w.addr)
 
-	op := &remoteSourceOperator{tasks: []*taskHandle{th}}
+	op := &remoteSourceOperator{c: coord, qs: newQueryState(&coord.cfg), tasks: []*taskHandle{th}}
 	_, err := op.Next()
 	if err == nil {
 		t.Fatal("expected abort error")

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"prestolite/internal/block"
+)
+
+// Typed availability errors. A query that cannot make progress fails with
+// one of these within its retry budget — never a hang, and never a silent
+// wrong answer. errors.Is works through all the wrapping the retry layers
+// add.
+var (
+	// ErrNoActiveWorkers: the coordinator found no ACTIVE worker after its
+	// retry rounds (empty cluster, or a full partition).
+	ErrNoActiveWorkers = errors.New("cluster: no active workers")
+	// ErrSchedulingFailed: every active worker refused or failed the task
+	// start across all retry rounds.
+	ErrSchedulingFailed = errors.New("cluster: could not schedule task on any active worker")
+	// ErrRetryBudgetExhausted: the query burned its whole task-reschedule
+	// budget and still could not finish.
+	ErrRetryBudgetExhausted = errors.New("cluster: task retry budget exhausted")
+)
+
+// IsUnavailable reports whether err is one of the typed cluster-availability
+// errors, as opposed to a planning or semantic error. Chaos tests use it to
+// assert that a partitioned cluster fails cleanly.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrNoActiveWorkers) ||
+		errors.Is(err, ErrSchedulingFailed) ||
+		errors.Is(err, ErrRetryBudgetExhausted)
+}
+
+// queryState carries the per-query fault-tolerance budget shared by all of
+// the query's remote-source operators.
+type queryState struct {
+	budget      atomic.Int64 // remaining task reschedules
+	reschedules atomic.Int64 // used for unique replacement task IDs
+}
+
+func newQueryState(cfg *ClientConfig) *queryState {
+	qs := &queryState{}
+	qs.budget.Store(int64(cfg.RetryBudget))
+	return qs
+}
+
+// drainTask pulls every result page of tasks[i], rescheduling the task onto
+// a surviving worker (and re-draining from page zero) whenever the current
+// attempt fails. The all-or-nothing drain is what keeps results row-exact
+// under worker death: no page reaches downstream operators until one task
+// attempt has produced its complete, consistent page stream.
+func (c *Coordinator) drainTask(qs *queryState, tasks []*taskHandle, i int) ([]*block.Page, error) {
+	for {
+		th := tasks[i]
+		pages, err := c.drainOnce(th)
+		if err == nil {
+			return pages, nil
+		}
+		replacement, rerr := c.rescheduleTask(qs, th, err)
+		if rerr != nil {
+			return nil, rerr
+		}
+		c.trackTask(replacement)
+		c.releaseTask(th) // best-effort DELETE on the failed worker
+		tasks[i] = replacement
+	}
+}
+
+// drainOnce fetches the complete page stream of one task attempt.
+func (c *Coordinator) drainOnce(th *taskHandle) ([]*block.Page, error) {
+	var pages []*block.Page
+	for n := 0; ; {
+		chunk, err := c.fetchChunk(th, n)
+		if err != nil {
+			return nil, err
+		}
+		if chunk.Err != "" {
+			return nil, fmt.Errorf("cluster: task %s failed on %s: %s", th.taskID, th.worker.addr, chunk.Err)
+		}
+		if len(chunk.Page) > 0 {
+			p, err := block.DecodePage(chunk.Page)
+			if err != nil {
+				// A corrupted page that slipped past gob decoding: treat it
+				// like any other failed attempt and re-execute elsewhere.
+				return nil, fmt.Errorf("cluster: decoding page %d of task %s from %s: %w", n, th.taskID, th.worker.addr, err)
+			}
+			pages = append(pages, p)
+			n++
+			continue
+		}
+		if chunk.Done {
+			if chunk.Stats != nil {
+				th.setStats(chunk.Stats)
+			}
+			return pages, nil
+		}
+		c.cfg.Clock.Sleep(c.cfg.PollInterval) // task still running
+	}
+}
+
+// fetchChunk fetches page n of a task with per-RPC retries (exponential
+// backoff + jitter) and hedging. Page fetches are idempotent — the request
+// names the page index, the worker keeps no cursor — so retried and hedged
+// copies of the same fetch are safe.
+func (c *Coordinator) fetchChunk(th *taskHandle, page int) (TaskResultChunk, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if err := th.aborted(); err != nil {
+			return TaskResultChunk{}, err
+		}
+		if attempt > 1 {
+			c.rpcRetries.Inc()
+			c.cfg.Clock.Sleep(c.cfg.backoff(attempt - 1))
+		}
+		chunk, err := c.fetchChunkHedged(th, page)
+		if err == nil {
+			return chunk, nil
+		}
+		lastErr = err
+	}
+	return TaskResultChunk{}, fmt.Errorf("cluster: fetching results from %s: %w", th.worker.addr, lastErr)
+}
+
+// fetchChunkHedged fires the fetch and, if no response arrives within
+// HedgeDelay, races a duplicate against it (§VII straggler mitigation for
+// result pulls). First response wins; an abandoned copy finishes on its own
+// within the client timeout and is discarded.
+func (c *Coordinator) fetchChunkHedged(th *taskHandle, page int) (TaskResultChunk, error) {
+	if c.cfg.HedgeDelay <= 0 {
+		return th.fetchPage(page)
+	}
+	type result struct {
+		chunk TaskResultChunk
+		err   error
+	}
+	ch := make(chan result, 2) // buffered: the loser's send never blocks
+	fetch := func() {
+		chunk, err := th.fetchPage(page)
+		ch <- result{chunk, err}
+	}
+	go fetch()
+	select {
+	case r := <-ch:
+		return r.chunk, r.err
+	case <-c.cfg.Clock.After(c.cfg.HedgeDelay):
+		c.hedgedFetches.Inc()
+		go fetch()
+	}
+	r := <-ch
+	return r.chunk, r.err
+}
+
+// rescheduleTask restarts a failed task attempt on a surviving worker,
+// consuming one unit of the query's retry budget. The replacement runs the
+// same fragment over the same splits, so its page stream is equivalent to
+// what the dead worker would have produced.
+func (c *Coordinator) rescheduleTask(qs *queryState, th *taskHandle, cause error) (*taskHandle, error) {
+	if qs.budget.Add(-1) < 0 {
+		return nil, fmt.Errorf("%w (task %s): %v", ErrRetryBudgetExhausted, th.taskID, cause)
+	}
+	c.taskRetries.Inc()
+	// Prefer workers other than the one that just failed; fall back to the
+	// full active set when it was the only one left (its failure may have
+	// been a transient RPC problem, not death).
+	workers := c.activeWorkersExcept(th.worker.addr)
+	if len(workers) == 0 {
+		workers = c.activeWorkers()
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("%w: rescheduling task %s after: %v", ErrNoActiveWorkers, th.taskID, cause)
+	}
+	req := th.req
+	req.TaskID = fmt.Sprintf("%s.r%d", th.req.TaskID, qs.reschedules.Add(1))
+	replacement, err := c.startTaskAnywhere(workers, 0, req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rescheduling task %s (after: %v): %w", th.req.TaskID, cause, err)
+	}
+	return replacement, nil
+}
+
+// waitActiveWorkers polls for ACTIVE workers, retrying with backoff when
+// workers are registered but none answer (transient churn). An empty
+// cluster fails immediately — nothing will appear by waiting.
+func (c *Coordinator) waitActiveWorkers() ([]*workerClient, error) {
+	for attempt := 1; ; attempt++ {
+		workers := c.activeWorkers()
+		if len(workers) > 0 {
+			return workers, nil
+		}
+		if len(c.Workers()) == 0 {
+			return nil, fmt.Errorf("%w: none registered", ErrNoActiveWorkers)
+		}
+		if attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("%w: %d registered, none reachable after %d polls",
+				ErrNoActiveWorkers, len(c.Workers()), attempt)
+		}
+		c.rpcRetries.Inc()
+		c.cfg.Clock.Sleep(c.cfg.backoff(attempt))
+	}
+}

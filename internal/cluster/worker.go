@@ -12,6 +12,7 @@ import (
 	"hash/fnv"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"prestolite/internal/cache"
 	"prestolite/internal/connector"
 	"prestolite/internal/execution"
+	"prestolite/internal/fault"
 	"prestolite/internal/obs"
 	"prestolite/internal/planner"
 )
@@ -75,6 +77,10 @@ type Worker struct {
 	// task counters, a task wall-time histogram, and the §VII cache metrics
 	// of every connector that exposes them.
 	Obs *obs.Registry
+	// Clock drives the graceful-shutdown grace periods and drain polls;
+	// defaults to real time. Fault-injection tests substitute a manual
+	// clock.
+	Clock fault.Clock
 
 	http *http.Server
 	ln   net.Listener
@@ -110,6 +116,7 @@ func NewWorker(catalogs *connector.Registry) *Worker {
 	w := &Worker{
 		Catalogs:    catalogs,
 		GracePeriod: 2 * time.Minute,
+		Clock:       fault.RealClock{},
 		state:       StateActive,
 		tasks:       map[string]*workerTask{},
 		closed:      make(chan struct{}),
@@ -243,7 +250,7 @@ func (w *Worker) GracefulShutdown() {
 
 	// Grace period 1: the coordinator notices SHUTTING_DOWN and stops
 	// assigning; racing tasks are still accepted and will complete.
-	time.Sleep(w.GracePeriod)
+	w.Clock.Sleep(w.GracePeriod)
 	w.mu.Lock()
 	w.draining = true
 	w.mu.Unlock()
@@ -260,7 +267,7 @@ func (w *Worker) GracefulShutdown() {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	time.Sleep(w.GracePeriod)
+	w.Clock.Sleep(w.GracePeriod)
 
 	w.mu.Lock()
 	w.state = StateShutdown
@@ -386,6 +393,40 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 		// Live per-operator snapshot (used by the coordinator for tasks it
 		// did not drain to completion, e.g. under LIMIT).
 		w.replyGob(rw, task.stats.Snapshot())
+		return
+	}
+	// Idempotent paged protocol: GET ...?page=N serves page N by index and
+	// never advances the worker-side cursor, so retried and hedged duplicate
+	// fetches of the same page are safe. The cursor mode below stays as the
+	// fallback for clients that do not name a page.
+	if pageStr := r.URL.Query().Get("page"); pageStr != "" {
+		idx, err := strconv.Atoi(pageStr)
+		if err != nil || idx < 0 {
+			http.Error(rw, "bad page index", http.StatusBadRequest)
+			return
+		}
+		task.mu.Lock()
+		chunk := TaskResultChunk{}
+		switch {
+		case task.err != nil:
+			chunk.Err = task.err.Error()
+			chunk.Done = true
+		case idx < len(task.pages):
+			data, err := block.EncodePage(task.pages[idx])
+			if err != nil {
+				chunk.Err = err.Error()
+				chunk.Done = true
+			} else {
+				chunk.Page = data
+			}
+		case task.done:
+			chunk.Done = true
+		}
+		if chunk.Done {
+			chunk.Stats = task.stats.Snapshot()
+		}
+		task.mu.Unlock()
+		w.replyGob(rw, chunk)
 		return
 	}
 	// Poll one chunk. Build it under the task lock, then write it out with

@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"prestolite/internal/fsys"
+)
+
+// TestSeedDeterminism: the same seed produces the same drop pattern over a
+// serial request sequence — the property that makes chaos runs replayable.
+func TestSeedDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.FaultHTTP(HTTPRule{DropProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.decideHTTP("w1:8080", "/v1/task").drop
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at draw %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw patterns")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Fatalf("0.3 drop probability yielded %d/200 drops", drops)
+	}
+}
+
+// TestTransportDrop: a dropped request never reaches the server and surfaces
+// as an InjectedError through errors.As.
+func TestTransportDrop(t *testing.T) {
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	in := NewInjector(1)
+	in.FaultHTTP(HTTPRule{DropProb: 1})
+	client := &http.Client{Transport: &Transport{Injector: in}}
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("expected drop error")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != "drop" {
+		t.Fatalf("err = %v, want InjectedError{Op: drop}", err)
+	}
+	if served != 0 {
+		t.Fatalf("dropped request reached the server %d times", served)
+	}
+	if n := in.Counters.Dropped.Load(); n != 1 {
+		t.Fatalf("Dropped = %d", n)
+	}
+}
+
+// TestTransportRulesScope: rules match by host and path substring; requests
+// outside the scope pass untouched.
+func TestTransportRulesScope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	in := NewInjector(1)
+	in.FaultHTTP(HTTPRule{Target: "no-such-host", DropProb: 1})
+	in.FaultHTTP(HTTPRule{Path: "/v1/task", DropProb: 1})
+	client := &http.Client{Transport: &Transport{Injector: in}}
+
+	resp, err := client.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatalf("out-of-scope request failed: %v", err)
+	}
+	_ = resp.Body.Close()
+	if _, err := client.Get(srv.URL + "/v1/task/t0/results"); err == nil {
+		t.Fatal("in-scope path was not dropped")
+	}
+}
+
+// TestTransportBlackHole: a black-holed request hangs until the client
+// timeout, then fails — never silently succeeds.
+func TestTransportBlackHole(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	in := NewInjector(1)
+	in.FaultHTTP(HTTPRule{BlackHoleProb: 1})
+	client := &http.Client{Transport: &Transport{Injector: in}, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("black hole returned after %v, before the 50ms client timeout", elapsed)
+	}
+	if n := in.Counters.BlackHoled.Load(); n != 1 {
+		t.Fatalf("BlackHoled = %d", n)
+	}
+}
+
+// TestTransportDelay: injected latency is charged on the injector's clock —
+// with a ManualClock the request is slow in virtual time only.
+func TestTransportDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	clk := NewManualClock(time.Unix(0, 0))
+	in := NewInjector(1)
+	in.Clock = clk
+	in.FaultHTTP(HTTPRule{DelayProb: 1, Delay: 3 * time.Second})
+	client := &http.Client{Transport: &Transport{Injector: in}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	_ = resp.Body.Close()
+	if got := clk.Slept(); got != 3*time.Second {
+		t.Fatalf("virtual delay = %v, want 3s", got)
+	}
+	if n := in.Counters.Delayed.Load(); n != 1 {
+		t.Fatalf("Delayed = %d", n)
+	}
+}
+
+// TestTransportCorrupt: exactly one body byte differs after a corruption,
+// and the flip position is seed-deterministic.
+func TestTransportCorrupt(t *testing.T) {
+	payload := []byte("hello, presto workers")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(payload)
+	}))
+	defer srv.Close()
+
+	readBody := func(seed int64) []byte {
+		in := NewInjector(seed)
+		in.FaultHTTP(HTTPRule{CorruptProb: 1})
+		client := &http.Client{Transport: &Transport{Injector: in}}
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("corrupted request failed: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a := readBody(7)
+	diff := 0
+	for i := range a {
+		if a[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+	if b := readBody(7); string(a) != string(b) {
+		t.Fatal("same seed corrupted different byte positions")
+	}
+}
+
+// TestFaultFS: filesystem rules inject typed errors into the selected ops and
+// paths only, and faulted reads count in the injector's counters.
+func TestFaultFS(t *testing.T) {
+	base := fsys.NewLocal(t.TempDir())
+	for _, p := range []string{"/data/a.parquet", "/data/b.parquet"} {
+		w, err := base.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	in := NewInjector(5)
+	in.FaultFS(FSRule{Path: "a.parquet", Ops: []string{"read"}, ErrProb: 1})
+	ffs := &FS{Injector: in, Base: base}
+
+	// Untargeted file reads fine.
+	fb, err := ffs.Open("/data/b.parquet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := fb.ReadAt(buf, 0); err != nil {
+		t.Fatalf("untargeted read failed: %v", err)
+	}
+	// Open of the targeted file is fine (rule scopes "read" only)...
+	fa, err := ffs.Open("/data/a.parquet")
+	if err != nil {
+		t.Fatalf("open should not fault: %v", err)
+	}
+	// ...but every read faults with a typed error.
+	_, err = fa.ReadAt(buf, 0)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != "fs-read" {
+		t.Fatalf("err = %v, want InjectedError{Op: fs-read}", err)
+	}
+	if n := in.Counters.FSErrors.Load(); n != 1 {
+		t.Fatalf("FSErrors = %d", n)
+	}
+}
+
+// TestManualClock: virtual time passes instantly, Sleep/After accumulate in
+// Slept, and After always delivers.
+func TestManualClock(t *testing.T) {
+	clk := NewManualClock(time.Unix(100, 0))
+	start := time.Now()
+	clk.Sleep(time.Hour)
+	select {
+	case now := <-clk.After(30 * time.Minute):
+		if want := time.Unix(100, 0).Add(90 * time.Minute); !now.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", now, want)
+		}
+	default:
+		t.Fatal("After channel did not fire immediately")
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("virtual 90m took %v real time", real)
+	}
+	if clk.Slept() != 90*time.Minute {
+		t.Fatalf("Slept = %v", clk.Slept())
+	}
+	clk.Advance(10 * time.Minute)
+	if clk.Slept() != 90*time.Minute {
+		t.Fatal("Advance must not count as sleep")
+	}
+	if want := time.Unix(100, 0).Add(100 * time.Minute); !clk.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", clk.Now(), want)
+	}
+}

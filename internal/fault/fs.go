@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"io"
+
+	"prestolite/internal/fsys"
+)
+
+// FS wraps a fsys.FileSystem and injects errors and latency into its
+// operations — the remote-object-store failure modes (stalled reads, 5xx
+// storms) the Parquet readers and the hive connector must survive. Writes
+// (Create) pass through untouched: chaos runs fault the read path of sealed
+// data.
+type FS struct {
+	Injector *Injector
+	Base     fsys.FileSystem
+}
+
+// apply charges the injected delay and returns the injected error, if any.
+func (f *FS) apply(op, path string) error {
+	d := f.Injector.decideFS(op, path)
+	if d.delay > 0 {
+		f.Injector.Counters.FSDelays.Add(1)
+		f.Injector.clock().Sleep(d.delay)
+	}
+	if d.err {
+		f.Injector.Counters.FSErrors.Add(1)
+		return &InjectedError{Op: "fs-" + op, Target: path}
+	}
+	return nil
+}
+
+// ListFiles implements fsys.FileSystem.
+func (f *FS) ListFiles(dir string) ([]fsys.FileInfo, error) {
+	if err := f.apply("list", dir); err != nil {
+		return nil, err
+	}
+	return f.Base.ListFiles(dir)
+}
+
+// GetFileInfo implements fsys.FileSystem.
+func (f *FS) GetFileInfo(path string) (fsys.FileInfo, error) {
+	if err := f.apply("stat", path); err != nil {
+		return fsys.FileInfo{}, err
+	}
+	return f.Base.GetFileInfo(path)
+}
+
+// Open implements fsys.FileSystem; the returned File injects faults into
+// every ReadAt.
+func (f *FS) Open(path string) (fsys.File, error) {
+	if err := f.apply("open", path); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, File: file}, nil
+}
+
+// Create implements fsys.FileSystem (pass-through).
+func (f *FS) Create(path string) (io.WriteCloser, error) {
+	return f.Base.Create(path)
+}
+
+// faultFile injects faults into random-access reads.
+type faultFile struct {
+	fs   *FS
+	path string
+	fsys.File
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.apply("read", f.path); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}

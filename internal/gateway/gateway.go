@@ -25,7 +25,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prestolite/internal/cluster"
 	"prestolite/internal/mysqlite"
+	"prestolite/internal/obs"
 	"prestolite/internal/types"
 )
 
@@ -65,6 +67,9 @@ type Gateway struct {
 	loadMu    sync.Mutex
 	loads     map[string]clusterLoad // addr -> last polled load
 	statsHTTP *http.Client
+
+	obs       *obs.Registry
+	failovers *obs.Counter
 }
 
 type clusterLoad struct {
@@ -73,8 +78,17 @@ type clusterLoad struct {
 	ok          bool
 }
 
-// New creates a gateway backed by a fresh routing database.
+// New creates a gateway backed by a fresh routing database, with default
+// client settings.
 func New() (*Gateway, error) {
+	return NewWithConfig(cluster.ClientConfig{})
+}
+
+// NewWithConfig creates a gateway whose health/load polls use cfg — the same
+// ClientConfig the coordinator uses, so chaos tests inject one transport
+// everywhere and timeouts are never inline literals.
+func NewWithConfig(cfg cluster.ClientConfig) (*Gateway, error) {
+	cfg = cfg.WithDefaults()
 	db := mysqlite.New()
 	if _, err := db.CreateTable("clusters", []mysqlite.Column{
 		{Name: "name", Type: types.Varchar},
@@ -89,13 +103,20 @@ func New() (*Gateway, error) {
 	}, "principal"); err != nil {
 		return nil, err
 	}
-	return &Gateway{
+	g := &Gateway{
 		db:        db,
 		LoadTTL:   defaultLoadTTL,
 		loads:     map[string]clusterLoad{},
-		statsHTTP: &http.Client{Timeout: 2 * time.Second},
-	}, nil
+		statsHTTP: cfg.StatsHTTPClient(),
+		obs:       obs.NewRegistry(),
+	}
+	g.failovers = g.obs.Counter("gateway_failovers")
+	g.obs.GaugeFunc("redirects", func() float64 { return float64(g.Redirects.Load()) })
+	return g, nil
 }
+
+// Obs exposes the gateway's metrics registry (gateway_failovers, redirects).
+func (g *Gateway) Obs() *obs.Registry { return g.obs }
 
 // DB exposes the routing store — "Presto administrators could play with
 // MySQL to dynamically redirect any traffic to any cluster".
@@ -164,9 +185,36 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 			// default), achieving no-downtime maintenance.
 			continue
 		}
-		return crow[1].(string), nil
+		return g.healthyAddr(cluster, crow[1].(string))
 	}
 	return "", fmt.Errorf("gateway: no route for user %q group %q", user, group)
+}
+
+// healthyAddr returns the primary cluster's address when its coordinator
+// answers health polls, and otherwise fails the principal over to the next
+// enabled, reachable cluster (by name order, for determinism). Failovers are
+// counted in the gateway_failovers metric. A routed cluster whose coordinator
+// is down thus costs one redirect elsewhere, not an error back to the client.
+func (g *Gateway) healthyAddr(primaryName, primaryAddr string) (string, error) {
+	if _, ok := g.clusterLoad(primaryAddr); ok {
+		return primaryAddr, nil
+	}
+	rows, err := g.db.Scan("clusters", nil, nil, -1)
+	if err != nil {
+		return "", err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].(string) < rows[j][0].(string) })
+	for _, row := range rows {
+		if row[0].(string) == primaryName || row[2].(int64) == 0 {
+			continue
+		}
+		addr := row[1].(string)
+		if _, ok := g.clusterLoad(addr); ok {
+			g.failovers.Inc()
+			return addr, nil
+		}
+	}
+	return "", fmt.Errorf("gateway: cluster %q is unreachable and no enabled cluster can take over", primaryName)
 }
 
 // leastLoadedCluster polls every enabled cluster's /v1/stats and picks the
@@ -234,6 +282,7 @@ func (g *Gateway) Start(addr string) error {
 	g.addr = ln.Addr().String()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/statement", g.handleStatement)
+	mux.HandleFunc("/v1/stats", g.handleStats)
 	g.http = &http.Server{Handler: mux}
 	go g.http.Serve(ln)
 	return nil
@@ -248,6 +297,13 @@ func (g *Gateway) Close() error {
 		return g.http.Close()
 	}
 	return nil
+}
+
+// handleStats serves the gateway's metrics registry as JSON, mirroring the
+// coordinator and worker /v1/stats endpoints.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(g.obs.Snapshot().JSON()) // best-effort: client hung up mid-snapshot
 }
 
 // handleStatement issues a 307 redirect to the resolved cluster. 307

@@ -215,6 +215,48 @@ func TestLeastLoadedRouting(t *testing.T) {
 	}
 }
 
+// TestFailoverToHealthyCluster: a route pointing at an enabled cluster whose
+// coordinator is dead fails over to the next enabled reachable cluster
+// instead of bouncing the client into a connection error, and the failover is
+// visible in the gateway_failovers metric.
+func TestFailoverToHealthyCluster(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	gw.LoadTTL = 0 // always poll live health in the test
+	if got := askVia(t, gw, "alice", ""); got != "dedicated" {
+		t.Fatalf("alice initially on %s", got)
+	}
+	if n := gw.Obs().Snapshot().Counters["gateway_failovers"]; n != 0 {
+		t.Fatalf("gateway_failovers = %d before any failure", n)
+	}
+
+	// The dedicated coordinator dies without any route/enabled change.
+	if err := dedicated.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := askVia(t, gw, "alice", ""); got != "shared" {
+		t.Errorf("alice after coordinator death on %s, want shared", got)
+	}
+	if n := gw.Obs().Snapshot().Counters["gateway_failovers"]; n < 1 {
+		t.Errorf("gateway_failovers = %d, want >= 1", n)
+	}
+}
+
+// TestFailoverNoSurvivors: the routed cluster is dead and there is no other
+// enabled cluster -> a clear error, not a hang or a redirect into the void.
+func TestFailoverNoSurvivors(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	gw.LoadTTL = 0
+	if err := gw.SetClusterEnabled("shared", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := dedicated.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Resolve("alice", ""); err == nil {
+		t.Error("expected error with the primary dead and no enabled survivor")
+	}
+}
+
 // TestLeastLoadedNoReachableCluster: all clusters down -> a clear error, not
 // a hang.
 func TestLeastLoadedNoReachableCluster(t *testing.T) {

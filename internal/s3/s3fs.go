@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/fsys"
 )
 
@@ -25,6 +26,9 @@ type FileSystemConfig struct {
 	// MultipartPartSize triggers multipart upload for larger writes
 	// (§IX optimization 4); 0 disables multipart.
 	MultipartPartSize int
+	// Clock drives the backoff sleeps; nil means real time. Fault-injection
+	// tests substitute a manual clock so retry storms resolve instantly.
+	Clock fault.Clock
 }
 
 // DefaultConfig enables everything.
@@ -58,6 +62,10 @@ func key(path string) string { return strings.TrimPrefix(path, "/") }
 
 // withBackoff retries transient errors with exponential backoff + jitter.
 func (fs *FileSystem) withBackoff(op func() error) error {
+	clock := fs.cfg.Clock
+	if clock == nil {
+		clock = fault.RealClock{}
+	}
 	backoff := fs.cfg.BaseBackoff
 	if backoff <= 0 {
 		backoff = time.Millisecond
@@ -78,7 +86,7 @@ func (fs *FileSystem) withBackoff(op func() error) error {
 		fs.Retries.N++
 		fs.mu.Unlock()
 		jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
-		time.Sleep(backoff + jitter)
+		clock.Sleep(backoff + jitter)
 		backoff *= 2
 	}
 }

@@ -1,0 +1,120 @@
+package snappy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRoundTrip: Encode then Decode must reproduce any input byte-for-byte.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 100_000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Encode(nil, src)
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d bytes)): %v", len(src), err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d bytes out", len(src), len(dec))
+		}
+	})
+}
+
+// FuzzDecode: arbitrary (mostly invalid) input must decode or error — never
+// panic, never allocate unboundedly.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x00})
+	f.Add(Encode(nil, []byte("the quick brown fox")))
+	// A header claiming 2^32-1 decoded bytes over no body.
+	huge := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(huge, 1<<32-1)
+	f.Add(huge[:n])
+	f.Fuzz(func(t *testing.T, src []byte) {
+		dec, err := Decode(nil, src)
+		if err == nil {
+			if want, lerr := DecodedLen(src); lerr != nil || len(dec) != want {
+				t.Fatalf("successful decode disagrees with DecodedLen: got %d, want %d (err %v)", len(dec), want, lerr)
+			}
+		}
+	})
+}
+
+// TestDecodeTruncated: every strict prefix of a valid stream must fail
+// cleanly — truncation mid-element, mid-literal, or mid-header may never
+// panic or return a short result as success.
+func TestDecodeTruncated(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("hello, hello, hello, hello"),
+		bytes.Repeat([]byte("abcdefgh"), 500),
+		randBytes(rand.New(rand.NewSource(11)), 1000), // incompressible: long literals
+	}
+	for _, src := range inputs {
+		enc := Encode(nil, src)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := Decode(nil, enc[:cut]); err == nil {
+				t.Fatalf("Decode accepted a %d/%d-byte prefix of a valid stream", cut, len(enc))
+			}
+		}
+	}
+}
+
+// TestDecodeHugeClaimedLength: crafted headers demanding absurd allocations
+// are rejected before any allocation happens.
+func TestDecodeHugeClaimedLength(t *testing.T) {
+	for _, claim := range []uint64{1 << 20, 1 << 31, 1<<32 - 1, 1 << 40, 1 << 63, 1<<64 - 1} {
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], claim)
+		src := append(hdr[:n:n], 0x00) // tiny body can never satisfy the claim
+		if _, err := Decode(nil, src); err == nil {
+			t.Errorf("Decode accepted header claiming %d bytes over a 1-byte body", claim)
+		}
+		if claim > 1<<32-1 {
+			if _, err := DecodedLen(src); err == nil {
+				t.Errorf("DecodedLen accepted out-of-range claim %d", claim)
+			}
+		}
+	}
+}
+
+// TestRoundTripSeededRandom: table-driven round trips over seeded random data
+// across the size spectrum, both incompressible noise and synthetic
+// repetitive data that stresses the copy emitter.
+func TestRoundTripSeededRandom(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		for _, size := range []int{0, 1, 3, 64, 1 << 10, 1 << 16, 1<<16 + 1, 1 << 18} {
+			noise := randBytes(rng, size)
+			repetitive := noise
+			if size > 0 {
+				chunk := noise[:max(size/16, 1)]
+				repetitive = bytes.Repeat(chunk, size/len(chunk)+1)[:size]
+			}
+			lowEntropy := make([]byte, size)
+			for i := range lowEntropy {
+				lowEntropy[i] = byte(rng.Intn(3))
+			}
+			for _, src := range [][]byte{noise, repetitive, lowEntropy} {
+				enc := Encode(nil, src)
+				dec, err := Decode(nil, enc)
+				if err != nil {
+					t.Fatalf("seed %d size %d: %v", seed, size, err)
+				}
+				if !bytes.Equal(dec, src) {
+					t.Fatalf("seed %d size %d: round trip mismatch", seed, size)
+				}
+			}
+		}
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

@@ -7,6 +7,7 @@ package snappy
 import (
 	"encoding/binary"
 	"errors"
+	"math"
 )
 
 const (
@@ -120,10 +121,12 @@ func emitCopy(dst []byte, offset, length int) []byte {
 	return dst
 }
 
-// DecodedLen returns the decompressed length of src.
+// DecodedLen returns the decompressed length of src. Claimed lengths beyond
+// 2^32-1 are rejected outright: they cannot come from a legal encoder and
+// int(n) would overflow on 64-bit uvarints.
 func DecodedLen(src []byte) (int, error) {
 	n, read := binary.Uvarint(src)
-	if read <= 0 {
+	if read <= 0 || n > math.MaxUint32 {
 		return 0, ErrCorrupt
 	}
 	return int(n), nil
@@ -134,6 +137,13 @@ func Decode(dst, src []byte) ([]byte, error) {
 	dLen, err := DecodedLen(src)
 	if err != nil {
 		return nil, err
+	}
+	// The densest legal element is a 3-byte copy expanding to 64 bytes
+	// (~21×), so a header claiming more than 64× the input is corrupt. The
+	// check runs before allocation: a crafted header must not be able to
+	// demand gigabytes for a few input bytes.
+	if dLen > 64*len(src) {
+		return nil, ErrCorrupt
 	}
 	_, hdr := binary.Uvarint(src)
 	s := src[hdr:]
