@@ -24,6 +24,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	coordinator := flag.String("coordinator", "", "coordinator address to announce to")
 	grace := flag.Duration("grace-period", 2*time.Minute, "shutdown.grace-period")
+	memoryLimit := flag.Int64("memory-limit", 0, "process-wide memory pool in bytes (0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "enable spill-to-disk under this directory")
+	spillBudget := flag.Int64("spill-budget", 0, "disk cap for live spill runs in bytes (0 = unlimited)")
 	flag.Parse()
 
 	catalogs, err := workload.DemoCatalogs()
@@ -33,6 +36,9 @@ func main() {
 	}
 	w := cluster.NewWorker(catalogs)
 	w.GracePeriod = *grace
+	w.MemoryLimit = *memoryLimit
+	w.SpillDir = *spillDir
+	w.SpillBudget = *spillBudget
 	if err := w.Start(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, "presto-worker:", err)
 		os.Exit(1)

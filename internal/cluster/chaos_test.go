@@ -1,21 +1,25 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"prestolite/internal/block"
 	"prestolite/internal/connector"
 	"prestolite/internal/connectors/hive"
+	"prestolite/internal/execution"
 	"prestolite/internal/fault"
 	"prestolite/internal/fsys"
 	"prestolite/internal/hdfs"
 	"prestolite/internal/metastore"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
 	"prestolite/internal/tpch"
 )
 
@@ -317,5 +321,315 @@ func TestChaosFullPartition(t *testing.T) {
 				t.Errorf("seed %d: err = %v, want a typed availability error (IsUnavailable)", seed, err)
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Memory-pressure chaos (§XII.C): the degradation ladder under concurrency.
+// The invariant mirrors the reliability contract above — under a pool far too
+// small for the working set, every query either returns row-exact results
+// (admitted, possibly queued, possibly spilled) or fails with a typed
+// resource error. Never a hang, never a wrong row, never a leaked spill file.
+
+// chaosMemQueries are deliberately memory-hungry: a wide total-order sort, a
+// near-distinct grouped aggregation, and a self-join. Each one's working set
+// dwarfs the per-query caps the pressure tests configure. The sort projects
+// exactly its sort keys, so tied rows are identical and row-exact comparison
+// is order-safe even across external-merge tie-breaks.
+var chaosMemQueries = []string{
+	`SELECT l_orderkey, l_partkey, l_suppkey, l_quantity FROM lineitem
+		ORDER BY l_orderkey, l_partkey, l_suppkey, l_quantity`,
+	`SELECT l_orderkey, l_partkey, count(*) AS n, sum(l_quantity) AS q FROM lineitem
+		GROUP BY l_orderkey, l_partkey ORDER BY l_orderkey, l_partkey`,
+	`SELECT count(*) AS n FROM lineitem a JOIN lineitem b ON a.l_orderkey = b.l_orderkey`,
+}
+
+// chaosMemBaseline runs the memory-hungry queries on a clean cluster with no
+// resource limits at all.
+func chaosMemBaseline(t *testing.T) []string {
+	t.Helper()
+	coord, _ := chaosCluster(t, chaosCatalogs(t, nil), 3, ClientConfig{})
+	out := make([]string, len(chaosMemQueries))
+	for i, q := range chaosMemQueries {
+		out[i] = mustRows(t, coord, q)
+	}
+	return out
+}
+
+// TestChaosMemoryPressure is the headline §XII.C scenario: 8 concurrent
+// memory-hungry TPC-H queries against a coordinator whose pool is a fraction
+// of their combined working set, with admission capping concurrency at 2 and
+// 5% RPC drops layered on top. Every query must complete row-exact (spilling
+// under its per-query cap, queueing behind the group) or fail typed; spill
+// must actually fire; and afterwards no reservation, queue entry, or spill
+// file may survive.
+func TestChaosMemoryPressure(t *testing.T) {
+	want := chaosMemBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		spillDir := t.TempDir()
+		if err := coord.ConfigureResources(ResourceConfig{
+			MemoryLimit: 256 << 10,
+			SpillDir:    spillDir,
+			OOMKill:     true,
+			Groups: []resource.GroupConfig{{
+				Name: "chaos", MaxConcurrency: 2, MaxQueued: 16, PerQueryMemory: 48 << 10,
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		inj.FaultHTTP(fault.HTTPRule{DropProb: 0.05})
+
+		const concurrent = 8
+		errs := make(chan error, concurrent)
+		var successes atomic.Int64
+		watchdog(t, 120*time.Second, func() {
+			var wg sync.WaitGroup
+			for i := 0; i < concurrent; i++ {
+				qi := i % len(chaosMemQueries)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := coord.Query(chaosSession(), chaosMemQueries[qi])
+					if err != nil {
+						// Typed degradation is an allowed outcome; anything
+						// else is a broken ladder.
+						if errors.Is(err, resource.ErrQueryKilledOOM) || errors.Is(err, resource.ErrQueueFull) {
+							return
+						}
+						errs <- fmt.Errorf("query %d failed untyped: %w", qi, err)
+						return
+					}
+					rows, err := res.Rows()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fmt.Sprint(rows); got != want[qi] {
+						errs <- fmt.Errorf("query %d rows diverged under memory pressure\ngot  %s\nwant %s", qi, got, want[qi])
+						return
+					}
+					successes.Add(1)
+				}()
+			}
+			wg.Wait()
+		})
+		close(errs)
+		for err := range errs {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if successes.Load() == 0 {
+			t.Errorf("seed %d: no query succeeded — the ladder degraded straight to the bottom", seed)
+		}
+		if n := counter(coord, "spills"); n < 1 {
+			t.Errorf("seed %d: spills = %d, want >= 1 (the pressure never reached the spill rung)", seed, n)
+		}
+		// Satellite (b): no spill file outlives its query.
+		if runs := coord.SpillManager().LiveRuns(); len(runs) != 0 {
+			t.Errorf("seed %d: leaked coordinator spill runs: %v", seed, runs)
+		}
+		entries, err := os.ReadDir(spillDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Errorf("seed %d: spill dir holds %d files after all queries finished", seed, len(entries))
+		}
+		snap := coord.Obs().Snapshot()
+		if g := snap.Gauges["pool_reserved_bytes"]; g != 0 {
+			t.Errorf("seed %d: pool_reserved_bytes = %v after all queries finished", seed, g)
+		}
+		if g := snap.Gauges["queue_depth"]; g != 0 {
+			t.Errorf("seed %d: queue_depth = %v after all queries finished", seed, g)
+		}
+	}
+}
+
+// TestChaosOOMKillerUnderOverload: spill disabled, OOM killer on, and a pool
+// two concurrent sorts cannot share. Queries must drain — each either exact
+// or typed (killed by the OOM killer, or cleanly refused with Insufficient
+// Resources) — the killer must actually fire, and the pool must return to
+// zero so the next workload starts clean.
+func TestChaosOOMKillerUnderOverload(t *testing.T) {
+	want := chaosMemBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		if err := coord.ConfigureResources(ResourceConfig{
+			MemoryLimit: 64 << 10,
+			OOMKill:     true,
+			Groups: []resource.GroupConfig{{
+				Name: "chaos", MaxConcurrency: 2, MaxQueued: 16,
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		const concurrent = 4
+		errs := make(chan error, concurrent)
+		watchdog(t, 120*time.Second, func() {
+			var wg sync.WaitGroup
+			for i := 0; i < concurrent; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := coord.Query(chaosSession(), chaosMemQueries[0])
+					if err != nil {
+						var insufficient execution.ErrInsufficientResources
+						if errors.Is(err, resource.ErrQueryKilledOOM) || errors.As(err, &insufficient) {
+							return
+						}
+						errs <- fmt.Errorf("untyped failure: %w", err)
+						return
+					}
+					rows, err := res.Rows()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fmt.Sprint(rows); got != want[0] {
+						errs <- fmt.Errorf("rows diverged under OOM pressure\ngot  %s\nwant %s", got, want[0])
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		close(errs)
+		for err := range errs {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if n := counter(coord, "oom_kills"); n < 1 {
+			t.Errorf("seed %d: oom_kills = %d, want >= 1 (overload never reached the killer)", seed, n)
+		}
+		if g := coord.Obs().Snapshot().Gauges["pool_reserved_bytes"]; g != 0 {
+			t.Errorf("seed %d: pool_reserved_bytes = %v after the overload drained", seed, g)
+		}
+	}
+}
+
+// TestChaosAdmissionRejects: a one-slot, one-queue-entry group hit by 6
+// simultaneous queries. Some run (exact rows), some queue, the rest get the
+// typed queue-full rejection; afterwards the queue is empty and the group
+// usable.
+func TestChaosAdmissionRejects(t *testing.T) {
+	want := chaosMemBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		coord, _ := chaosCluster(t, chaosCatalogs(t, inj), 3, chaosConfig(inj))
+		if err := coord.ConfigureResources(ResourceConfig{
+			Groups: []resource.GroupConfig{{Name: "adhoc", MaxConcurrency: 1, MaxQueued: 1}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		const concurrent = 6
+		errs := make(chan error, concurrent)
+		var successes, rejects atomic.Int64
+		watchdog(t, 120*time.Second, func() {
+			var wg sync.WaitGroup
+			for i := 0; i < concurrent; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := coord.Query(chaosSession(), chaosMemQueries[0])
+					if err != nil {
+						if errors.Is(err, resource.ErrQueueFull) {
+							rejects.Add(1)
+							return
+						}
+						errs <- fmt.Errorf("untyped failure: %w", err)
+						return
+					}
+					rows, err := res.Rows()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := fmt.Sprint(rows); got != want[0] {
+						errs <- fmt.Errorf("admitted query diverged\ngot  %s\nwant %s", got, want[0])
+						return
+					}
+					successes.Add(1)
+				}()
+			}
+			wg.Wait()
+		})
+		close(errs)
+		for err := range errs {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if successes.Load() < 1 {
+			t.Errorf("seed %d: no query was admitted", seed)
+		}
+		if rejects.Load() < 1 {
+			t.Errorf("seed %d: no query was rejected — 6 submissions fit a 1+1 group?", seed)
+		}
+		if n := counter(coord, "admission_rejects"); n != rejects.Load() {
+			t.Errorf("seed %d: admission_rejects = %d, want %d", seed, n, rejects.Load())
+		}
+		if g := coord.Obs().Snapshot().Gauges["queue_depth"]; g != 0 {
+			t.Errorf("seed %d: queue_depth = %v after the burst drained", seed, g)
+		}
+	}
+}
+
+// TestChaosWorkerSpillCleanup: workers run with their own tiny pools and
+// spill dirs, so the partial aggregation spills on the workers themselves.
+// Rows stay exact, worker-side spill fires, and worker shutdown removes every
+// scratch file (satellite b at the worker layer).
+func TestChaosWorkerSpillCleanup(t *testing.T) {
+	want := chaosMemBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		catalogs := chaosCatalogs(t, inj)
+		coord := NewCoordinatorWithConfig(catalogs, chaosConfig(inj))
+		var workers []*Worker
+		var dirs []string
+		for i := 0; i < 3; i++ {
+			w := NewWorker(catalogs)
+			w.GracePeriod = 20 * time.Millisecond
+			w.MemoryLimit = 32 << 10
+			w.SpillDir = t.TempDir()
+			dirs = append(dirs, w.SpillDir)
+			if err := w.Start("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { w.Close() })
+			coord.AddWorker(w.Addr())
+			workers = append(workers, w)
+		}
+
+		watchdog(t, 60*time.Second, func() {
+			if got := mustRows(t, coord, chaosMemQueries[1]); got != want[1] {
+				t.Errorf("seed %d: rows diverged with worker-side spill\ngot  %s\nwant %s", seed, got, want[1])
+			}
+		})
+		spilled := false
+		for _, w := range workers {
+			if w.Obs.Snapshot().Counters["spills"] > 0 {
+				spilled = true
+			}
+			if runs := w.SpillManager().LiveRuns(); len(runs) != 0 {
+				t.Errorf("seed %d: worker %s leaked spill runs: %v", seed, w.Addr(), runs)
+			}
+			w.Close()
+		}
+		if !spilled {
+			t.Errorf("seed %d: no worker ever spilled — the worker pools never saw pressure", seed)
+		}
+		for _, dir := range dirs {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Errorf("seed %d: worker spill dir %s holds %d files after shutdown", seed, dir, len(entries))
+			}
+		}
 	}
 }

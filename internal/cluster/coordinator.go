@@ -21,6 +21,7 @@ import (
 	"prestolite/internal/execution"
 	"prestolite/internal/obs"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
 	"prestolite/internal/sql"
 	"prestolite/internal/types"
 
@@ -51,6 +52,10 @@ type Coordinator struct {
 	queryCounter atomic.Int64
 	queries      *queryLog
 	obs          *obs.Registry
+
+	// res is the resource-management subsystem (memory pool, admission
+	// groups, spill, OOM killer); nil until ConfigureResources is called.
+	res *coordResources
 
 	submitted     *obs.Counter
 	finished      *obs.Counter
@@ -337,7 +342,7 @@ func (c *Coordinator) runTracked(session *planner.Session, q *sql.Query, rawSQL 
 	c.outstanding.Add(1)
 	start := time.Now()
 
-	res, text, err := c.execQuery(session, q, queryID, analyze)
+	res, text, err := c.admitAndExec(session, q, queryID, analyze, start)
 
 	c.outstanding.Add(-1)
 	c.queryWall.Observe(time.Since(start))
@@ -355,8 +360,31 @@ func (c *Coordinator) runTracked(session *planner.Session, q *sql.Query, rawSQL 
 	return res, text, nil
 }
 
+// admitAndExec runs the admission-control rung of the §XII.C degradation
+// ladder before execution: the query waits in its resource group's FIFO
+// queue (staying in the QUEUED state it was added with) until a concurrency
+// slot frees up. A full queue rejects immediately with the typed
+// resource.ErrQueueFull, which the HTTP front end maps to 429.
+func (c *Coordinator) admitAndExec(session *planner.Session, q *sql.Query, queryID string, analyze bool, queued time.Time) (*QueryResult, string, error) {
+	if g := c.groupFor(session); g != nil {
+		release, err := g.Acquire(nil)
+		if err != nil {
+			c.res.admissionRejects.Inc()
+			return nil, "", err
+		}
+		defer release()
+		queuedMs := time.Since(queued).Milliseconds()
+		c.queries.update(queryID, func(qi *QueryInfo) { qi.QueuedMs = queuedMs })
+	}
+	return c.execQuery(session, q, queryID, analyze)
+}
+
 func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID string, analyze bool) (*QueryResult, string, error) {
 	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryPlanning; qi.Planning = time.Now() })
+	memLimit, err := queryMemoryLimit(session, c.groupFor(session))
+	if err != nil {
+		return nil, "", err
+	}
 	plan, err := c.planQuery(session, q)
 	if err != nil {
 		return nil, "", err
@@ -432,7 +460,9 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	}()
 
 	// Execute the root fragment locally, pulling remote pages, with the
-	// coordinator-side operators instrumented.
+	// coordinator-side operators instrumented. The query gets its own memory
+	// context — a child of the process-wide pool capped at its session/group
+	// limit — and, when configured, the shared spill manager.
 	rootStats := obs.NewTaskStats()
 	ctx := &execution.Context{
 		Catalogs: c.Catalogs,
@@ -440,6 +470,16 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		RemoteSources: func(fragmentID int, cols []planner.Column) (execution.Operator, error) {
 			return &remoteSourceOperator{c: c, qs: qs, tasks: remotes[fragmentID]}, nil
 		},
+	}
+	if c.res != nil {
+		qpool := c.res.pool.Child(queryID, memLimit)
+		defer qpool.Close()
+		ctx.Memory = qpool
+		if c.res.spill != nil && session.Property("spill_enabled", "true") == "true" {
+			ctx.Spill = c.res.spill
+		}
+	} else {
+		ctx.MemoryLimit = memLimit
 	}
 	op, err := execution.Build(fp.Root.Root, ctx)
 	if err != nil {
@@ -484,16 +524,22 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	}
 
 	now := time.Now()
+	peak, spilled := int64(0), int64(0)
+	if ctx.Memory != nil {
+		peak, spilled = ctx.Memory.Peak(), ctx.Memory.Spilled()
+	}
 	c.queries.update(queryID, func(qi *QueryInfo) {
 		qi.State = QueryFinished
 		qi.Finished = now
 		qi.Rows = rows
 		qi.Stages = stages
+		qi.PeakMemoryBytes = peak
+		qi.SpilledBytes = spilled
 	})
 
 	text := ""
 	if analyze {
-		text = formatAnalyzedFragments(fp, stages) + c.obs.Snapshot().CacheSection()
+		text = formatAnalyzedFragments(fp, stages) + c.obs.Snapshot().CacheSection() + memFooter(ctx.Memory)
 	}
 	return res, text, nil
 }
@@ -735,6 +781,13 @@ func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
 	session := &planner.Session{Catalog: req.Catalog, Schema: req.Schema, User: req.User, Properties: req.Properties}
 	res, err := c.Query(session, req.Query)
 	if err != nil {
+		if errors.Is(err, resource.ErrQueueFull) {
+			// Admission rejected the query: tell the client (and any gateway
+			// in front) to retry elsewhere or later.
+			rw.Header().Set("Retry-After", "1")
+			http.Error(rw, err.Error(), http.StatusTooManyRequests)
+			return
+		}
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -48,6 +48,12 @@ type QueryInfo struct {
 	// Rows is the number of result rows streamed to the client.
 	Rows int64
 
+	// Resource usage (§XII.C): time spent queued for an admission slot, the
+	// query memory context's peak reservation, and bytes spilled to disk.
+	QueuedMs        int64 `json:",omitempty"`
+	PeakMemoryBytes int64 `json:",omitempty"`
+	SpilledBytes    int64 `json:",omitempty"`
+
 	Stages []StageInfo
 }
 

@@ -25,6 +25,7 @@ import (
 	"prestolite/internal/fault"
 	"prestolite/internal/obs"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
 )
 
 // WorkerState is the §IX lifecycle.
@@ -81,6 +82,19 @@ type Worker struct {
 	// defaults to real time. Fault-injection tests substitute a manual
 	// clock.
 	Clock fault.Clock
+	// MemoryLimit caps the worker's process-wide memory pool (§XII.C); every
+	// task runs in a child context. 0 with no SpillDir = legacy unaccounted
+	// execution.
+	MemoryLimit int64
+	// SpillDir, when set, lets task operators spill to disk when a memory
+	// reservation is refused. Runs are removed as tasks close; anything left
+	// (crash-path leftovers) is swept on worker shutdown.
+	SpillDir string
+	// SpillBudget caps bytes on disk across live spill runs. 0 = unlimited.
+	SpillBudget int64
+
+	pool  *resource.Pool
+	spill *resource.SpillManager
 
 	http *http.Server
 	ln   net.Listener
@@ -164,6 +178,18 @@ func (w *Worker) activeTaskCount() int {
 
 // Start listens on addr (use "127.0.0.1:0" for tests).
 func (w *Worker) Start(addr string) error {
+	if w.MemoryLimit > 0 || w.SpillDir != "" {
+		w.pool = resource.NewPool("worker", w.MemoryLimit)
+		w.Obs.GaugeFunc("pool_reserved_bytes", func() float64 { return float64(w.pool.Reserved()) })
+	}
+	if w.SpillDir != "" {
+		mgr, err := resource.NewSpillManager(w.SpillDir, w.SpillBudget)
+		if err != nil {
+			return err
+		}
+		mgr.SetCounters(w.Obs.Counter("spills"), w.Obs.Counter("spilled_bytes"))
+		w.spill = mgr
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: worker listen: %w", err)
@@ -191,13 +217,21 @@ func (w *Worker) State() WorkerState {
 	return w.state
 }
 
-// Close stops the server immediately (ungraceful).
+// Close stops the server immediately (ungraceful). Spill runs of in-flight
+// tasks are swept so a killed worker cannot leave temp files behind.
 func (w *Worker) Close() error {
+	if w.spill != nil {
+		w.spill.RemoveAll()
+	}
 	if w.http != nil {
 		return w.http.Close()
 	}
 	return nil
 }
+
+// SpillManager exposes the worker's spill manager (nil when spill is not
+// configured) — tests use it to assert no runs leak.
+func (w *Worker) SpillManager() *resource.SpillManager { return w.spill }
 
 func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
@@ -273,6 +307,9 @@ func (w *Worker) GracefulShutdown() {
 	w.state = StateShutdown
 	w.mu.Unlock()
 	close(w.closed)
+	if w.spill != nil {
+		w.spill.RemoveAll()
+	}
 	_ = w.http.Close() // shutting down: the listener is going away regardless
 }
 
@@ -326,6 +363,14 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 		Catalogs: w.Catalogs,
 		Splits:   map[string][]connector.Split{req.TableKey: req.Splits},
 		Stats:    task.stats,
+	}
+	if w.pool != nil {
+		// Per-task memory context: tasks share the worker pool, and a failed
+		// task cannot leak reservations past its Close.
+		tpool := w.pool.Child(req.TaskID, 0)
+		defer tpool.Close()
+		ctx.Memory = tpool
+		ctx.Spill = w.spill
 	}
 	op, err := execution.Build(req.Fragment, ctx)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"prestolite/internal/execution"
 	"prestolite/internal/obs"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
 	"prestolite/internal/sql"
 	"prestolite/internal/types"
 
@@ -28,6 +29,14 @@ type Engine struct {
 	// metrics publish into it at Register time, and EXPLAIN ANALYZE appends
 	// its cache section from it.
 	Obs *obs.Registry
+	// Mem, when non-nil, is the engine-wide memory pool; every query runs in
+	// a child context so concurrent queries share one budget. nil = queries
+	// are bounded only by their own query_max_memory.
+	Mem *resource.Pool
+	// Spill, when non-nil, lets blocking operators spill to disk instead of
+	// failing when a reservation is refused (subject to the spill_enabled
+	// session property, default true).
+	Spill *resource.SpillManager
 }
 
 // New creates an engine with an empty catalog registry.
@@ -165,24 +174,36 @@ func textResult(column, text string) *Result {
 
 // execContext builds the runtime context for a session (§XII.C: queries
 // exceeding the session memory limit fail with the "Insufficient Resources"
-// error rather than taking down the node).
-func (e *Engine) execContext(session *planner.Session) (*execution.Context, error) {
+// error — unless spill is available and enabled). The cleanup function must
+// run when the query finishes: it closes the per-query memory context so a
+// failed operator cannot leak reservations into the shared pool.
+func (e *Engine) execContext(session *planner.Session) (*execution.Context, func(), error) {
 	ctx := &execution.Context{Catalogs: e.Catalogs}
+	cleanup := func() {}
 	if v := session.Property("query_max_memory", ""); v != "" {
 		limit, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("core: bad query_max_memory %q: %w", v, err)
+			return nil, nil, fmt.Errorf("core: bad query_max_memory %q: %w", v, err)
 		}
 		ctx.MemoryLimit = limit
 	}
-	return ctx, nil
+	if e.Mem != nil {
+		q := e.Mem.Child("query", ctx.MemoryLimit)
+		ctx.Memory = q
+		cleanup = q.Close
+	}
+	if e.Spill != nil && session.Property("spill_enabled", "true") == "true" {
+		ctx.Spill = e.Spill
+	}
+	return ctx, cleanup, nil
 }
 
 func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, error) {
-	ctx, err := e.execContext(session)
+	ctx, cleanup, err := e.execContext(session)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
 	op, err := execution.Build(plan, ctx)
 	if err != nil {
 		return nil, err
@@ -203,10 +224,11 @@ func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, 
 // physical tree annotated with actual rows, bytes, wall time and batch
 // counts per operator, plus a cache-statistics footer.
 func (e *Engine) explainAnalyze(session *planner.Session, plan planner.Node) (string, error) {
-	ctx, err := e.execContext(session)
+	ctx, cleanup, err := e.execContext(session)
 	if err != nil {
 		return "", err
 	}
+	defer cleanup()
 	stats := obs.NewTaskStats()
 	ctx.Stats = stats
 	op, err := execution.Build(plan, ctx)
@@ -221,7 +243,18 @@ func (e *Engine) explainAnalyze(session *planner.Session, plan planner.Node) (st
 	for _, p := range pages {
 		block.MaterializePage(p)
 	}
-	return execution.FormatAnnotated(plan, stats.Snapshot()) + CacheStatsFooter(e.Obs.Snapshot()), nil
+	text := execution.FormatAnnotated(plan, stats.Snapshot()) + CacheStatsFooter(e.Obs.Snapshot())
+	return text + MemoryFooter(ctx.Memory), nil
+}
+
+// MemoryFooter renders the per-query memory footer ("" without a memory
+// context) — peak reservation and spilled bytes, appended to EXPLAIN ANALYZE
+// so §XII.C resource behaviour shows up next to the plan.
+func MemoryFooter(pool *resource.Pool) string {
+	if pool == nil {
+		return ""
+	}
+	return fmt.Sprintf("\nMemory: peak %d B, spilled %d B\n", pool.Peak(), pool.Spilled())
 }
 
 // CacheStatsFooter renders the cache-related gauges of a registry snapshot

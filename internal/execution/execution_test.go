@@ -81,6 +81,7 @@ func TestSortOperatorStableAndNullsLast(t *testing.T) {
 	op := &sortOperator{
 		child: &pagesOperator{pages: []*block.Page{p1, p2}},
 		keys:  []planner.SortKey{{Channel: 0}},
+		mem:   &opMem{op: "test"},
 	}
 	pages, err := Drain(op)
 	if err != nil {
@@ -121,7 +122,7 @@ func TestAggregateOperatorPartialFinal(t *testing.T) {
 		block.NewInt64Block([]int64{1, 1, 2}),
 		block.NewInt64Block([]int64{10, 20, 30}),
 	)
-	partialOp, err := newAggregateOperator(agg, &pagesOperator{pages: []*block.Page{input}})
+	partialOp, err := newAggregateOperator(agg, &pagesOperator{pages: []*block.Page{input}}, &opMem{op: "test"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestAggregateOperatorPartialFinal(t *testing.T) {
 		}},
 		Step: planner.AggFinal,
 	}
-	finalOp, err := newAggregateOperator(finalAgg, &pagesOperator{pages: partials})
+	finalOp, err := newAggregateOperator(finalAgg, &pagesOperator{pages: partials}, &opMem{op: "test"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,8 @@ func TestJoinOperatorNullKeysNeverMatch(t *testing.T) {
 	}
 	op := newJoinOperator(join,
 		&pagesOperator{pages: []*block.Page{left}},
-		&pagesOperator{pages: []*block.Page{right}})
+		&pagesOperator{pages: []*block.Page{right}},
+		&opMem{op: "test"})
 	pages, err := Drain(op)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,119 @@
+package execution
+
+import (
+	"errors"
+
+	"prestolite/internal/resource"
+)
+
+// spillPageRows bounds the rows per page frame written to a spill run (and
+// per page emitted by spilled merge paths), keeping read-back reservations
+// small.
+const spillPageRows = 1024
+
+// opMem is a blocking operator's handle on the query memory context: it
+// tracks how many bytes the operator holds, answers "reserve or spill?", and
+// turns pool/spill refusals into the user-visible Insufficient Resources
+// error (§XII.C). A nil pool means the operator runs unaccounted (no
+// query_max_memory and no worker pool) — every reserve succeeds.
+type opMem struct {
+	op       string
+	pool     *resource.Pool
+	spill    *resource.SpillManager
+	reserved int64
+}
+
+func newOpMem(op string, ctx *Context) *opMem {
+	return &opMem{op: op, pool: ctx.Memory, spill: ctx.Spill}
+}
+
+// canSpill reports whether spilling is enabled for this query.
+func (m *opMem) canSpill() bool { return m.spill != nil }
+
+// newRun opens a spill run tagged with the operator name. Only call when
+// canSpill.
+func (m *opMem) newRun(tag string) (*resource.RunWriter, error) {
+	return m.spill.NewRun(tag)
+}
+
+// reserve charges n bytes against the query pool. ok=false (with nil error)
+// means the reservation was refused and the operator should spill its
+// buffer; it is only returned when spilling is possible. A non-nil error
+// means the query must fail (already wrapped for the user).
+func (m *opMem) reserve(n int64) (ok bool, err error) {
+	if m.pool == nil || n <= 0 {
+		return true, nil
+	}
+	err = m.pool.TryReserve(n)
+	if err == nil {
+		m.reserved += n
+		return true, nil
+	}
+	if m.spill != nil && errors.Is(err, resource.ErrPoolExhausted) {
+		return false, nil
+	}
+	if err := m.hardReserveErr(n); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// hardReserve charges n bytes with no spill fallback: the pool may escalate
+// to the root's OOM killer; a refusal fails the query.
+func (m *opMem) hardReserve(n int64) error {
+	if m.pool == nil || n <= 0 {
+		return nil
+	}
+	return m.hardReserveErr(n)
+}
+
+func (m *opMem) hardReserveErr(n int64) error {
+	if err := m.pool.Reserve(n); err != nil {
+		return m.fail(err)
+	}
+	m.reserved += n
+	return nil
+}
+
+// release returns n bytes (clamped to what the operator holds).
+func (m *opMem) release(n int64) {
+	if m.pool == nil {
+		return
+	}
+	if n > m.reserved {
+		n = m.reserved
+	}
+	if n <= 0 {
+		return
+	}
+	m.pool.Release(n)
+	m.reserved -= n
+}
+
+// releaseAll returns everything the operator still holds.
+func (m *opMem) releaseAll() { m.release(m.reserved) }
+
+// addSpilled records spilled bytes against the query (the spilled_bytes
+// stat aggregated up the pool tree).
+func (m *opMem) addSpilled(n int64) {
+	if m.pool != nil {
+		m.pool.AddSpilled(n)
+	}
+}
+
+// fail wraps a pool or spill-budget refusal into the §XII.C user-visible
+// error; OOM kills pass through typed so the coordinator can report them.
+func (m *opMem) fail(err error) error {
+	if errors.Is(err, resource.ErrQueryKilledOOM) {
+		return err
+	}
+	var limit int64
+	if m.pool != nil {
+		limit = m.pool.Limit()
+	}
+	var ex resource.ExhaustedError
+	if errors.As(err, &ex) {
+		limit = ex.Limit
+	}
+	return ErrInsufficientResources{Operator: m.op, Limit: limit, Cause: err}
+}

@@ -14,6 +14,7 @@ import (
 	"prestolite/internal/expr"
 	"prestolite/internal/obs"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
 )
 
 // Operator produces a stream of pages. Next returns io.EOF when exhausted.
@@ -31,10 +32,20 @@ type Context struct {
 	// Splits optionally pins the splits a TableScan should process (used by
 	// distributed tasks); nil means "enumerate all splits".
 	Splits map[string][]connector.Split // key: catalog.schema.table
-	// MemoryLimit bounds bytes buffered by blocking operators (join build
-	// side, sort). 0 = unlimited. Exceeding it fails the query with the
-	// §XII.C "Insufficient Resources" error users know too well.
+	// MemoryLimit bounds bytes buffered by blocking operators (join build,
+	// sort, hash aggregation). 0 = unlimited. It is the legacy form of
+	// Memory: when Memory is nil and MemoryLimit > 0, Build creates a
+	// standalone pool with this limit, so exceeding it still fails the query
+	// with the §XII.C "Insufficient Resources" error.
 	MemoryLimit int64
+	// Memory is the query's memory context (a child of the process-wide
+	// pool). All blocking operators reserve their buffered bytes through it;
+	// nil (with MemoryLimit 0) means unaccounted.
+	Memory *resource.Pool
+	// Spill, when non-nil, lets blocking operators spill buffered pages to
+	// disk instead of failing when a reservation is refused — the §XII.C
+	// degradation ladder's third rung. nil = spill disabled.
+	Spill *resource.SpillManager
 	// Stats, when non-nil, makes Build wrap every operator so it records
 	// rows/bytes, wall time and batch counts (the observability subsystem;
 	// used by EXPLAIN ANALYZE and worker task reporting).
@@ -52,16 +63,31 @@ type Context struct {
 type ErrInsufficientResources struct {
 	Operator string
 	Limit    int64
+	// Cause is the underlying pool/spill error (resource.ErrPoolExhausted,
+	// resource.ErrSpillBudgetExhausted, ...); errors.Is sees through it.
+	Cause error
 }
 
 func (e ErrInsufficientResources) Error() string {
-	return fmt.Sprintf("Insufficient Resources: %s exceeded the query memory limit of %d bytes; retry on a batch engine (e.g. Presto on Spark) or raise query_max_memory", e.Operator, e.Limit)
+	msg := fmt.Sprintf("Insufficient Resources: %s exceeded the query memory limit of %d bytes; retry on a batch engine (e.g. Presto on Spark), raise query_max_memory, or enable spill_enabled", e.Operator, e.Limit)
+	if e.Cause != nil {
+		msg += " (" + e.Cause.Error() + ")"
+	}
+	return msg
 }
+
+// Unwrap exposes the underlying resource error.
+func (e ErrInsufficientResources) Unwrap() error { return e.Cause }
 
 // Build constructs the operator tree for a plan. With ctx.Stats set, every
 // operator is wrapped to record execution statistics keyed by its pre-order
 // position in the plan.
 func Build(node planner.Node, ctx *Context) (Operator, error) {
+	if ctx.Memory == nil && ctx.MemoryLimit > 0 {
+		// Legacy callers that only set a byte limit get a standalone pool,
+		// so every blocking operator goes through one accounting path.
+		ctx.Memory = resource.NewPool("query", ctx.MemoryLimit)
+	}
 	if ctx.Stats != nil && ctx.ids == nil {
 		ctx.ids = planOperatorIDs(node)
 	}
@@ -105,13 +131,13 @@ func build(node planner.Node, ctx *Context) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sortOperator{child: child, keys: t.Keys, memoryLimit: ctx.MemoryLimit}, nil
+		return newSortOperator(t, child, newOpMem("ORDER BY buffering", ctx)), nil
 	case *planner.Aggregate:
 		child, err := Build(t.Child, ctx)
 		if err != nil {
 			return nil, err
 		}
-		return newAggregateOperator(t, child)
+		return newAggregateOperator(t, child, newOpMem("hash aggregation", ctx))
 	case *planner.Join:
 		left, err := Build(t.Left, ctx)
 		if err != nil {
@@ -121,9 +147,7 @@ func build(node planner.Node, ctx *Context) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := newJoinOperator(t, left, right)
-		op.memoryLimit = ctx.MemoryLimit
-		return op, nil
+		return newJoinOperator(t, left, right, newOpMem("the build side of a join", ctx)), nil
 	case *planner.GeoJoin:
 		left, err := Build(t.Left, ctx)
 		if err != nil {

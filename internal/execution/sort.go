@@ -8,45 +8,113 @@ import (
 	"prestolite/internal/block"
 	"prestolite/internal/expr"
 	"prestolite/internal/planner"
+	"prestolite/internal/resource"
+	"prestolite/internal/types"
 )
 
-// sortOperator buffers all input and emits one sorted page. NULLs sort last
-// ascending / first descending. The output page uses indirection blocks over
-// the buffered pages, so sorting never copies or re-encodes values (it works
-// for any block type, including nested ones).
+// sortOperator buffers its input and emits sorted output. NULLs sort last
+// ascending / first descending. When everything fits the query's memory
+// budget it emits one page of indirection blocks over the buffered input, so
+// sorting never copies or re-encodes values; when a reservation is refused
+// (and spill is enabled) it sorts what it holds, writes the sorted run to
+// disk, and k-way merges the runs on read-back — an external sort.
 type sortOperator struct {
-	child       Operator
-	keys        []planner.SortKey
-	memoryLimit int64
-	done        bool
+	child    Operator
+	keys     []planner.SortKey
+	outTypes []*types.Type
+	mem      *opMem
+
+	consumed bool
+	done     bool
+	pages    []*block.Page
+	runs     []*resource.Run
+	cursors  []*sortCursor
+	scratch  []any
+}
+
+// sortCursor reads one spilled run during the merge, holding one page at a
+// time. Read-back pages are transient engine overhead (one bounded frame per
+// open run), not user memory: charging them against the query cap that just
+// forced the spill would deadlock the merge.
+type sortCursor struct {
+	rr   *resource.RunReader
+	run  *resource.Run
+	page *block.Page
+	row  int
+	done bool
+}
+
+func newSortOperator(node *planner.Sort, child Operator, mem *opMem) *sortOperator {
+	outs := node.Outputs()
+	ts := make([]*types.Type, len(outs))
+	for i, c := range outs {
+		ts[i] = c.Type
+	}
+	return &sortOperator{child: child, keys: node.Keys, outTypes: ts, mem: mem}
 }
 
 func (o *sortOperator) Next() (*block.Page, error) {
 	if o.done {
 		return nil, io.EOF
 	}
-	var pages []*block.Page
-	var buffered int64
+	if !o.consumed {
+		if err := o.consume(); err != nil {
+			return nil, err
+		}
+		o.consumed = true
+	}
+	if len(o.runs) == 0 {
+		o.done = true
+		if len(o.pages) == 0 {
+			return nil, io.EOF
+		}
+		return o.sortedView(), nil
+	}
+	return o.mergeNext()
+}
+
+func (o *sortOperator) consume() error {
 	for {
 		p, err := o.child.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if p.Count() > 0 {
-			pages = append(pages, p)
-			buffered += int64(p.SizeBytes())
-			if o.memoryLimit > 0 && buffered > o.memoryLimit {
-				return nil, ErrInsufficientResources{Operator: "ORDER BY buffering", Limit: o.memoryLimit}
+		if p.Count() == 0 {
+			continue
+		}
+		sz := int64(p.SizeBytes())
+		ok, err := o.mem.reserve(sz)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if err := o.spillBuffer(); err != nil {
+				return err
+			}
+			if err := o.mem.hardReserve(sz); err != nil {
+				return err
 			}
 		}
+		o.pages = append(o.pages, p)
 	}
-	o.done = true
-	if len(pages) == 0 {
-		return nil, io.EOF
+	if len(o.runs) == 0 {
+		return nil
 	}
+	// Spilled at least once: the leftover buffer becomes the last run and
+	// the merge takes over.
+	if err := o.spillBuffer(); err != nil {
+		return err
+	}
+	return o.openMerge()
+}
+
+// sortedView sorts the buffered pages and returns a zero-copy page of
+// indirection blocks over them.
+func (o *sortOperator) sortedView() *block.Page {
+	pages := o.pages
 	type idx struct {
 		page int32
 		row  int32
@@ -86,7 +154,133 @@ func (o *sortOperator) Next() (*block.Page, error) {
 		}
 		blocks[ch] = &indirectBlock{sources: sources, pageIdx: pageIdx, rowIdx: rowIdx}
 	}
-	return &block.Page{Blocks: blocks, N: len(rows)}, nil
+	return &block.Page{Blocks: blocks, N: len(rows)}
+}
+
+// spillBuffer sorts the buffered pages and writes the sorted rows out as one
+// run, then frees their memory.
+func (o *sortOperator) spillBuffer() error {
+	if len(o.pages) == 0 {
+		return nil
+	}
+	view := o.sortedView()
+	w, err := o.mem.newRun("sort")
+	if err != nil {
+		return err
+	}
+	for off := 0; off < view.Count(); off += spillPageRows {
+		n := spillPageRows
+		if off+n > view.Count() {
+			n = view.Count() - off
+		}
+		if err := w.WritePage(view.Region(off, n)); err != nil {
+			w.Abandon()
+			return o.mem.fail(err)
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	o.runs = append(o.runs, run)
+	o.mem.addSpilled(run.Bytes())
+	o.pages = o.pages[:0]
+	o.mem.releaseAll()
+	return nil
+}
+
+func (o *sortOperator) openMerge() error {
+	for _, r := range o.runs {
+		rr, err := r.Open()
+		if err != nil {
+			return err
+		}
+		c := &sortCursor{rr: rr, run: r}
+		o.cursors = append(o.cursors, c)
+		if err := o.advancePage(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advancePage drops the cursor's current page and loads the next one; at the
+// end of the run the file is removed immediately.
+func (o *sortOperator) advancePage(c *sortCursor) error {
+	c.page, c.row = nil, 0
+	p, err := c.rr.Next()
+	if errors.Is(err, io.EOF) {
+		c.done = true
+		err := c.rr.Close()
+		c.run.Remove()
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	c.page = p
+	return nil
+}
+
+// mergeNext emits the next page of the k-way merge over the spilled runs.
+func (o *sortOperator) mergeNext() (*block.Page, error) {
+	pb := block.NewPageBuilder(o.outTypes)
+	if o.scratch == nil {
+		o.scratch = make([]any, len(o.outTypes))
+	}
+	row := o.scratch
+	for pb.Len() < spillPageRows {
+		c := o.minCursor()
+		if c == nil {
+			break
+		}
+		for ch := range o.outTypes {
+			row[ch] = c.page.Blocks[ch].Value(c.row)
+		}
+		pb.AppendRow(row)
+		c.row++
+		if c.row >= c.page.Count() {
+			if err := o.advancePage(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if pb.Len() == 0 {
+		o.done = true
+		return nil, io.EOF
+	}
+	return pb.Build(), nil
+}
+
+// minCursor picks the live cursor with the smallest current row. Ties stay
+// with the earliest run — runs hold earlier input rows, so the merge keeps
+// the stability of the in-memory sort.
+func (o *sortOperator) minCursor() *sortCursor {
+	var best *sortCursor
+	for _, c := range o.cursors {
+		if c.done {
+			continue
+		}
+		if best == nil || o.cursorLess(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (o *sortOperator) cursorLess(a, b *sortCursor) bool {
+	for _, k := range o.keys {
+		va := a.page.Blocks[k.Channel].Value(a.row)
+		vb := b.page.Blocks[k.Channel].Value(b.row)
+		c := compareNullable(va, vb)
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
 }
 
 // compareNullable orders values with NULL greatest (NULLS LAST ascending).
@@ -102,7 +296,20 @@ func compareNullable(a, b any) int {
 	return expr.CompareValues(a, b)
 }
 
-func (o *sortOperator) Close() error { return o.child.Close() }
+func (o *sortOperator) Close() error {
+	var errs []error
+	for _, c := range o.cursors {
+		if c.rr != nil && !c.done {
+			errs = append(errs, c.rr.Close())
+		}
+	}
+	for _, r := range o.runs {
+		r.Remove()
+	}
+	o.mem.releaseAll()
+	errs = append(errs, o.child.Close())
+	return errors.Join(errs...)
+}
 
 // indirectBlock is a zero-copy view over rows scattered across multiple
 // source blocks.

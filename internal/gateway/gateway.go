@@ -17,6 +17,7 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -74,9 +75,15 @@ type Gateway struct {
 
 type clusterLoad struct {
 	outstanding float64
+	saturated   bool // admission queues full: a submission now gets a 429
 	fetched     time.Time
 	ok          bool
 }
+
+// ErrAllSaturated: every reachable cluster's admission queues are full. The
+// gateway answers 429 + Retry-After instead of bouncing the client between
+// coordinators that would each reject it anyway.
+var ErrAllSaturated = errors.New("gateway: all reachable clusters are saturated")
 
 // New creates a gateway backed by a fresh routing database, with default
 // client settings.
@@ -191,12 +198,17 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 }
 
 // healthyAddr returns the primary cluster's address when its coordinator
-// answers health polls, and otherwise fails the principal over to the next
-// enabled, reachable cluster (by name order, for determinism). Failovers are
-// counted in the gateway_failovers metric. A routed cluster whose coordinator
-// is down thus costs one redirect elsewhere, not an error back to the client.
+// answers health polls and has admission headroom, and otherwise fails the
+// principal over to the next enabled, reachable, unsaturated cluster (by name
+// order, for determinism). Failovers are counted in the gateway_failovers
+// metric. A routed cluster whose coordinator is down — or whose admission
+// queues are full and would answer only 429 — thus costs one redirect
+// elsewhere, not an error back to the client. When every reachable cluster is
+// saturated the typed ErrAllSaturated surfaces (handleStatement maps it to
+// 429 + Retry-After).
 func (g *Gateway) healthyAddr(primaryName, primaryAddr string) (string, error) {
-	if _, ok := g.clusterLoad(primaryAddr); ok {
+	primary := g.pollCluster(primaryAddr)
+	if primary.ok && !primary.saturated {
 		return primaryAddr, nil
 	}
 	rows, err := g.db.Scan("clusters", nil, nil, -1)
@@ -204,22 +216,32 @@ func (g *Gateway) healthyAddr(primaryName, primaryAddr string) (string, error) {
 		return "", err
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i][0].(string) < rows[j][0].(string) })
+	sawReachable := primary.ok
 	for _, row := range rows {
 		if row[0].(string) == primaryName || row[2].(int64) == 0 {
 			continue
 		}
-		addr := row[1].(string)
-		if _, ok := g.clusterLoad(addr); ok {
-			g.failovers.Inc()
-			return addr, nil
+		load := g.pollCluster(row[1].(string))
+		if !load.ok {
+			continue
 		}
+		sawReachable = true
+		if load.saturated {
+			continue
+		}
+		g.failovers.Inc()
+		return row[1].(string), nil
+	}
+	if sawReachable {
+		return "", fmt.Errorf("%w (primary %q)", ErrAllSaturated, primaryName)
 	}
 	return "", fmt.Errorf("gateway: cluster %q is unreachable and no enabled cluster can take over", primaryName)
 }
 
 // leastLoadedCluster polls every enabled cluster's /v1/stats and picks the
-// one with the fewest outstanding queries. Ties break by cluster name so the
-// choice is deterministic; unreachable clusters are skipped.
+// one with the fewest outstanding queries, skipping clusters whose admission
+// queues are full. Ties break by cluster name so the choice is deterministic;
+// unreachable clusters are skipped.
 func (g *Gateway) leastLoadedCluster() (string, error) {
 	rows, err := g.db.Scan("clusters", nil, nil, -1)
 	if err != nil {
@@ -227,33 +249,42 @@ func (g *Gateway) leastLoadedCluster() (string, error) {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i][0].(string) < rows[j][0].(string) })
 	best, bestLoad := "", 0.0
+	sawReachable := false
 	for _, row := range rows {
 		if row[2].(int64) == 0 {
 			continue
 		}
 		addr := row[1].(string)
-		load, ok := g.clusterLoad(addr)
-		if !ok {
+		load := g.pollCluster(addr)
+		if !load.ok {
 			continue
 		}
-		if best == "" || load < bestLoad {
-			best, bestLoad = addr, load
+		sawReachable = true
+		if load.saturated {
+			continue
+		}
+		if best == "" || load.outstanding < bestLoad {
+			best, bestLoad = addr, load.outstanding
 		}
 	}
 	if best == "" {
+		if sawReachable {
+			return "", ErrAllSaturated
+		}
 		return "", fmt.Errorf("gateway: no enabled cluster is reachable for least-loaded routing")
 	}
 	return best, nil
 }
 
-// clusterLoad returns a cluster's outstanding-query count, polling its
-// /v1/stats endpoint at most once per LoadTTL.
-func (g *Gateway) clusterLoad(addr string) (float64, bool) {
+// pollCluster returns a cluster's load snapshot (outstanding queries and
+// admission saturation), polling its /v1/stats endpoint at most once per
+// LoadTTL.
+func (g *Gateway) pollCluster(addr string) clusterLoad {
 	g.loadMu.Lock()
 	cached, ok := g.loads[addr]
 	g.loadMu.Unlock()
 	if ok && time.Since(cached.fetched) < g.LoadTTL {
-		return cached.outstanding, cached.ok
+		return cached
 	}
 	load := clusterLoad{fetched: time.Now()}
 	if resp, err := g.statsHTTP.Get("http://" + addr + "/v1/stats"); err == nil {
@@ -262,6 +293,7 @@ func (g *Gateway) clusterLoad(addr string) (float64, bool) {
 		}
 		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snap) == nil {
 			load.outstanding = snap.Gauges["queries_outstanding"]
+			load.saturated = snap.Gauges["admission_saturated"] > 0
 			load.ok = true
 		}
 		_ = resp.Body.Close() // best-effort: the load snapshot is already decoded
@@ -269,7 +301,7 @@ func (g *Gateway) clusterLoad(addr string) (float64, bool) {
 	g.loadMu.Lock()
 	g.loads[addr] = load
 	g.loadMu.Unlock()
-	return load.outstanding, load.ok
+	return load
 }
 
 // Start serves the gateway on addr.
@@ -314,6 +346,11 @@ func (g *Gateway) handleStatement(w http.ResponseWriter, r *http.Request) {
 	group := r.Header.Get("X-Presto-Group")
 	target, err := g.Resolve(user, group)
 	if err != nil {
+		if errors.Is(err, ErrAllSaturated) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"net/http"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"prestolite/internal/cluster"
 	"prestolite/internal/connector"
 	"prestolite/internal/connectors/memory"
+	"prestolite/internal/resource"
 	"prestolite/internal/types"
 )
 
@@ -273,5 +275,58 @@ func TestLeastLoadedNoReachableCluster(t *testing.T) {
 	}
 	if _, err := gw.Resolve("bob", ""); err == nil {
 		t.Error("expected error with no reachable clusters")
+	}
+}
+
+// saturate installs a zero-concurrency admission group on a coordinator, so
+// it publishes admission_saturated = 1 on /v1/stats.
+func saturate(t *testing.T, coord *cluster.Coordinator) {
+	t.Helper()
+	if err := coord.ConfigureResources(cluster.ResourceConfig{
+		Groups: []resource.GroupConfig{{Name: "drained", MaxConcurrency: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailoverSaturatedCluster: a cluster whose admission queues are full
+// (admission_saturated on /v1/stats) is skipped like an unhealthy one — the
+// query lands on the next enabled cluster instead of bouncing off a 429.
+func TestFailoverSaturatedCluster(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	gw.LoadTTL = 0 // always poll live saturation in the test
+	if got := askVia(t, gw, "alice", ""); got != "dedicated" {
+		t.Fatalf("alice initially on %s", got)
+	}
+	saturate(t, dedicated)
+	if got := askVia(t, gw, "alice", ""); got != "shared" {
+		t.Errorf("alice with dedicated saturated on %s, want shared", got)
+	}
+}
+
+// TestAllSaturated429: with every reachable cluster saturated the gateway
+// answers 429 + Retry-After itself — the client backs off instead of being
+// redirected into a guaranteed rejection.
+func TestAllSaturated429(t *testing.T) {
+	gw, dedicated, shared := newGateway(t)
+	gw.LoadTTL = 0
+	saturate(t, dedicated)
+	saturate(t, shared)
+
+	req, err := http.NewRequest(http.MethodPost, "http://"+gw.Addr()+"/v1/statement", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Presto-User", "alice")
+	resp, err := http.DefaultTransport.RoundTrip(req) // no redirect following
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
 	}
 }

@@ -1,0 +1,300 @@
+// Package resource implements the cluster's resource-management subsystem:
+// hierarchical memory pools with atomic reserve/release and peak tracking,
+// spill-to-disk for blocking operators, and admission control with FIFO
+// queues per resource group. Together they form the §XII.C degradation
+// ladder — account, queue, spill, and only then kill — that replaces the
+// hard "Insufficient Resources" failure users complained about.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestolite/internal/obs"
+)
+
+// Typed sentinels of the degradation ladder. errors.Is works through the
+// wrapping the layers add.
+var (
+	// ErrPoolExhausted: a reservation did not fit a pool's limit. Operators
+	// catch it to trigger spilling; when spill is unavailable it surfaces as
+	// the classic "Insufficient Resources" failure.
+	ErrPoolExhausted = errors.New("resource: memory pool exhausted")
+	// ErrQueryKilledOOM: the last rung of the ladder — the OOM killer chose
+	// this query (the largest reservation in a pool stuck at its high-water
+	// mark) so the rest of the workload could finish.
+	ErrQueryKilledOOM = errors.New("resource: query killed by the cluster OOM killer")
+)
+
+// ExhaustedError is the concrete error behind ErrPoolExhausted; it names the
+// pool that could not fit the reservation so callers can distinguish "the
+// query hit its own cap" (spill, don't kill neighbours) from "the shared
+// process pool is full" (where the OOM killer may help).
+type ExhaustedError struct {
+	Pool      string
+	Limit     int64
+	Requested int64
+	Reserved  int64
+}
+
+func (e ExhaustedError) Error() string {
+	return fmt.Sprintf("resource: pool %q exhausted: %d bytes requested, %d of %d reserved",
+		e.Pool, e.Requested, e.Reserved, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrPoolExhausted) true.
+func (e ExhaustedError) Is(target error) bool { return target == ErrPoolExhausted }
+
+// oomKillWaits bounds how long a reservation blocks for an OOM-killed
+// victim to unwind and release its memory before giving up.
+const (
+	oomKillWaits    = 200
+	oomKillWaitStep = time.Millisecond
+)
+
+// Pool is one node of the hierarchical memory-pool tree: a process-wide
+// worker pool at the root, one child per query (or per task on workers).
+// Reserve and Release are atomic and propagate to every ancestor, so the
+// root always sees the true aggregate reservation; Peak tracks the
+// high-water mark per pool for observability.
+type Pool struct {
+	name   string
+	limit  int64 // 0 = unlimited
+	parent *Pool
+
+	reserved atomic.Int64
+	peak     atomic.Int64
+	spilled  atomic.Int64
+
+	killed atomic.Pointer[killMark]
+
+	mu       sync.Mutex
+	children map[*Pool]struct{}
+
+	// Root-only OOM-killer policy (EnableOOMKiller).
+	oomKill  atomic.Bool
+	oomKills *obs.Counter
+}
+
+// killMark records why a pool was killed (boxed for atomic.Pointer).
+type killMark struct{ err error }
+
+// NewPool creates a root pool. limit 0 means unlimited.
+func NewPool(name string, limit int64) *Pool {
+	return &Pool{name: name, limit: limit, children: map[*Pool]struct{}{}}
+}
+
+// Child creates a sub-pool (a per-query or per-task memory context) whose
+// reservations also count against this pool. limit 0 inherits no extra cap.
+func (p *Pool) Child(name string, limit int64) *Pool {
+	c := &Pool{name: name, limit: limit, parent: p, children: map[*Pool]struct{}{}}
+	p.mu.Lock()
+	p.children[c] = struct{}{}
+	p.mu.Unlock()
+	return c
+}
+
+// EnableOOMKiller turns on the last-resort policy at this (root) pool: when
+// a reservation finds the pool stuck at its limit, the child with the
+// largest reservation is killed so the rest of the workload can finish.
+// kills, when non-nil, counts victims (the oom_kills metric).
+func (p *Pool) EnableOOMKiller(kills *obs.Counter) {
+	p.oomKills = kills
+	p.oomKill.Store(true)
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Limit returns the pool's byte limit (0 = unlimited).
+func (p *Pool) Limit() int64 { return p.limit }
+
+// Reserved returns the current reservation.
+func (p *Pool) Reserved() int64 { return p.reserved.Load() }
+
+// Peak returns the high-water mark of the reservation.
+func (p *Pool) Peak() int64 { return p.peak.Load() }
+
+// Spilled returns the bytes this pool's operators have spilled to disk.
+func (p *Pool) Spilled() int64 { return p.spilled.Load() }
+
+// AddSpilled records n bytes spilled on behalf of this pool (and its
+// ancestors, so the root aggregates cluster-wide spill volume).
+func (p *Pool) AddSpilled(n int64) {
+	for q := p; q != nil; q = q.parent {
+		q.spilled.Add(n)
+	}
+}
+
+// KilledErr returns the OOM-kill error when this pool (or an ancestor) has
+// been killed, nil otherwise.
+func (p *Pool) KilledErr() error {
+	for q := p; q != nil; q = q.parent {
+		if m := q.killed.Load(); m != nil {
+			return m.err
+		}
+	}
+	return nil
+}
+
+// kill marks the pool killed; reservations against it (and its descendants)
+// fail with err from now on.
+func (p *Pool) kill(err error) {
+	p.killed.CompareAndSwap(nil, &killMark{err: err})
+}
+
+// TryReserve atomically reserves n bytes against this pool and every
+// ancestor. On failure nothing stays reserved and the returned error is an
+// ExhaustedError naming the pool that did not fit (or the kill error when
+// the query has been OOM-killed).
+func (p *Pool) TryReserve(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := p.KilledErr(); err != nil {
+		return err
+	}
+	for q := p; q != nil; q = q.parent {
+		if err := q.reserveLocal(n); err != nil {
+			// Roll back the levels already reserved.
+			for r := p; r != q; r = r.parent {
+				r.reserved.Add(-n)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// reserveLocal reserves n at this level only (CAS against the limit).
+func (p *Pool) reserveLocal(n int64) error {
+	for {
+		cur := p.reserved.Load()
+		next := cur + n
+		if p.limit > 0 && next > p.limit {
+			return ExhaustedError{Pool: p.name, Limit: p.limit, Requested: n, Reserved: cur}
+		}
+		if p.reserved.CompareAndSwap(cur, next) {
+			for {
+				peak := p.peak.Load()
+				if next <= peak || p.peak.CompareAndSwap(peak, next) {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// Reserve reserves n bytes, escalating to the root's OOM killer when the
+// shared pool is the one that is full: the killer marks the largest child
+// dead and this reservation waits (bounded) for the victim's memory to come
+// back. A caller whose own query is the largest is killed itself and gets
+// ErrQueryKilledOOM immediately. Operators use TryReserve + spill first and
+// Reserve as the last resort, which is exactly the §XII.C ladder.
+func (p *Pool) Reserve(n int64) error {
+	err := p.TryReserve(n)
+	if err == nil || !errors.Is(err, ErrPoolExhausted) {
+		return err
+	}
+	root := p.root()
+	var ex ExhaustedError
+	if !root.oomKill.Load() || !errors.As(err, &ex) || ex.Pool != root.name {
+		return err
+	}
+	for i := 0; i < oomKillWaits; i++ {
+		if killErr := root.oomKillFor(p); killErr != nil {
+			return killErr
+		}
+		time.Sleep(oomKillWaitStep)
+		err = p.TryReserve(n)
+		if err == nil || !errors.Is(err, ErrPoolExhausted) {
+			return err
+		}
+	}
+	return err
+}
+
+// Release returns n bytes to this pool and every ancestor.
+func (p *Pool) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	for q := p; q != nil; q = q.parent {
+		q.reserved.Add(-n)
+	}
+}
+
+// Close releases whatever the pool still holds and detaches it from its
+// parent. Call it when the query (or task) finishes, so leaked reservations
+// from failed operators cannot poison the shared pool.
+func (p *Pool) Close() {
+	rem := p.reserved.Swap(0)
+	if rem > 0 {
+		for q := p.parent; q != nil; q = q.parent {
+			q.reserved.Add(-rem)
+		}
+	}
+	if p.parent != nil {
+		p.parent.mu.Lock()
+		delete(p.parent.children, p)
+		p.parent.mu.Unlock()
+	}
+}
+
+func (p *Pool) root() *Pool {
+	q := p
+	for q.parent != nil {
+		q = q.parent
+	}
+	return q
+}
+
+// topAncestorBelow returns the ancestor of p that is a direct child of
+// root (p itself when it is one).
+func (p *Pool) topAncestorBelow(root *Pool) *Pool {
+	q := p
+	for q.parent != nil && q.parent != root {
+		q = q.parent
+	}
+	return q
+}
+
+// oomKillFor runs one round of the OOM policy on behalf of a blocked
+// reservation originating at origin: pick the live child with the largest
+// reservation; if it is the origin's own query, kill it and return the
+// error for the caller to propagate, otherwise kill it (once) and return
+// nil so the caller can wait for the memory to come back.
+func (p *Pool) oomKillFor(origin *Pool) error {
+	originTop := origin.topAncestorBelow(p)
+	p.mu.Lock()
+	var victim *Pool
+	var victimSize int64
+	for c := range p.children {
+		if c.killed.Load() != nil {
+			continue // already dying; let it unwind
+		}
+		if sz := c.reserved.Load(); victim == nil || sz > victimSize ||
+			(sz == victimSize && c.name < victim.name) {
+			victim, victimSize = c, sz
+		}
+	}
+	p.mu.Unlock()
+	if victim == nil || victimSize == 0 {
+		// Everything sizable is already unwinding (or nothing is reserved);
+		// waiting is the only option.
+		return nil
+	}
+	killErr := fmt.Errorf("%w: %s held %d bytes of pool %s (limit %d)",
+		ErrQueryKilledOOM, victim.name, victimSize, p.name, p.limit)
+	victim.kill(killErr)
+	if p.oomKills != nil {
+		p.oomKills.Inc()
+	}
+	if victim == originTop {
+		return killErr
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prestolite/internal/obs"
+)
+
+func TestPoolHierarchyAccounting(t *testing.T) {
+	root := NewPool("root", 1000)
+	q1 := root.Child("q1", 500)
+	q2 := root.Child("q2", 0)
+
+	if err := q1.TryReserve(300); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if err := q2.TryReserve(200); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if got := root.Reserved(); got != 500 {
+		t.Fatalf("root reserved = %d, want 500", got)
+	}
+	q1.Release(100)
+	if got, want := q1.Reserved(), int64(200); got != want {
+		t.Fatalf("q1 reserved = %d, want %d", got, want)
+	}
+	if got, want := root.Reserved(), int64(400); got != want {
+		t.Fatalf("root reserved = %d, want %d", got, want)
+	}
+	// Peak is the high-water mark, unaffected by the release.
+	if got, want := q1.Peak(), int64(300); got != want {
+		t.Fatalf("q1 peak = %d, want %d", got, want)
+	}
+	if got, want := root.Peak(), int64(500); got != want {
+		t.Fatalf("root peak = %d, want %d", got, want)
+	}
+}
+
+func TestPoolChildCapNamesChild(t *testing.T) {
+	root := NewPool("root", 0)
+	q := root.Child("q1", 50)
+	err := q.TryReserve(60)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want ErrPoolExhausted, got %v", err)
+	}
+	var ex ExhaustedError
+	if !errors.As(err, &ex) || ex.Pool != "q1" {
+		t.Fatalf("want exhaustion at pool q1, got %+v", err)
+	}
+	if root.Reserved() != 0 || q.Reserved() != 0 {
+		t.Fatalf("failed reserve leaked: root=%d q=%d", root.Reserved(), q.Reserved())
+	}
+}
+
+func TestPoolTryReserveRollsBackOnAncestorFailure(t *testing.T) {
+	root := NewPool("root", 100)
+	q := root.Child("q1", 0)
+	if err := q.TryReserve(80); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	err := q.TryReserve(50)
+	var ex ExhaustedError
+	if !errors.As(err, &ex) || ex.Pool != "root" {
+		t.Fatalf("want exhaustion at root, got %v", err)
+	}
+	// The child level must have been rolled back.
+	if got, want := q.Reserved(), int64(80); got != want {
+		t.Fatalf("q reserved = %d, want %d", got, want)
+	}
+	if got, want := root.Reserved(), int64(80); got != want {
+		t.Fatalf("root reserved = %d, want %d", got, want)
+	}
+}
+
+func TestPoolCloseReleasesRemainder(t *testing.T) {
+	root := NewPool("root", 1000)
+	q := root.Child("q1", 0)
+	if err := q.TryReserve(400); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	q.Close()
+	if got := root.Reserved(); got != 0 {
+		t.Fatalf("root reserved after child close = %d, want 0", got)
+	}
+}
+
+func TestReserveWithoutKillerFailsTyped(t *testing.T) {
+	root := NewPool("root", 100)
+	q := root.Child("q1", 0)
+	if err := q.Reserve(80); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if err := q.Reserve(50); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want ErrPoolExhausted, got %v", err)
+	}
+}
+
+func TestOOMKillerKillsLargestQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	kills := reg.Counter("oom_kills")
+	root := NewPool("root", 1000)
+	root.EnableOOMKiller(kills)
+	big := root.Child("big", 0)
+	small := root.Child("small", 0)
+	if err := big.Reserve(600); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if err := small.Reserve(300); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+
+	// Simulate the big query noticing it was killed and unwinding, as a
+	// failing operator's Close would.
+	go func() {
+		for big.KilledErr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		big.Close()
+	}()
+
+	// small needs 300 more: the root is full, the killer must pick big (the
+	// largest reservation) and the blocked reservation then goes through.
+	if err := small.Reserve(300); err != nil {
+		t.Fatalf("reserve after OOM kill: %v", err)
+	}
+	if err := big.KilledErr(); !errors.Is(err, ErrQueryKilledOOM) {
+		t.Fatalf("big should be OOM-killed, got %v", err)
+	}
+	if got := kills.Load(); got != 1 {
+		t.Fatalf("oom_kills = %d, want 1", got)
+	}
+	// A killed query's further reservations fail with the kill error.
+	if err := big.TryReserve(1); !errors.Is(err, ErrQueryKilledOOM) {
+		t.Fatalf("killed pool accepted a reservation: %v", err)
+	}
+}
+
+func TestOOMKillerKillsRequesterWhenLargest(t *testing.T) {
+	root := NewPool("root", 1000)
+	root.EnableOOMKiller(nil)
+	hog := root.Child("hog", 0)
+	other := root.Child("other", 0)
+	if err := hog.Reserve(900); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	if err := other.Reserve(50); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	// hog itself asks for more than the root can give: it is the largest
+	// reservation, so the killer turns on it immediately — no waiting.
+	if err := hog.Reserve(200); !errors.Is(err, ErrQueryKilledOOM) {
+		t.Fatalf("want ErrQueryKilledOOM, got %v", err)
+	}
+	if other.KilledErr() != nil {
+		t.Fatalf("innocent query was killed: %v", other.KilledErr())
+	}
+}
+
+func TestAddSpilledPropagates(t *testing.T) {
+	root := NewPool("root", 0)
+	q := root.Child("q1", 0)
+	q.AddSpilled(123)
+	if q.Spilled() != 123 || root.Spilled() != 123 {
+		t.Fatalf("spilled: q=%d root=%d, want 123/123", q.Spilled(), root.Spilled())
+	}
+}
