@@ -39,6 +39,13 @@ check: build vet lint test test-race
 bench:
 	go test -bench=. -benchmem ./...
 
+# Machine-readable results for the intra-task parallelism benchmark: runs
+# scan/aggregation/join workloads at 1/2/4/8 drivers and writes ns/op plus
+# per-workload speedups (relative to drivers=1) to BENCH_PR5.json.
+bench-json:
+	go test -bench BenchmarkIntraTaskParallelism -benchmem -benchtime=5x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR5.json
+	@cat BENCH_PR5.json
+
 experiments:
 	go run ./cmd/prestobench -experiment all
 

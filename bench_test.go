@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
+	"prestolite/internal/connector"
 	druidconn "prestolite/internal/connectors/druid"
 	"prestolite/internal/connectors/hive"
 	"prestolite/internal/connectors/memory"
@@ -21,6 +23,7 @@ import (
 	"prestolite/internal/metastore"
 	"prestolite/internal/parquet"
 	"prestolite/internal/planner"
+	"prestolite/internal/tpch"
 	"prestolite/internal/types"
 	"prestolite/internal/workload"
 
@@ -369,5 +372,111 @@ func BenchmarkJoinStrategies(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Intra-task parallelism: driver pipelines over a shared split queue.
+//
+// The container running CI may have a single CPU, so the headline workload
+// models what the paper's §III actually parallelizes on real clusters:
+// overlapping *storage waits*. latencySource charges a disaggregated-storage
+// read RTT per page, and N drivers overlap N reads — speedup there is
+// wait-overlap, not core count. The in-memory variants are CPU-bound and
+// reported alongside for honesty: on a single-core host they hover near 1x
+// (measuring exchange overhead); on multi-core hosts they scale with cores.
+
+// latencyConnector wraps a connector so every page read costs rtt, modeling
+// a remote disaggregated-storage round trip.
+type latencyConnector struct {
+	connector.Connector
+	rtt time.Duration
+}
+
+func (c *latencyConnector) RecordSetProvider() connector.RecordSetProvider {
+	return &latencyProvider{base: c.Connector.RecordSetProvider(), rtt: c.rtt}
+}
+
+type latencyProvider struct {
+	base connector.RecordSetProvider
+	rtt  time.Duration
+}
+
+func (p *latencyProvider) CreatePageSource(h connector.TableHandle, s connector.Split, cols []int) (connector.PageSource, error) {
+	src, err := p.base.CreatePageSource(h, s, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &latencySource{PageSource: src, rtt: p.rtt}, nil
+}
+
+type latencySource struct {
+	connector.PageSource
+	rtt time.Duration
+}
+
+func (s *latencySource) Next() (*block.Page, error) {
+	time.Sleep(s.rtt)
+	return s.PageSource.Next()
+}
+
+// intraTaskEngine builds a LINEITEM warehouse with `files` splits; rtt > 0
+// wraps the catalog in the storage-latency model.
+func intraTaskEngine(b *testing.B, files int, rtt time.Duration) *core.Engine {
+	b.Helper()
+	fs := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: fs}
+	cols := make([]metastore.Column, len(tpch.LineItemColumns))
+	for i, c := range tpch.LineItemColumns {
+		cols[i] = metastore.Column{Name: c.Name, Type: c.Type}
+	}
+	var pages []*block.Page
+	for f := 0; f < files; f++ {
+		pages = append(pages, tpch.GeneratePage(99+int64(f), 250))
+	}
+	if err := loader.CreateTable("tpch", "lineitem", cols, pages); err != nil {
+		b.Fatal(err)
+	}
+	var conn connector.Connector = hive.New("hive", ms, fs, hive.Options{})
+	if rtt > 0 {
+		conn = &latencyConnector{Connector: conn, rtt: rtt}
+	}
+	e := core.New()
+	e.Register("hive", conn)
+	return e
+}
+
+func intraTaskSession(drivers int) *planner.Session {
+	s := core.DefaultSession("hive", "tpch")
+	s.Properties["task_concurrency"] = fmt.Sprint(drivers)
+	return s
+}
+
+func BenchmarkIntraTaskParallelism(b *testing.B) {
+	const storageRTT = 400 * time.Microsecond
+	workloads := []struct {
+		name string
+		rtt  time.Duration
+		sql  string
+	}{
+		{"storage_scan_agg", storageRTT, `SELECT l_returnflag, l_linestatus, count(*) AS n, sum(l_quantity) AS q
+			FROM lineitem GROUP BY l_returnflag, l_linestatus`},
+		{"inmem_scan_filter", 0, `SELECT count(*) AS n FROM lineitem WHERE l_quantity < 25.0`},
+		{"inmem_groupby", 0, `SELECT l_orderkey, l_partkey, count(*) AS n FROM lineitem GROUP BY l_orderkey, l_partkey`},
+		{"inmem_join", 0, `SELECT count(*) AS n FROM lineitem a JOIN lineitem b ON a.l_orderkey = b.l_orderkey`},
+	}
+	for _, w := range workloads {
+		e := intraTaskEngine(b, 32, w.rtt)
+		for _, drivers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/drivers=%d", w.name, drivers), func(b *testing.B) {
+				session := intraTaskSession(drivers)
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Query(session, w.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report:
+//
+//	go test -bench BenchmarkIntraTaskParallelism -run '^$' . | benchjson -o BENCH_PR5.json
+//
+// Each benchmark line becomes one result entry. Sub-benchmarks named
+// ".../drivers=N" are additionally folded into a speedups section keyed by
+// workload, reporting each driver count's throughput relative to drivers=1 —
+// the number the intra-task parallelism acceptance criterion reads.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Context  map[string]string             `json:"context,omitempty"`
+	Results  []result                      `json:"results"`
+	Speedups map[string]map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		r := result{Name: trimProcSuffix(fields[0])}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					r.NsPerOp = v
+				}
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.BytesPerOp = v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.AllocsPerOp = v
+				}
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Speedups = speedups(rep.Results)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix drops go test's trailing -GOMAXPROCS from a benchmark name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups groups ".../drivers=N" results by workload and reports each
+// driver count's speedup over that workload's drivers=1 run.
+func speedups(results []result) map[string]map[string]float64 {
+	type sample struct {
+		drivers string
+		nsPerOp float64
+	}
+	groups := map[string][]sample{}
+	for _, r := range results {
+		i := strings.LastIndex(r.Name, "/drivers=")
+		if i < 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		workload := r.Name[:i]
+		groups[workload] = append(groups[workload], sample{r.Name[i+len("/drivers="):], r.NsPerOp})
+	}
+	out := map[string]map[string]float64{}
+	for workload, samples := range groups {
+		var base float64
+		for _, s := range samples {
+			if s.drivers == "1" {
+				base = s.nsPerOp
+			}
+		}
+		if base <= 0 {
+			continue
+		}
+		m := map[string]float64{}
+		for _, s := range samples {
+			// Two decimal places: these are summary ratios, not raw data.
+			m["drivers="+s.drivers] = float64(int(base/s.nsPerOp*100+0.5)) / 100
+		}
+		out[workload] = m
+	}
+	return out
+}

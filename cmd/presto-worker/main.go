@@ -27,6 +27,7 @@ func main() {
 	memoryLimit := flag.Int64("memory-limit", 0, "process-wide memory pool in bytes (0 = unlimited)")
 	spillDir := flag.String("spill-dir", "", "enable spill-to-disk under this directory")
 	spillBudget := flag.Int64("spill-budget", 0, "disk cap for live spill runs in bytes (0 = unlimited)")
+	taskConcurrency := flag.Int("task-concurrency", 0, "driver pipelines per task (0 = one per CPU core); the task_concurrency session property overrides it")
 	flag.Parse()
 
 	catalogs, err := workload.DemoCatalogs()
@@ -39,6 +40,7 @@ func main() {
 	w.MemoryLimit = *memoryLimit
 	w.SpillDir = *spillDir
 	w.SpillBudget = *spillBudget
+	w.TaskConcurrency = *taskConcurrency
 	if err := w.Start(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, "presto-worker:", err)
 		os.Exit(1)

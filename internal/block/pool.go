@@ -1,0 +1,43 @@
+package block
+
+import "sync"
+
+// Positions is a leased selection vector — the []int of row positions that
+// the hot scan→filter→project path produces per page (and that local
+// exchanges produce per output per page when hash-partitioning). These
+// vectors were the dominant per-page allocation in that path (flagged by the
+// hotalloc lint): one fresh make per filtered page. Leasing them from a
+// process-wide pool keeps the steady state allocation-free.
+//
+// Safe reuse relies on a property every Block.Mask implementation has: Mask
+// materializes its own copy of the selected positions/values, so the vector
+// never escapes into result pages and may be reused as soon as Mask returns.
+type Positions struct {
+	Buf []int
+}
+
+// positionsCap is the initial capacity of a pooled vector; pages are
+// typically ≤1024 rows, so vectors rarely regrow after their first lease.
+const positionsCap = 1024
+
+var positionsPool = sync.Pool{
+	New: func() any { return &Positions{Buf: make([]int, 0, positionsCap)} },
+}
+
+// GetPositions leases a selection vector (length 0). Return it with
+// PutPositions when the operator closes — not per page: holding the lease
+// for the operator's lifetime is what makes the per-page path allocation
+// free.
+func GetPositions() *Positions {
+	return positionsPool.Get().(*Positions)
+}
+
+// PutPositions returns a leased vector to the pool. nil is a no-op so Close
+// paths can call it unconditionally.
+func PutPositions(p *Positions) {
+	if p == nil {
+		return
+	}
+	p.Buf = p.Buf[:0]
+	positionsPool.Put(p)
+}

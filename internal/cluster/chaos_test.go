@@ -3,7 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -321,6 +323,73 @@ func TestChaosFullPartition(t *testing.T) {
 				t.Errorf("seed %d: err = %v, want a typed availability error (IsUnavailable)", seed, err)
 			}
 		})
+	}
+}
+
+// TestChaosParallelDriversDroppedRPCs: every worker runs its tasks with 4
+// driver pipelines (intra-task parallelism) while 10% of coordinator→worker
+// RPCs drop. Results must stay row-exact, and — the teardown invariant — no
+// driver or exchange goroutine may outlive its task: after the workload
+// drains and the workers shut down (aborting any task whose DELETE was
+// dropped), the process goroutine count must return to the pre-cluster
+// baseline.
+func TestChaosParallelDriversDroppedRPCs(t *testing.T) {
+	want := chaosBaseline(t)
+	for _, seed := range chaosSeeds(t) {
+		t.Logf("chaos seed %d (re-run with CHAOS_SEED=%d)", seed, seed)
+		inj := fault.NewInjector(seed)
+		catalogs := chaosCatalogs(t, inj)
+
+		baseGoroutines := runtime.NumGoroutine()
+		coord := NewCoordinatorWithConfig(catalogs, chaosConfig(inj))
+		var workers []*Worker
+		for i := 0; i < 3; i++ {
+			w := NewWorker(catalogs)
+			w.GracePeriod = 20 * time.Millisecond
+			w.TaskConcurrency = 4
+			if err := w.Start("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { w.Close() })
+			coord.AddWorker(w.Addr())
+			workers = append(workers, w)
+		}
+		inj.FaultHTTP(fault.HTTPRule{DropProb: 0.1})
+
+		watchdog(t, 60*time.Second, func() {
+			for i, q := range chaosQueries {
+				if got := mustRows(t, coord, q); got != want[i] {
+					t.Errorf("seed %d query %d: rows diverged with 4 drivers under 10%% RPC drops\ngot  %s\nwant %s", seed, i, got, want[i])
+				}
+			}
+		})
+		if n := inj.Counters.Dropped.Load(); n == 0 {
+			t.Errorf("seed %d: injector dropped nothing — the chaos run was a no-op", seed)
+		}
+
+		// Teardown leak check: close the workers (aborting tasks whose DELETE
+		// was dropped) and poll until the goroutine count is back to the
+		// baseline. Idle HTTP connections park goroutines in the shared
+		// default transport, so shed them while polling.
+		for _, w := range workers {
+			w.Close()
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+				tr.CloseIdleConnections()
+			}
+			if runtime.NumGoroutine() <= baseGoroutines {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("seed %d: goroutine leak after multi-driver teardown: %d running, baseline %d\n%s",
+					seed, runtime.NumGoroutine(), baseGoroutines, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -398,6 +399,16 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	// carries the shared retry budget its remote sources draw on.
 	qs := newQueryState(&c.cfg)
 	remotes := map[int][]*taskHandle{}
+	// Intra-task parallelism requested by the session; 0 lets each worker
+	// apply its own -task-concurrency default.
+	taskDrivers := 0
+	if v := session.Property("task_concurrency", ""); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 1 {
+			return nil, "", fmt.Errorf("cluster: bad task_concurrency %q: want a positive integer", v)
+		}
+		taskDrivers = d
+	}
 	if !fp.SingleFragment() {
 		workers, err := c.waitActiveWorkers()
 		if err != nil {
@@ -438,6 +449,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 					Fragment: frag.Root,
 					TableKey: frag.TableKey,
 					Splits:   splitSet,
+					Drivers:  taskDrivers,
 				})
 				if err != nil {
 					return nil, "", err

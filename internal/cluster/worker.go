@@ -7,11 +7,13 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +45,9 @@ type TaskRequest struct {
 	Fragment planner.Node
 	TableKey string
 	Splits   []connector.Split
+	// Drivers requests a specific intra-task parallelism (the session's
+	// task_concurrency); 0 defers to the worker's own configuration.
+	Drivers int
 }
 
 // TaskResultChunk is one page (or the end-of-stream marker) of task output.
@@ -92,6 +97,10 @@ type Worker struct {
 	SpillDir string
 	// SpillBudget caps bytes on disk across live spill runs. 0 = unlimited.
 	SpillBudget int64
+	// TaskConcurrency is the default number of driver pipelines per task
+	// (the -task-concurrency flag); 0 means one per CPU core. A TaskRequest
+	// carrying an explicit Drivers overrides it.
+	TaskConcurrency int
 
 	pool  *resource.Pool
 	spill *resource.SpillManager
@@ -118,11 +127,38 @@ type Worker struct {
 type workerTask struct {
 	stats *obs.TaskStats // live; snapshot at any time
 
-	mu    sync.Mutex
-	pages []*block.Page
-	done  bool
-	err   error
-	next  int
+	mu        sync.Mutex
+	pages     []*block.Page
+	done      bool
+	err       error
+	next      int
+	cancel    context.CancelFunc
+	cancelled bool
+}
+
+// setCancel publishes the task's cancel function once execution starts; an
+// abort that raced in beforehand (DELETE straight after the POST) fires
+// immediately instead of being lost.
+func (t *workerTask) setCancel(fn context.CancelFunc) {
+	t.mu.Lock()
+	t.cancel = fn
+	aborted := t.cancelled
+	t.mu.Unlock()
+	if aborted {
+		fn()
+	}
+}
+
+// abort cancels the task's execution context, stopping all of its drivers
+// promptly (scans and exchange producers check it between pages).
+func (t *workerTask) abort() {
+	t.mu.Lock()
+	t.cancelled = true
+	fn := t.cancel
+	t.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // NewWorker creates a worker with the given catalogs.
@@ -217,9 +253,20 @@ func (w *Worker) State() WorkerState {
 	return w.state
 }
 
-// Close stops the server immediately (ungraceful). Spill runs of in-flight
-// tasks are swept so a killed worker cannot leave temp files behind.
+// Close stops the server immediately (ungraceful). In-flight tasks are
+// cancelled (their drivers stop at the next page boundary) and their spill
+// runs swept, so a killed worker leaves neither goroutines scanning nor temp
+// files behind.
 func (w *Worker) Close() error {
+	w.mu.Lock()
+	tasks := make([]*workerTask, 0, len(w.tasks))
+	for _, t := range w.tasks {
+		tasks = append(tasks, t)
+	}
+	w.mu.Unlock()
+	for _, t := range tasks {
+		t.abort()
+	}
 	if w.spill != nil {
 		w.spill.RemoveAll()
 	}
@@ -359,10 +406,19 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 			return
 		}
 	}
+	// The task context is the cancellation root for every driver this task
+	// runs: a DELETE from the coordinator or a worker Close aborts them all.
+	// (It is created here, not in the HTTP handler — the task deliberately
+	// outlives its submitting request.)
+	tctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	task.setCancel(cancel)
 	ctx := &execution.Context{
 		Catalogs: w.Catalogs,
 		Splits:   map[string][]connector.Split{req.TableKey: req.Splits},
 		Stats:    task.stats,
+		Ctx:      tctx,
+		Drivers:  w.taskDrivers(req),
 	}
 	if w.pool != nil {
 		// Per-task memory context: tasks share the worker pool, and a failed
@@ -372,7 +428,7 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 		ctx.Memory = tpool
 		ctx.Spill = w.spill
 	}
-	op, err := execution.Build(req.Fragment, ctx)
+	op, err := execution.BuildParallel(req.Fragment, ctx)
 	if err != nil {
 		w.tasksFailed.Inc()
 		task.fail(err)
@@ -393,6 +449,19 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 	task.pages = pages
 	task.done = true
 	task.mu.Unlock()
+}
+
+// taskDrivers resolves a task's intra-task parallelism: the request's
+// explicit session setting wins, then the worker's -task-concurrency
+// default, then one driver per core.
+func (w *Worker) taskDrivers(req *TaskRequest) int {
+	if req.Drivers > 0 {
+		return req.Drivers
+	}
+	if w.TaskConcurrency > 0 {
+		return w.TaskConcurrency
+	}
+	return runtime.NumCPU()
 }
 
 // fragmentCacheKey identifies a (fragment, splits) unit of work. Fragment
@@ -431,6 +500,9 @@ func (w *Worker) handleTaskResults(rw http.ResponseWriter, r *http.Request) {
 		w.mu.Lock()
 		delete(w.tasks, taskID)
 		w.mu.Unlock()
+		// A deleted task may still be executing (e.g. the coordinator
+		// abandoned it under LIMIT): cancel it so its drivers stop scanning.
+		task.abort()
 		rw.WriteHeader(http.StatusOK)
 		return
 	}

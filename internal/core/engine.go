@@ -7,6 +7,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 
 	"prestolite/internal/block"
@@ -195,6 +196,17 @@ func (e *Engine) execContext(session *planner.Session) (*execution.Context, func
 	if e.Spill != nil && session.Property("spill_enabled", "true") == "true" {
 		ctx.Spill = e.Spill
 	}
+	// Intra-task parallelism: how many driver pipelines a query runs over
+	// its split queue. Defaults to the core count; task_concurrency=1 forces
+	// serial execution.
+	ctx.Drivers = runtime.NumCPU()
+	if v := session.Property("task_concurrency", ""); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 1 {
+			return nil, nil, fmt.Errorf("core: bad task_concurrency %q: want a positive integer", v)
+		}
+		ctx.Drivers = d
+	}
 	return ctx, cleanup, nil
 }
 
@@ -204,7 +216,7 @@ func (e *Engine) execute(session *planner.Session, plan planner.Node) (*Result, 
 		return nil, err
 	}
 	defer cleanup()
-	op, err := execution.Build(plan, ctx)
+	op, err := execution.BuildParallel(plan, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +243,7 @@ func (e *Engine) explainAnalyze(session *planner.Session, plan planner.Node) (st
 	defer cleanup()
 	stats := obs.NewTaskStats()
 	ctx.Stats = stats
-	op, err := execution.Build(plan, ctx)
+	op, err := execution.BuildParallel(plan, ctx)
 	if err != nil {
 		return "", err
 	}

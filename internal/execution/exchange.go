@@ -1,0 +1,398 @@
+package execution
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"prestolite/internal/block"
+)
+
+// exchangeMode selects how a local exchange routes pages from its source
+// streams to its output streams. Local exchanges are the only place the
+// execution layer starts goroutines: every source runs in its own producer,
+// so the exchange is both a router and the boundary where a task's drivers
+// actually become concurrent (the paper's §III driver model).
+type exchangeMode int
+
+const (
+	// exGather funnels every source stream into one output (n→1), bridging a
+	// parallel pipeline segment back to a serial consumer.
+	exGather exchangeMode = iota
+	// exRoundRobin fans pages out across outputs (k→n) with no key affinity,
+	// rebalancing work when upstream produced fewer streams than drivers
+	// (e.g. a table with a single split).
+	exRoundRobin
+	// exPassthrough connects source i to output i (n→n, order-preserving per
+	// stream). It adds no routing — its value is purely that it drives all
+	// sources concurrently, e.g. running per-driver sorts in parallel under a
+	// streaming merge.
+	exPassthrough
+	// exPartition routes each row to the output chosen by hashing its key
+	// columns (k→n), so all rows of one group/join key land on one driver.
+	exPartition
+)
+
+// exchangeBuffer is the per-output channel capacity. Pages in flight inside
+// an exchange are bounded engine overhead (mode-dependent, at most
+// exchangeBuffer frames per output) and are not charged to the query pool —
+// like spill read-back frames, charging them against the budget that shaped
+// the plan would deadlock producers against consumers.
+const exchangeBuffer = 2
+
+// localExchange moves pages between pipeline segments inside one task.
+// Producers are started lazily on the first Next of any output, so building
+// a plan never spawns goroutines. A closed done channel is the exchange-wide
+// stop signal: the first source error, a context cancellation, or the last
+// output Close (limit satisfied, query torn down) closes it, and every
+// sibling producer observes it on its next send or pull — this is what makes
+// "stop sibling drivers promptly" hold.
+type localExchange struct {
+	mode    exchangeMode
+	sources []Operator
+	keys    []int // partitioning key channels (exPartition only)
+	ctx     context.Context
+
+	outs []*exchangeOut
+	done chan struct{}
+	wg   sync.WaitGroup
+	rr   atomic.Uint64 // round-robin cursor
+	open atomic.Int32  // output endpoints not yet closed
+
+	startOnce sync.Once
+	launched  bool // set under startOnce: producers actually started
+	stopOnce  sync.Once
+
+	mu       sync.Mutex
+	err      error // first produce-side error (surfaced by Next after EOF)
+	closeErr error // source Close errors (surfaced by the last output Close)
+}
+
+// exchangeOut is one output stream of a localExchange. Each endpoint has a
+// single consumer goroutine; the last endpoint closed tears the exchange
+// down (stopping and joining producers, closing sources).
+type exchangeOut struct {
+	ex     *localExchange
+	ch     chan *block.Page
+	closed bool
+	// dead is closed by Close: producers drop pages routed to a closed
+	// endpoint instead of blocking on its full channel forever — without
+	// this, one driver finishing early (its LIMIT satisfied) would wedge the
+	// producers and starve every sibling driver of the same exchange.
+	dead chan struct{}
+}
+
+// newLocalExchange wires sources to `outputs` fresh endpoints. keys is only
+// used by exPartition. No goroutines start until an endpoint's first Next.
+func newLocalExchange(ctx *Context, sources []Operator, mode exchangeMode, keys []int, outputs int) []Operator {
+	ex := &localExchange{
+		mode:    mode,
+		sources: sources,
+		keys:    keys,
+		ctx:     ctx.Ctx,
+		done:    make(chan struct{}),
+	}
+	ex.outs = make([]*exchangeOut, outputs)
+	endpoints := make([]Operator, outputs)
+	for i := range ex.outs {
+		o := &exchangeOut{ex: ex, ch: make(chan *block.Page, exchangeBuffer), dead: make(chan struct{})}
+		ex.outs[i] = o
+		endpoints[i] = o
+	}
+	ex.open.Store(int32(outputs))
+	return endpoints
+}
+
+// gatherOne reduces k streams to a single serial operator (identity for k=1).
+func gatherOne(ctx *Context, streams []Operator) Operator {
+	if len(streams) == 1 {
+		return streams[0]
+	}
+	return newLocalExchange(ctx, streams, exGather, nil, 1)[0]
+}
+
+func (ex *localExchange) start() {
+	ex.startOnce.Do(func() {
+		ex.launched = true
+		ex.wg.Add(len(ex.sources))
+		for i := range ex.sources {
+			go ex.produce(i)
+		}
+		if ex.mode != exPassthrough {
+			// Outputs are shared by all producers: a closer goroutine closes
+			// them once every producer has exited (and recorded any error).
+			go func() {
+				ex.wg.Wait()
+				for _, o := range ex.outs {
+					close(o.ch)
+				}
+			}()
+		}
+	})
+}
+
+// produce runs one source stream to completion, routing its pages.
+func (ex *localExchange) produce(i int) {
+	defer ex.wg.Done()
+	src := ex.sources[i]
+	defer func() {
+		if err := src.Close(); err != nil {
+			ex.mu.Lock()
+			ex.closeErr = errors.Join(ex.closeErr, err)
+			ex.mu.Unlock()
+		}
+	}()
+	if ex.mode == exPassthrough {
+		// Sole writer of outs[i]: closing it per-producer lets the consumer
+		// see this stream's EOF without waiting for sibling producers.
+		defer close(ex.outs[i].ch)
+	}
+	var pt *partitioner
+	if ex.mode == exPartition {
+		pt = newPartitioner(ex)
+		defer pt.release()
+	}
+	for {
+		select {
+		case <-ex.done:
+			return
+		default:
+		}
+		if ex.ctx != nil {
+			if err := ex.ctx.Err(); err != nil {
+				ex.fail(err)
+				return
+			}
+		}
+		p, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			ex.fail(err)
+			return
+		}
+		if p == nil || p.Count() == 0 {
+			continue
+		}
+		if !ex.dispatch(i, pt, p) {
+			return
+		}
+	}
+}
+
+// dispatch routes one page; false means the exchange is stopping.
+func (ex *localExchange) dispatch(i int, pt *partitioner, p *block.Page) bool {
+	switch ex.mode {
+	case exGather:
+		return ex.send(0, p)
+	case exPassthrough:
+		return ex.send(i, p)
+	case exRoundRobin:
+		j := int(ex.rr.Add(1)-1) % len(ex.outs)
+		return ex.send(j, p)
+	default: // exPartition
+		return pt.dispatch(p)
+	}
+}
+
+// send delivers a page to output j. It returns false only when the whole
+// exchange is stopping (last consumer closed, sibling error) or the task
+// context is cancelled; a page routed to an individually closed endpoint is
+// dropped (true) — that consumer declared it needs nothing more.
+func (ex *localExchange) send(j int, p *block.Page) bool {
+	out := ex.outs[j]
+	var cancelled <-chan struct{}
+	if ex.ctx != nil {
+		cancelled = ex.ctx.Done()
+	}
+	select {
+	case out.ch <- p:
+		return true
+	case <-out.dead:
+		return true
+	case <-ex.done:
+		return false
+	case <-cancelled:
+		ex.fail(ex.ctx.Err())
+		return false
+	}
+}
+
+// fail records the first produce-side error and stops every sibling.
+func (ex *localExchange) fail(err error) {
+	ex.mu.Lock()
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.mu.Unlock()
+	ex.stopOnce.Do(func() { close(ex.done) })
+}
+
+func (ex *localExchange) firstErr() error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.err
+}
+
+// release is called by each endpoint Close; the last one tears down: stop
+// producers, join them (so no goroutine outlives the operator tree — the
+// chaos suite leak-checks this), and close sources that never ran.
+func (ex *localExchange) release() error {
+	if ex.open.Add(-1) > 0 {
+		return nil
+	}
+	ex.stopOnce.Do(func() { close(ex.done) })
+	// Claim the start once: either producers were launched (join them) or
+	// they never will be (close the sources ourselves).
+	ex.startOnce.Do(func() {})
+	if ex.launched {
+		ex.wg.Wait()
+	} else {
+		var errs error
+		for _, s := range ex.sources {
+			errs = errors.Join(errs, s.Close())
+		}
+		ex.mu.Lock()
+		ex.closeErr = errors.Join(ex.closeErr, errs)
+		ex.mu.Unlock()
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.closeErr
+}
+
+func (o *exchangeOut) Next() (*block.Page, error) {
+	o.ex.start()
+	p, ok := <-o.ch
+	if !ok {
+		// Channel closed ⇒ producers exited ⇒ any error is published.
+		if err := o.ex.firstErr(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	return p, nil
+}
+
+func (o *exchangeOut) Close() error {
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	close(o.dead)
+	return o.ex.release()
+}
+
+// ---------------------------------------------------------------------------
+// Hash partitioning.
+
+// partitioner is one producer's scratch state for exPartition: per-output
+// selection vectors (leased from the block pool) and a reusable key buffer,
+// so routing a page allocates nothing beyond the masked output blocks.
+type partitioner struct {
+	ex        *localExchange
+	selectors []*block.Positions
+	keyVals   []any
+	keyBuf    []byte
+}
+
+func newPartitioner(ex *localExchange) *partitioner {
+	pt := &partitioner{
+		ex:        ex,
+		selectors: make([]*block.Positions, len(ex.outs)),
+		keyVals:   make([]any, len(ex.keys)),
+	}
+	for i := range pt.selectors {
+		pt.selectors[i] = block.GetPositions()
+	}
+	return pt
+}
+
+func (pt *partitioner) release() {
+	for _, s := range pt.selectors {
+		block.PutPositions(s)
+	}
+	pt.selectors = nil
+}
+
+// dispatch routes the rows of one page by key hash. Rows are batched into
+// per-output selection vectors and masked out vectorized (Mask copies the
+// selected rows, so the vectors are reusable immediately); a page whose rows
+// all hash to one output is forwarded as-is.
+func (pt *partitioner) dispatch(p *block.Page) bool {
+	// Force lazy columns here, in the single producer goroutine: masking a
+	// lazy block yields derived blocks whose loaders all funnel into the
+	// parent's first Load, and Load is not safe for concurrent first use —
+	// sibling consumers would race on it. (Rows crossing a partition
+	// exchange feed aggregations/joins that read every column anyway, so
+	// nothing is decoded that lazy reads would have skipped.)
+	p = forceLazy(p)
+	ex := pt.ex
+	n := uint64(len(ex.outs))
+	for _, s := range pt.selectors {
+		s.Buf = s.Buf[:0]
+	}
+	for r := 0; r < p.Count(); r++ {
+		for k, ch := range ex.keys {
+			pt.keyVals[k] = p.Blocks[ch].Value(r)
+		}
+		pt.keyBuf = appendGroupKey(pt.keyBuf[:0], pt.keyVals)
+		j := hashKeyBytes(pt.keyBuf) % n
+		pt.selectors[j].Buf = append(pt.selectors[j].Buf, r)
+	}
+	for j, s := range pt.selectors {
+		switch {
+		case len(s.Buf) == 0:
+			continue
+		case len(s.Buf) == p.Count():
+			if !ex.send(j, p) {
+				return false
+			}
+		default:
+			if !ex.send(j, p.Mask(s.Buf)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// forceLazy returns p with every top-level lazy column materialized (a
+// no-op page without them).
+func forceLazy(p *block.Page) *block.Page {
+	lazy := false
+	for _, b := range p.Blocks {
+		if _, ok := b.(*block.LazyBlock); ok {
+			lazy = true
+			break
+		}
+	}
+	if !lazy {
+		return p
+	}
+	blocks := make([]block.Block, len(p.Blocks))
+	for i, b := range p.Blocks {
+		if l, ok := b.(*block.LazyBlock); ok {
+			blocks[i] = l.Load()
+		} else {
+			blocks[i] = b
+		}
+	}
+	return &block.Page{Blocks: blocks, N: p.N}
+}
+
+// hashKeyBytes is inline FNV-1a (hash/fnv would allocate a hasher per row on
+// this hot path). The same function routes both sides of a partitioned join,
+// which is what makes matching keys meet on the same driver.
+func hashKeyBytes(b []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -31,16 +31,32 @@ func planOperatorIDs(root planner.Node) map[planner.Node]int {
 
 // instrument wraps op so it records rows/bytes out, wall time, page count
 // and peak batch size into ctx.Stats. No-op when stats are disabled.
+//
+// Under BuildParallel one plan node becomes several driver instances; they
+// all record into one shared OperatorStats (its fields are atomics), each
+// through its own single-writer Recorder, and the node's driver count is
+// what EXPLAIN ANALYZE renders as "drivers: N". Wall time therefore sums
+// across drivers — cumulative like Presto's operator CPU accounting, so it
+// can exceed the query's wall clock.
 func (ctx *Context) instrument(node planner.Node, op Operator) Operator {
 	if ctx.Stats == nil {
 		return op
 	}
-	children := node.Children()
-	childIDs := make([]int, len(children))
-	for i, c := range children {
-		childIDs[i] = ctx.ids[c]
+	st := ctx.opStats[node]
+	if st == nil {
+		children := node.Children()
+		childIDs := make([]int, len(children))
+		for i, c := range children {
+			childIDs[i] = ctx.ids[c]
+		}
+		st = ctx.Stats.Register(ctx.ids[node], node.Describe(), childIDs)
+		if ctx.opStats == nil {
+			ctx.opStats = map[planner.Node]*obs.OperatorStats{}
+		}
+		ctx.opStats[node] = st
+	} else {
+		st.AddDriver()
 	}
-	st := ctx.Stats.Register(ctx.ids[node], node.Describe(), childIDs)
 	return &statsOperator{child: op, rec: obs.NewRecorder(st)}
 }
 
@@ -114,6 +130,12 @@ func formatOperatorStats(s obs.OperatorStatsSnapshot) string {
 		time.Duration(s.WallNanos).Round(time.Microsecond), s.Pages, s.PeakBatchRows)
 	if s.Tasks > 1 {
 		fmt.Fprintf(&sb, ", tasks: %d", s.Tasks)
+	}
+	// Drivers accumulate across tasks too; when every task ran serially
+	// drivers == tasks and the count adds nothing, so only genuine
+	// intra-task parallelism is annotated.
+	if s.Drivers > s.Tasks {
+		fmt.Fprintf(&sb, ", drivers: %d", s.Drivers)
 	}
 	return sb.String()
 }

@@ -2,6 +2,9 @@ package execution
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"prestolite/internal/resource"
 )
@@ -10,6 +13,51 @@ import (
 // per page emitted by spilled merge paths), keeping read-back reservations
 // small.
 const spillPageRows = 1024
+
+// Revocation pacing: a starved hard reservation polls the pool while flagged
+// siblings spill; past the deadline it fails typed, exactly as it would have
+// without revocation.
+const (
+	revokePollInterval = 2 * time.Millisecond
+	revokeWaitMax      = 5 * time.Second
+)
+
+// revokeHub coordinates cooperative memory revocation among the spillable
+// operators of one query. With intra-task parallelism, many spillable
+// operators share the query pool concurrently; an operator that just spilled
+// its own buffer can still see its page-sized hard reservation refused
+// because siblings hold the rest of the pool in soft reservations they would
+// happily spill — they just haven't been refused yet. The hub closes that
+// starvation window: the starved operator flags every sibling, each sibling
+// voluntarily yields (reports its next soft reserve as refused, taking its
+// normal spill path) when it sees its flag, and the starved reservation
+// retries as the pool drains. Everything stays on each operator's own
+// goroutine — the hub only ever touches atomic flags, never operator state.
+type revokeHub struct {
+	mu      sync.Mutex
+	members []*opMem
+}
+
+func (h *revokeHub) add(m *opMem) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.members = append(h.members, m)
+}
+
+// requestExcept flags every member but me, reporting whether any sibling
+// exists to yield.
+func (h *revokeHub) requestExcept(me *opMem) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, m := range h.members {
+		if m != me {
+			m.revoke.Store(true)
+			n++
+		}
+	}
+	return n > 0
+}
 
 // opMem is a blocking operator's handle on the query memory context: it
 // tracks how many bytes the operator holds, answers "reserve or spill?", and
@@ -21,10 +69,27 @@ type opMem struct {
 	pool     *resource.Pool
 	spill    *resource.SpillManager
 	reserved int64
+
+	// hub wires this operator into the query's revocation set (spillable
+	// operators only); revoke is the incoming "please yield" flag, checked on
+	// the next soft reserve.
+	hub    *revokeHub
+	revoke atomic.Bool
 }
 
+// newOpMem is called while the plan is built — before any driver goroutine
+// starts — so lazily creating the query's shared revocation hub here is
+// single-threaded.
 func newOpMem(op string, ctx *Context) *opMem {
-	return &opMem{op: op, pool: ctx.Memory, spill: ctx.Spill}
+	m := &opMem{op: op, pool: ctx.Memory, spill: ctx.Spill}
+	if m.pool != nil && m.spill != nil {
+		if ctx.revoke == nil {
+			ctx.revoke = &revokeHub{}
+		}
+		m.hub = ctx.revoke
+		m.hub.add(m)
+	}
+	return m
 }
 
 // canSpill reports whether spilling is enabled for this query.
@@ -43,6 +108,13 @@ func (m *opMem) newRun(tag string) (*resource.RunWriter, error) {
 func (m *opMem) reserve(n int64) (ok bool, err error) {
 	if m.pool == nil || n <= 0 {
 		return true, nil
+	}
+	// A starved sibling asked for memory back: yield by reporting this
+	// reservation refused, which sends the operator down its normal spill
+	// path. The flag is one-shot and only honored while there is something
+	// to give back.
+	if m.hub != nil && m.revoke.Load() && m.revoke.CompareAndSwap(true, false) && m.reserved > 0 {
+		return false, nil
 	}
 	err = m.pool.TryReserve(n)
 	if err == nil {
@@ -68,11 +140,29 @@ func (m *opMem) hardReserve(n int64) error {
 }
 
 func (m *opMem) hardReserveErr(n int64) error {
-	if err := m.pool.Reserve(n); err != nil {
-		return m.fail(err)
+	err := m.pool.Reserve(n)
+	if err == nil {
+		m.reserved += n
+		return nil
 	}
-	m.reserved += n
-	return nil
+	// Pool exhausted, but sibling spillable operators hold most of it in
+	// reservations they can shed: request revocation and poll while they
+	// spill. Sleeping here is safe — this operator holds no locks, and the
+	// siblings run on their own driver goroutines.
+	if m.hub != nil && errors.Is(err, resource.ErrPoolExhausted) {
+		deadline := time.Now().Add(revokeWaitMax)
+		for m.hub.requestExcept(m) {
+			time.Sleep(revokePollInterval)
+			if err = m.pool.Reserve(n); err == nil {
+				m.reserved += n
+				return nil
+			}
+			if !errors.Is(err, resource.ErrPoolExhausted) || time.Now().After(deadline) {
+				break
+			}
+		}
+	}
+	return m.fail(err)
 }
 
 // release returns n bytes (clamped to what the operator holds).

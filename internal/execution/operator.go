@@ -5,9 +5,11 @@
 package execution
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"prestolite/internal/block"
 	"prestolite/internal/connector"
@@ -50,10 +52,26 @@ type Context struct {
 	// rows/bytes, wall time and batch counts (the observability subsystem;
 	// used by EXPLAIN ANALYZE and worker task reporting).
 	Stats *obs.TaskStats
+	// Ctx, when non-nil, cancels the query: scans check it between pages and
+	// splits, and local-exchange producers check it between sends, so a
+	// cancelled task stops all of its drivers promptly. nil = never
+	// cancelled.
+	Ctx context.Context
+	// Drivers is the intra-task parallelism degree for BuildParallel: how
+	// many concurrent pipelines a task runs over its split queue (§III's
+	// drivers). ≤1 means serial; Build ignores it.
+	Drivers int
 
 	// ids assigns pre-order plan-node ids, computed on the first Build call
 	// when Stats is enabled (see instrument.go).
 	ids map[planner.Node]int
+	// opStats caches the shared per-plan-node stats sink so the N driver
+	// instances of one plan operator record into one accumulator (their
+	// atomics make that safe) instead of registering N duplicate rows.
+	opStats map[planner.Node]*obs.OperatorStats
+	// revoke is the query's cooperative memory-revocation hub, created
+	// lazily by the first spillable opMem (see memory.go).
+	revoke *revokeHub
 }
 
 // ErrInsufficientResources is returned when a blocking operator exceeds the
@@ -224,19 +242,39 @@ func (o *valuesOperator) Close() error { return nil }
 
 // ---------------------------------------------------------------------------
 
+// splitQueue hands out a table's splits to the scan drivers sharing it. A
+// single atomic cursor is the whole scheduler: drivers that finish a split
+// early simply take the next one, so work self-balances across drivers with
+// no locks and no up-front assignment (morsel-style scheduling).
+type splitQueue struct {
+	splits []connector.Split
+	next   atomic.Int64
+}
+
+// take claims the next unprocessed split (its index for error messages) or
+// ok=false when the queue is drained.
+func (q *splitQueue) take() (connector.Split, int, bool) {
+	i := q.next.Add(1) - 1
+	if i >= int64(len(q.splits)) {
+		return nil, 0, false
+	}
+	return q.splits[i], int(i), true
+}
+
 type scanOperator struct {
 	scan     *planner.TableScan
 	provider connector.RecordSetProvider
-	splits   []connector.Split
+	queue    *splitQueue
 	columns  []int
+	ctx      context.Context
 	current  connector.PageSource
-	pos      int
 }
 
-func newScanOperator(t *planner.TableScan, ctx *Context) (Operator, error) {
+// scanSplits resolves the provider and split list for a table scan.
+func scanSplits(t *planner.TableScan, ctx *Context) (connector.RecordSetProvider, []connector.Split, error) {
 	conn, err := ctx.Catalogs.Get(t.Catalog)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var splits []connector.Split
 	key := t.Catalog + "." + t.Schema + "." + t.Table
@@ -245,29 +283,45 @@ func newScanOperator(t *planner.TableScan, ctx *Context) (Operator, error) {
 	} else {
 		splits, err = conn.SplitManager().Splits(t.Handle)
 		if err != nil {
-			return nil, fmt.Errorf("execution: enumerating splits for %s: %w", key, err)
+			return nil, nil, fmt.Errorf("execution: enumerating splits for %s: %w", key, err)
 		}
+	}
+	return conn.RecordSetProvider(), splits, nil
+}
+
+func newScanOperator(t *planner.TableScan, ctx *Context) (Operator, error) {
+	provider, splits, err := scanSplits(t, ctx)
+	if err != nil {
+		return nil, err
 	}
 	return &scanOperator{
 		scan:     t,
-		provider: conn.RecordSetProvider(),
-		splits:   splits,
+		provider: provider,
+		queue:    &splitQueue{splits: splits},
 		columns:  t.ColumnOrdinals,
+		ctx:      ctx.Ctx,
 	}, nil
 }
 
 func (o *scanOperator) Next() (*block.Page, error) {
 	for {
+		// Cancellation check per split and per page: long scans of a
+		// cancelled query must stop instead of reading on to EOF.
+		if o.ctx != nil {
+			if err := o.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if o.current == nil {
-			if o.pos >= len(o.splits) {
+			split, idx, ok := o.queue.take()
+			if !ok {
 				return nil, io.EOF
 			}
-			src, err := o.provider.CreatePageSource(o.scan.Handle, o.splits[o.pos], o.columns)
+			src, err := o.provider.CreatePageSource(o.scan.Handle, split, o.columns)
 			if err != nil {
-				return nil, fmt.Errorf("execution: opening split %d of %s.%s: %w", o.pos, o.scan.Schema, o.scan.Table, err)
+				return nil, fmt.Errorf("execution: opening split %d of %s.%s: %w", idx, o.scan.Schema, o.scan.Table, err)
 			}
 			o.current = src
-			o.pos++
 		}
 		p, err := o.current.Next()
 		if errors.Is(err, io.EOF) {
@@ -299,29 +353,42 @@ func (o *scanOperator) Close() error {
 type filterOperator struct {
 	child     Operator
 	predicate expr.RowExpression
+	// sel is the operator's leased selection vector (block pool): the hot
+	// scan→filter→project path reuses it for every page instead of
+	// allocating a fresh []int per page.
+	sel *block.Positions
 }
 
 func (o *filterOperator) Next() (*block.Page, error) {
+	if o.sel == nil {
+		o.sel = block.GetPositions()
+	}
 	for {
 		p, err := o.child.Next()
 		if err != nil {
 			return nil, err
 		}
-		positions, err := expr.EvalFilter(o.predicate, p)
+		positions, err := expr.EvalFilterInto(o.predicate, p, o.sel.Buf)
 		if err != nil {
 			return nil, err
 		}
+		o.sel.Buf = positions
 		if len(positions) == 0 {
 			continue
 		}
 		if len(positions) == p.Count() {
 			return p, nil
 		}
+		// Mask copies the selected rows, so the vector is reusable next page.
 		return p.Mask(positions), nil
 	}
 }
 
-func (o *filterOperator) Close() error { return o.child.Close() }
+func (o *filterOperator) Close() error {
+	block.PutPositions(o.sel)
+	o.sel = nil
+	return o.child.Close()
+}
 
 // ---------------------------------------------------------------------------
 

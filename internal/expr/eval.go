@@ -42,13 +42,24 @@ func constBlockType(t *types.Type) *types.Type {
 // EvalFilter evaluates a boolean expression and returns the positions where
 // it is true (NULL counts as false, per SQL WHERE semantics).
 func EvalFilter(e RowExpression, page *block.Page) ([]int, error) {
+	return EvalFilterInto(e, page, nil)
+}
+
+// EvalFilterInto is EvalFilter writing the selected positions into buf
+// (append semantics from buf[:0]), so a caller that keeps a scratch vector —
+// the filter operator holds one for its whole lifetime — pays no per-page
+// allocation. buf may be nil.
+func EvalFilterInto(e RowExpression, page *block.Page, buf []int) ([]int, error) {
 	b, err := Eval(e, page)
 	if err != nil {
 		return nil, err
 	}
 	b = block.Unwrap(b)
 	n := page.Count()
-	positions := make([]int, 0, n)
+	positions := buf[:0]
+	if cap(positions) == 0 {
+		positions = make([]int, 0, n)
+	}
 	if bb, ok := b.(*block.BoolBlock); ok {
 		for i := 0; i < n; i++ {
 			if bb.Values[i] && (bb.Nulls == nil || !bb.Nulls[i]) {

@@ -17,11 +17,16 @@ type OperatorStats struct {
 	wallNanos     atomic.Int64
 	pages         atomic.Int64
 	peakBatchRows atomic.Int64
+	drivers       atomic.Int64
 
 	id       int
 	name     string
 	childIDs []int
 }
+
+// AddDriver records one more concurrent driver instance feeding this
+// operator's stats (intra-task parallelism); registration counts the first.
+func (s *OperatorStats) AddDriver() { s.drivers.Add(1) }
 
 // RecordPage accounts one output page.
 func (s *OperatorStats) RecordPage(rows int, bytes int64) {
@@ -126,6 +131,10 @@ type OperatorStatsSnapshot struct {
 	// Tasks counts how many task-level snapshots were merged into this one
 	// (1 for a single task; >1 after MergeSnapshots).
 	Tasks int
+	// Drivers counts the concurrent pipeline instances that recorded into
+	// this operator, summed across merged tasks (a serial task contributes
+	// 1, so drivers == tasks means no intra-task parallelism ran).
+	Drivers int
 }
 
 // TaskStats collects the operator statistics of one running task.
@@ -142,6 +151,7 @@ func NewTaskStats() *TaskStats { return &TaskStats{} }
 // are the ids of the operator's plan children, used to derive input rows.
 func (t *TaskStats) Register(id int, name string, childIDs []int) *OperatorStats {
 	s := &OperatorStats{id: id, name: name, childIDs: append([]int(nil), childIDs...)}
+	s.drivers.Store(1)
 	t.mu.Lock()
 	t.ops = append(t.ops, s)
 	t.mu.Unlock()
@@ -167,6 +177,7 @@ func (t *TaskStats) Snapshot() []OperatorStatsSnapshot {
 			Pages:         s.pages.Load(),
 			PeakBatchRows: s.peakBatchRows.Load(),
 			Tasks:         1,
+			Drivers:       int(s.drivers.Load()),
 		}
 		byID[s.id] = &out[i]
 	}
@@ -219,6 +230,7 @@ func MergeSnapshots(tasks ...[]OperatorStatsSnapshot) []OperatorStatsSnapshot {
 			m.WallNanos += op.WallNanos
 			m.Pages += op.Pages
 			m.Tasks += op.Tasks
+			m.Drivers += op.Drivers
 			if op.PeakBatchRows > m.PeakBatchRows {
 				m.PeakBatchRows = op.PeakBatchRows
 			}

@@ -1,0 +1,26 @@
+package planner
+
+// This file is the planner's hook for intra-task (local) parallelism: the
+// execution layer asks the plan where driver pipelines can split before it
+// fans a fragment out across a task's drivers.
+
+// ParallelEligible reports whether a plan (or plan fragment) can benefit
+// from intra-task driver parallelism: it must contain at least one
+// TableScan, the split-driven source that feeds a task's shared split
+// queue. Fragments without one — a coordinator root reading only
+// RemoteSources, or a constant Values plan — produce a single stream that
+// parallel drivers could only sit idle behind, so they build serially.
+func ParallelEligible(root Node) bool {
+	if root == nil {
+		return false
+	}
+	if _, ok := root.(*TableScan); ok {
+		return true
+	}
+	for _, c := range root.Children() {
+		if ParallelEligible(c) {
+			return true
+		}
+	}
+	return false
+}
