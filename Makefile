@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race lint check chaos bench experiments examples fmt vet
+.PHONY: build test test-race lint check chaos chaos-ingest bench bench-json bench-ingest-json experiments examples fmt vet
 
 build:
 	go build ./...
@@ -22,6 +22,13 @@ test-race:
 # `CHAOS_SEED=<seed> make chaos`.
 chaos:
 	go test -race -count=1 -v -run TestChaos ./internal/cluster
+
+# The real-time slice of the chaos suite: a continuous producer streams events
+# through the partitioned log into druid segments while hybrid queries run on
+# a faulted cluster. Asserts the 5s event-to-queryable SLA and row-exact
+# results after quiesce. Replay with `CHAOS_SEED=<seed> make chaos-ingest`.
+chaos-ingest:
+	go test -race -count=1 -v -run TestChaosIngest ./internal/cluster
 
 # Static analysis: go vet plus the project's own invariant suite
 # (internal/analysis, run by cmd/prestolint). prestolint enforces lockheld,
@@ -46,6 +53,13 @@ bench-json:
 	go test -bench BenchmarkIntraTaskParallelism -benchmem -benchtime=5x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR5.json
 	@cat BENCH_PR5.json
 
+# Machine-readable results for the real-time ingestion benchmark: streams a
+# fixed event load under 0/4/16 concurrent hybrid queries and writes freshness
+# p50/p95/p99 (ms) plus sustained rows/s to BENCH_PR6.json.
+bench-ingest-json:
+	go test -bench BenchmarkIngestFreshness -benchtime=1x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR6.json
+	@cat BENCH_PR6.json
+
 experiments:
 	go run ./cmd/prestobench -experiment all
 
@@ -56,6 +70,7 @@ examples:
 	go run ./examples/nested
 	go run ./examples/cloud
 	go run ./examples/federation_gateway
+	go run ./examples/realtime
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,166 @@
+package prestolite_test
+
+// Real-time ingestion benchmark (BENCH_PR6.json via `make bench-ingest-json`):
+// streams a fixed event load through the partitioned log into druid segments
+// while 0/4/16 concurrent hybrid queries run, and reports event-to-queryable
+// freshness percentiles plus sustained ingest throughput. The interesting
+// comparison is how much concurrent analytical load degrades freshness.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	druidconn "prestolite/internal/connectors/druid"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/connectors/hybrid"
+	"prestolite/internal/core"
+	"prestolite/internal/druid"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/ingest"
+	"prestolite/internal/metastore"
+	"prestolite/internal/types"
+	"prestolite/internal/workload"
+)
+
+const (
+	benchIngestBoundary = int64(1_000_000)
+	benchIngestHistRows = 10_000
+	benchIngestEvents   = 20_000
+)
+
+// benchIngestEngine builds the hybrid stack: hive historical, an empty druid
+// real-time table with streaming segment thresholds, and the hybrid catalog.
+func benchIngestEngine(b *testing.B) (*core.Engine, *druid.Table) {
+	b.Helper()
+	fs := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: fs}
+	cols := []metastore.Column{
+		{Name: "ts", Type: types.Bigint},
+		{Name: "country", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+	}
+	pb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Varchar, types.Bigint})
+	for i := 0; i < benchIngestHistRows; i++ {
+		pb.AppendRow([]any{int64(i), []string{"us", "de", "jp"}[i%3], int64(i % 10)})
+	}
+	if err := loader.CreateTable("web", "events_hist", cols, []*block.Page{pb.Build()}); err != nil {
+		b.Fatal(err)
+	}
+	store := druid.NewStore()
+	rt, err := store.CreateTable("events_rt", []druid.Column{
+		{Name: "ts", Type: types.Bigint},
+		{Name: "country", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.SetSegmentConfig(druid.SegmentConfig{
+		SealRows:         5000,
+		SealAge:          time.Second,
+		CompactBelowRows: 2500,
+		CompactBatch:     8,
+	})
+	e := core.New()
+	e.Register("hive", hive.New("hive", ms, fs, hive.Options{}))
+	e.Register("druid", druidconn.New("druid", &druid.EmbeddedClient{Store: store}))
+	hc := hybrid.New("hybrid", e.Catalogs)
+	if err := hc.AddTable("events", hybrid.TableConfig{
+		Historical: connector.HybridPart{Catalog: "hive", Schema: "web", Table: "events_hist"},
+		Realtime:   connector.HybridPart{Catalog: "druid", Schema: "default", Table: "events_rt"},
+		TimeColumn: "ts",
+		Boundary:   benchIngestBoundary,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	e.Register("hybrid", hc)
+	return e, rt
+}
+
+var benchIngestQueries = []string{
+	"SELECT count(*) AS n FROM events",
+	"SELECT country, sum(clicks) AS s FROM events GROUP BY country",
+	fmt.Sprintf("SELECT count(*) AS n FROM events WHERE ts >= %d", benchIngestBoundary),
+}
+
+// BenchmarkIngestFreshness: one op = streaming benchIngestEvents events into
+// a fresh table under N concurrent analytical queries. Reported metrics:
+// freshness p50/p95/p99 (ms) and sustained ingest rows/s.
+func BenchmarkIngestFreshness(b *testing.B) {
+	for _, queries := range []int{0, 4, 16} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			var p50, p95, p99, rowsPerSec float64
+			for i := 0; i < b.N; i++ {
+				e, rt := benchIngestEngine(b)
+				log := ingest.NewLog()
+				topic, err := log.CreateTopic("events", 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				producer := ingest.NewProducer(topic, ingest.ProducerConfig{BatchRecords: 256, Linger: 5 * time.Millisecond})
+				writer := ingest.NewSegmentWriter(log, topic, rt, ingest.WriterConfig{MaintainEvery: 100 * time.Millisecond})
+				writer.Start()
+
+				// Concurrent analytical load on the hybrid table.
+				session := core.DefaultSession("hybrid", "default")
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for q := 0; q < queries; q++ {
+					wg.Add(1)
+					go func(q int) {
+						defer wg.Done()
+						for j := 0; ; j++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							res, err := e.Query(session, benchIngestQueries[(q+j)%len(benchIngestQueries)])
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							_ = res.RowCount()
+						}
+					}(q)
+				}
+
+				start := time.Now()
+				if _, err := workload.RunStream(context.Background(), workload.StreamConfig{
+					MaxEvents: benchIngestEvents, // unpaced: as fast as the log accepts
+					Seed:      int64(i + 1),
+				}, func(ev workload.StreamEvent) error {
+					return producer.Send(ev.Key, ev.Time, []any{benchIngestBoundary + ev.Seq, ev.Country, ev.Clicks})
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := producer.Close(); err != nil {
+					b.Fatal(err)
+				}
+				for log.Lag(ingest.DefaultWriterGroup, "events") > 0 {
+					time.Sleep(time.Millisecond)
+				}
+				elapsed := time.Since(start)
+				writer.Stop()
+				close(stop)
+				wg.Wait()
+
+				hs := writer.Freshness().Snapshot()
+				p50 = float64(hs.P50) / 1e6
+				p95 = float64(hs.P95) / 1e6
+				p99 = float64(hs.P99) / 1e6
+				rowsPerSec = float64(benchIngestEvents) / elapsed.Seconds()
+			}
+			b.ReportMetric(p50, "p50-ms")
+			b.ReportMetric(p95, "p95-ms")
+			b.ReportMetric(p99, "p99-ms")
+			b.ReportMetric(rowsPerSec, "rows/s")
+		})
+	}
+}

@@ -25,6 +25,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "p99-ms", "rows/s")
+	// keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
@@ -73,6 +76,13 @@ func main() {
 			case "allocs/op":
 				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 					r.AllocsPerOp = v
+				}
+			default:
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if r.Metrics == nil {
+						r.Metrics = map[string]float64{}
+					}
+					r.Metrics[unit] = v
 				}
 			}
 		}

@@ -1,0 +1,155 @@
+// Real-time analytics: the title of the paper, end to end. Events stream
+// through the partitioned append log into druid segments (mutable → sealed
+// → compacted) while a hybrid table splices them onto Parquet history — one
+// SQL name spanning the batch and real-time worlds, split by the optimizer
+// on a time watermark.
+//
+//	go run ./examples/realtime
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	druidconn "prestolite/internal/connectors/druid"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/connectors/hybrid"
+	"prestolite/internal/core"
+	"prestolite/internal/druid"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/ingest"
+	"prestolite/internal/metastore"
+	"prestolite/internal/types"
+	"prestolite/internal/workload"
+)
+
+const boundary = int64(1_000_000) // watermark: hive below, druid at or above
+
+func main() {
+	engine := core.New()
+
+	// Historical side: a hive table of yesterday's events on simulated HDFS.
+	fs := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: fs}
+	cols := []metastore.Column{
+		{Name: "ts", Type: types.Bigint},
+		{Name: "country", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+	}
+	pb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Varchar, types.Bigint})
+	const histRows = 20000
+	for i := 0; i < histRows; i++ {
+		pb.AppendRow([]any{int64(i), []string{"us", "de", "jp", "br"}[i%4], int64(i % 10)})
+	}
+	if err := loader.CreateTable("web", "events_hist", cols, []*block.Page{pb.Build()}); err != nil {
+		log.Fatal(err)
+	}
+	engine.Register("hive", hive.New("hive", ms, fs, hive.Options{}))
+
+	// Real-time side: an empty druid table with streaming thresholds.
+	store := druid.NewStore()
+	rt, err := store.CreateTable("events_rt", []druid.Column{
+		{Name: "ts", Type: types.Bigint},
+		{Name: "country", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.SetSegmentConfig(druid.SegmentConfig{
+		SealRows:         4000,
+		SealAge:          500 * time.Millisecond,
+		CompactBelowRows: 2000,
+		CompactBatch:     8,
+	})
+	engine.Register("druid", druidconn.New("druid", &druid.EmbeddedClient{Store: store}))
+
+	// The hybrid table gluing both sides under one name.
+	hc := hybrid.New("hybrid", engine.Catalogs)
+	if err := hc.AddTable("events", hybrid.TableConfig{
+		Historical: connector.HybridPart{Catalog: "hive", Schema: "web", Table: "events_hist"},
+		Realtime:   connector.HybridPart{Catalog: "druid", Schema: "default", Table: "events_rt"},
+		TimeColumn: "ts",
+		Boundary:   boundary,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	engine.Register("hybrid", hc)
+	session := core.DefaultSession("hybrid", "default")
+
+	// Show the expansion: one scan becomes union(hive | watermark | druid),
+	// and a time predicate prunes the side it rules out.
+	for _, q := range []string{
+		"SELECT count(*) FROM events",
+		fmt.Sprintf("SELECT count(*) FROM events WHERE ts >= %d", boundary),
+	} {
+		plan, err := engine.Explain(session, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("EXPLAIN %s\n%s\n", q, plan)
+	}
+
+	// Stream events: producer -> partitioned log -> segment writer -> druid.
+	lg := ingest.NewLog()
+	topic, err := lg.CreateTopic("events", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writer := ingest.NewSegmentWriter(lg, topic, rt, ingest.WriterConfig{MaintainEvery: 100 * time.Millisecond})
+	writer.Start()
+	producer := ingest.NewProducer(topic, ingest.ProducerConfig{})
+
+	count := func() int64 {
+		res, err := engine.Query(session, "SELECT count(*) AS n FROM events")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Rows()[0][0].(int64)
+	}
+	fmt.Printf("before streaming: count(*) = %d (history only)\n", count())
+
+	const events = 10000
+	start := time.Now()
+	sent, err := workload.RunStream(context.Background(), workload.StreamConfig{
+		EventsPerSec: 20000,
+		MaxEvents:    events,
+		Seed:         7,
+	}, func(ev workload.StreamEvent) error {
+		return producer.Send(ev.Key, ev.Time, []any{boundary + ev.Seq, ev.Country, ev.Clicks})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := producer.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for lg.Lag(ingest.DefaultWriterGroup, "events") > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("streamed %d events in %v\n", sent, time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("after streaming:  count(*) = %d (want %d)\n", count(), histRows+events)
+	res, err := engine.Query(session, fmt.Sprintf(
+		"SELECT country, count(*) AS n FROM events WHERE ts >= %d GROUP BY country ORDER BY n DESC LIMIT 3", boundary))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top real-time countries:")
+	for _, row := range res.Rows() {
+		fmt.Printf("  %v\n", row)
+	}
+
+	writer.Stop()
+	stats := rt.Stats()
+	hs := writer.Freshness().Snapshot()
+	fmt.Printf("segments: open=%d sealed=%d (compacted %d), rows=%d\n",
+		stats.Open, stats.Sealed, stats.Compacted, stats.Rows)
+	fmt.Printf("freshness: p50=%v p99=%v over %d events\n",
+		time.Duration(hs.P50).Round(time.Microsecond), time.Duration(hs.P99).Round(time.Microsecond), hs.Count)
+}

@@ -161,6 +161,43 @@ type AggregationPushdown interface {
 }
 
 // ---------------------------------------------------------------------------
+// Hybrid batch + real-time tables.
+
+// HybridPart names one side of a hybrid table: a fully-qualified table in
+// another catalog.
+type HybridPart struct {
+	Catalog string
+	Schema  string
+	Table   string
+}
+
+// HybridSpec describes how a hybrid table splits: rows with
+// TimeColumn < Boundary live in the historical (batch) side, rows with
+// TimeColumn >= Boundary in the real-time side. Both sides must expose the
+// same column names and types as the hybrid table itself.
+type HybridSpec struct {
+	Historical HybridPart
+	Realtime   HybridPart
+	// TimeColumn is the Bigint event-time column the boundary predicate
+	// applies to.
+	TimeColumn string
+	// Boundary is the watermark separating batch history from real-time
+	// data (exclusive on the historical side, inclusive on the real-time
+	// side).
+	Boundary int64
+}
+
+// HybridTable marks a connector whose tables are planner-expanded into
+// union(historical scan, real-time scan) split by a time predicate. The
+// optimizer probes for this on the scan's connector; a hybrid connector
+// never executes scans itself.
+type HybridTable interface {
+	// HybridSpec reports the split spec for a handle, or false when the
+	// handle is not hybrid.
+	HybridSpec(handle TableHandle) (HybridSpec, bool)
+}
+
+// ---------------------------------------------------------------------------
 // Catalog registry: catalog name → connector (§IV: catalog.schema.table).
 
 // Registry maps catalog names to connectors.

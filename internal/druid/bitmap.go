@@ -2,7 +2,7 @@ package druid
 
 import "math/bits"
 
-// Bitmap is a fixed-capacity bitset used for the inverted indexes ("in
+// Bitmap is a growable bitset used for the inverted indexes ("in
 // memory bitmap indices, inverted indices ... enabling sub-second query
 // latency", §IV.B).
 type Bitmap struct {
@@ -15,11 +15,35 @@ func NewBitmap(n int) *Bitmap {
 	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
 }
 
-// Set marks row i.
-func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+// grow extends the row capacity to at least n.
+func (b *Bitmap) grow(n int) {
+	if n <= b.n {
+		return
+	}
+	if need := (n + 63) / 64; need > len(b.words) {
+		w := make([]uint64, need)
+		copy(w, b.words)
+		b.words = w
+	}
+	b.n = n
+}
 
-// Get reports whether row i is set.
-func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+// Set marks row i, growing the bitmap if i is beyond its capacity (mutable
+// segments append rows after their index bitmaps were created).
+func (b *Bitmap) Set(i int) {
+	if i >= b.n {
+		b.grow(i + 1)
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Get reports whether row i is set; rows beyond the capacity are unset.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
 
 // Len returns the row capacity.
 func (b *Bitmap) Len() int { return b.n }
@@ -33,16 +57,24 @@ func (b *Bitmap) Count() int {
 	return c
 }
 
-// And intersects in place.
+// And intersects in place. Rows beyond the other bitmap's capacity are
+// treated as unset there, so they clear here.
 func (b *Bitmap) And(o *Bitmap) {
 	for i := range b.words {
-		b.words[i] &= o.words[i]
+		if i < len(o.words) {
+			b.words[i] &= o.words[i]
+		} else {
+			b.words[i] = 0
+		}
 	}
 }
 
-// Or unions in place.
+// Or unions in place, growing to the other bitmap's capacity if larger.
 func (b *Bitmap) Or(o *Bitmap) {
-	for i := range b.words {
+	if o.n > b.n {
+		b.grow(o.n)
+	}
+	for i := range o.words {
 		b.words[i] |= o.words[i]
 	}
 }
@@ -54,6 +86,13 @@ func (b *Bitmap) SetAll() {
 	}
 	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
 		b.words[len(b.words)-1] = (1 << uint(rem)) - 1
+	}
+}
+
+// Clear unsets every row, keeping the capacity.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
 	}
 }
 

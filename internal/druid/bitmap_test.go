@@ -1,0 +1,113 @@
+package druid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Edge cases not reachable through store_test.go's query paths.
+
+func TestBitmapEmptyAndOr(t *testing.T) {
+	empty := NewBitmap(0)
+	if empty.Len() != 0 || empty.Count() != 0 {
+		t.Fatalf("empty bitmap: len=%d count=%d", empty.Len(), empty.Count())
+	}
+	empty.ForEach(func(int) bool { t.Fatal("ForEach visited a row of an empty bitmap"); return false })
+
+	// AND with an empty bitmap clears everything (rows beyond the other's
+	// capacity are unset there).
+	b := NewBitmap(130)
+	b.Set(0)
+	b.Set(129)
+	b.And(NewBitmap(0))
+	if b.Count() != 0 {
+		t.Errorf("AND with empty: count = %d, want 0", b.Count())
+	}
+	if b.Len() != 130 {
+		t.Errorf("AND with empty changed capacity: %d", b.Len())
+	}
+
+	// OR with an empty bitmap is a no-op; OR into an empty bitmap grows it.
+	c := NewBitmap(130)
+	c.Set(64)
+	c.Or(NewBitmap(0))
+	if c.Count() != 1 || !c.Get(64) {
+		t.Errorf("OR with empty changed bits: count=%d", c.Count())
+	}
+	e := NewBitmap(0)
+	e.Or(c)
+	if e.Len() != 130 || e.Count() != 1 || !e.Get(64) {
+		t.Errorf("OR into empty: len=%d count=%d", e.Len(), e.Count())
+	}
+}
+
+func TestBitmapMismatchedLengths(t *testing.T) {
+	long := NewBitmap(200)
+	long.Set(10)
+	long.Set(150)
+	short := NewBitmap(64)
+	short.Set(10)
+	short.Set(63)
+
+	// AND against a shorter bitmap: bits beyond its capacity clear.
+	a := long.Clone()
+	a.And(short)
+	if a.Count() != 1 || !a.Get(10) || a.Get(150) {
+		t.Errorf("AND short: count=%d get(10)=%v get(150)=%v", a.Count(), a.Get(10), a.Get(150))
+	}
+
+	// OR against a longer bitmap grows the receiver.
+	o := short.Clone()
+	o.Or(long)
+	if o.Len() != 200 {
+		t.Errorf("OR long: len = %d, want 200", o.Len())
+	}
+	if o.Count() != 3 || !o.Get(150) || !o.Get(63) {
+		t.Errorf("OR long: count=%d", o.Count())
+	}
+}
+
+func TestBitmapOutOfRangeSetAndGet(t *testing.T) {
+	b := NewBitmap(10)
+	// Set beyond the capacity grows instead of panicking (mutable segments
+	// append rows after the per-value bitmaps were created).
+	b.Set(100)
+	if b.Len() != 101 {
+		t.Errorf("len after out-of-range set = %d, want 101", b.Len())
+	}
+	if !b.Get(100) {
+		t.Error("out-of-range set bit not readable")
+	}
+	// Out-of-range (and negative) Get is simply false.
+	if b.Get(5000) || b.Get(-1) {
+		t.Error("Get beyond capacity reported a set bit")
+	}
+	// SetAll respects the grown capacity.
+	b.SetAll()
+	if b.Count() != 101 {
+		t.Errorf("SetAll after grow: count = %d, want 101", b.Count())
+	}
+}
+
+func TestBitmapIterationAfterClear(t *testing.T) {
+	b := NewBitmap(130)
+	b.Set(1)
+	b.Set(64)
+	b.Set(129)
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatalf("count after clear = %d", b.Count())
+	}
+	b.ForEach(func(i int) bool { t.Errorf("ForEach visited row %d after Clear", i); return true })
+	if b.Len() != 130 {
+		t.Errorf("Clear changed capacity: %d", b.Len())
+	}
+	// The bitmap stays usable after Clear.
+	b.Set(7)
+	b.Set(128)
+	var seen []int
+	b.ForEach(func(i int) bool { seen = append(seen, i); return true })
+	if !reflect.DeepEqual(seen, []int{7, 128}) {
+		t.Errorf("foreach after clear+set = %v", seen)
+	}
+}

@@ -1,0 +1,461 @@
+// Segment lifecycle: mutable → sealed → compacted. Real-time ingestion
+// appends rows into one open mutable segment per table (no inverted indexes;
+// queries scan a frozen prefix view), which seals into an immutable indexed
+// segment on a row-count or age threshold; small sealed segments are merged
+// by background compaction. All three states are visible to concurrent
+// queries: Execute snapshots the sealed list plus a frozen view of the open
+// segment under the table lock.
+package druid
+
+import (
+	"time"
+
+	"prestolite/internal/obs"
+	"prestolite/internal/types"
+)
+
+// SegmentConfig tunes the lifecycle thresholds.
+type SegmentConfig struct {
+	// SealRows seals the open segment once it holds this many rows.
+	SealRows int
+	// SealAge seals a non-empty open segment once its first append is this
+	// old (checked by Maintain).
+	SealAge time.Duration
+	// CompactBelowRows marks sealed segments smaller than this as compaction
+	// candidates.
+	CompactBelowRows int
+	// CompactBatch bounds how many candidates one compaction merges.
+	CompactBatch int
+}
+
+// DefaultSegmentConfig matches the bulk-load shape the store always had
+// (50k-row ingest batches become one sealed segment each) while keeping
+// streaming appends out of the per-call-segment trap.
+func DefaultSegmentConfig() SegmentConfig {
+	return SegmentConfig{
+		SealRows:         50000,
+		SealAge:          10 * time.Second,
+		CompactBelowRows: 5000,
+		CompactBatch:     8,
+	}
+}
+
+func (c SegmentConfig) withDefaults() SegmentConfig {
+	d := DefaultSegmentConfig()
+	if c.SealRows <= 0 {
+		c.SealRows = d.SealRows
+	}
+	if c.SealAge <= 0 {
+		c.SealAge = d.SealAge
+	}
+	if c.CompactBelowRows <= 0 {
+		c.CompactBelowRows = d.CompactBelowRows
+	}
+	if c.CompactBatch <= 1 {
+		c.CompactBatch = d.CompactBatch
+	}
+	return c
+}
+
+// SetSegmentConfig overrides the table's lifecycle thresholds (zero fields
+// fall back to defaults).
+func (t *Table) SetSegmentConfig(cfg SegmentConfig) {
+	t.mu.Lock()
+	t.cfg = cfg.withDefaults()
+	t.mu.Unlock()
+}
+
+// openSegment is the table's single mutable segment: columnar buffers with
+// dictionary encoding but no inverted indexes (those are built at seal time).
+// Appends happen under the table write lock; queries read a frozen prefix
+// view taken under the read lock, so in-flight appends past the frozen row
+// count are invisible to them.
+type openSegment struct {
+	n           int
+	firstAppend time.Time
+	longs       map[string][]int64
+	doubles     map[string][]float64
+	strs        map[string]*openStrColumn
+	nulls       map[string][]bool
+}
+
+// openStrColumn is the mutable form of strColumn: dictionary plus ids, no
+// per-value bitmaps yet.
+type openStrColumn struct {
+	dict    []string
+	dictIdx map[string]int32
+	ids     []int32 // -1 = null
+}
+
+func newOpenSegment(cols []Column, now time.Time) *openSegment {
+	o := &openSegment{
+		firstAppend: now,
+		longs:       map[string][]int64{},
+		doubles:     map[string][]float64{},
+		strs:        map[string]*openStrColumn{},
+		nulls:       map[string][]bool{},
+	}
+	for _, c := range cols {
+		switch c.Type.Kind {
+		case types.KindVarchar:
+			o.strs[c.Name] = &openStrColumn{dictIdx: map[string]int32{}}
+		}
+	}
+	return o
+}
+
+// appendRow adds one pre-validated row. Caller holds the table write lock.
+func (o *openSegment) appendRow(cols []Column, row []any) {
+	for ci, col := range cols {
+		null := row[ci] == nil
+		o.nulls[col.Name] = append(o.nulls[col.Name], null)
+		switch col.Type.Kind {
+		case types.KindBigint:
+			var v int64
+			if !null {
+				v = row[ci].(int64)
+			}
+			o.longs[col.Name] = append(o.longs[col.Name], v)
+		case types.KindDouble:
+			var v float64
+			if !null {
+				v = row[ci].(float64)
+			}
+			o.doubles[col.Name] = append(o.doubles[col.Name], v)
+		case types.KindVarchar:
+			sc := o.strs[col.Name]
+			if null {
+				sc.ids = append(sc.ids, -1)
+				break
+			}
+			s := row[ci].(string)
+			id, seen := sc.dictIdx[s]
+			if !seen {
+				id = int32(len(sc.dict))
+				sc.dictIdx[s] = id
+				sc.dict = append(sc.dict, s)
+			}
+			sc.ids = append(sc.ids, id)
+		}
+	}
+	o.n++
+}
+
+// freeze returns an immutable segment view of the first n rows. The view
+// shares the open buffers: appends only write past n (or reallocate), so the
+// view's prefix never changes under it. The view carries no inverted indexes
+// (index == nil routes string filters down the scan path).
+func (o *openSegment) freeze() *segment {
+	seg := &segment{
+		n:       o.n,
+		longs:   map[string][]int64{},
+		doubles: map[string][]float64{},
+		strs:    map[string]*strColumn{},
+		nulls:   map[string][]bool{},
+	}
+	for name, vals := range o.longs {
+		seg.longs[name] = vals[:o.n]
+	}
+	for name, vals := range o.doubles {
+		seg.doubles[name] = vals[:o.n]
+	}
+	for name, sc := range o.strs {
+		seg.strs[name] = &strColumn{dict: sc.dict[:len(sc.dict)], ids: sc.ids[:o.n]}
+	}
+	for name, vals := range o.nulls {
+		seg.nulls[name] = vals[:o.n]
+	}
+	return seg
+}
+
+// seal converts the open segment into an immutable segment with inverted
+// indexes built. The buffers transfer ownership — the open segment is
+// discarded afterwards, so no writer ever touches them again.
+func (o *openSegment) seal() *segment {
+	seg := o.freeze()
+	for _, sc := range seg.strs {
+		sc.index = map[string]*Bitmap{}
+		for v := range sc.dict {
+			sc.index[sc.dict[v]] = NewBitmap(seg.n)
+		}
+		for i, id := range sc.ids {
+			if id >= 0 {
+				sc.index[sc.dict[id]].Set(i)
+			}
+		}
+	}
+	return seg
+}
+
+// ---------------------------------------------------------------------------
+// Table-level lifecycle.
+
+// Append validates and appends rows into the open mutable segment, sealing
+// it whenever the row threshold is crossed mid-batch. now is the append
+// timestamp driving the age-based seal. Rows are visible to queries as soon
+// as Append returns.
+func (t *Table) Append(rows [][]any, now time.Time) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Validate outside the lock so a bad row rejects the whole batch before
+	// any row lands.
+	for ri, row := range rows {
+		if len(row) != len(t.Columns) {
+			return errRowWidth(t.Name, ri, len(row), len(t.Columns))
+		}
+		for ci, col := range t.Columns {
+			if row[ci] == nil {
+				continue
+			}
+			switch col.Type.Kind {
+			case types.KindBigint:
+				if _, ok := row[ci].(int64); !ok {
+					return errCellType(col.Name, ri, "int64", row[ci])
+				}
+			case types.KindDouble:
+				if _, ok := row[ci].(float64); !ok {
+					return errCellType(col.Name, ri, "float64", row[ci])
+				}
+			case types.KindVarchar:
+				if _, ok := row[ci].(string); !ok {
+					return errCellType(col.Name, ri, "string", row[ci])
+				}
+			}
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range rows {
+		if t.open == nil {
+			t.open = newOpenSegment(t.Columns, now)
+		}
+		t.open.appendRow(t.Columns, row)
+		if t.open.n >= t.cfg.SealRows {
+			t.sealLocked()
+		}
+	}
+	return nil
+}
+
+// sealLocked moves the open segment to the sealed list. Caller holds the
+// write lock.
+func (t *Table) sealLocked() {
+	if t.open == nil || t.open.n == 0 {
+		return
+	}
+	t.segments = append(t.segments, t.open.seal())
+	t.open = nil
+	if m := t.metrics(); m != nil {
+		m.seals.Inc()
+	}
+}
+
+// Maintain runs the background lifecycle steps: age-based sealing and
+// compaction of small sealed segments. Ingestion consumers call it
+// periodically; it is safe (and cheap) to call concurrently with queries
+// and appends.
+func (t *Table) Maintain(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open != nil && t.open.n > 0 && now.Sub(t.open.firstAppend) >= t.cfg.SealAge {
+		t.sealLocked()
+	}
+	t.compactLocked()
+}
+
+// compactLocked merges small sealed segments (fewer than CompactBelowRows
+// rows) into one compacted segment, up to CompactBatch at a time. A single
+// small segment is left alone — compaction needs at least two candidates to
+// make progress. Caller holds the write lock.
+func (t *Table) compactLocked() {
+	var candidates []int
+	for i, seg := range t.segments {
+		if seg.n < t.cfg.CompactBelowRows {
+			candidates = append(candidates, i)
+			if len(candidates) == t.cfg.CompactBatch {
+				break
+			}
+		}
+	}
+	if len(candidates) < 2 {
+		return
+	}
+	merged := t.mergeSegments(candidates)
+	kept := make([]*segment, 0, len(t.segments)-len(candidates)+1)
+	drop := map[int]bool{}
+	for _, i := range candidates {
+		drop[i] = true
+	}
+	for i, seg := range t.segments {
+		if !drop[i] {
+			kept = append(kept, seg)
+		}
+	}
+	t.segments = append(kept, merged)
+	if m := t.metrics(); m != nil {
+		m.compactions.Inc()
+		m.compactedSegments.Add(int64(len(candidates)))
+	}
+}
+
+// mergeSegments concatenates the given sealed segments into one compacted
+// segment with a merged dictionary and rebuilt inverted indexes.
+func (t *Table) mergeSegments(idxs []int) *segment {
+	total := 0
+	for _, i := range idxs {
+		total += t.segments[i].n
+	}
+	merged := &segment{
+		n:         total,
+		compacted: true,
+		longs:     map[string][]int64{},
+		doubles:   map[string][]float64{},
+		strs:      map[string]*strColumn{},
+		nulls:     map[string][]bool{},
+	}
+	for _, col := range t.Columns {
+		switch col.Type.Kind {
+		case types.KindBigint:
+			vals := make([]int64, 0, total)
+			for _, i := range idxs {
+				vals = append(vals, t.segments[i].longs[col.Name]...)
+			}
+			merged.longs[col.Name] = vals
+		case types.KindDouble:
+			vals := make([]float64, 0, total)
+			for _, i := range idxs {
+				vals = append(vals, t.segments[i].doubles[col.Name]...)
+			}
+			merged.doubles[col.Name] = vals
+		case types.KindVarchar:
+			sc := &strColumn{ids: make([]int32, 0, total), index: map[string]*Bitmap{}}
+			dictIdx := map[string]int32{}
+			for _, i := range idxs {
+				src := t.segments[i].strs[col.Name]
+				for _, id := range src.ids {
+					if id < 0 {
+						sc.ids = append(sc.ids, -1)
+						continue
+					}
+					v := src.dict[id]
+					nid, seen := dictIdx[v]
+					if !seen {
+						nid = int32(len(sc.dict))
+						dictIdx[v] = nid
+						sc.dict = append(sc.dict, v)
+						sc.index[v] = NewBitmap(total)
+					}
+					sc.index[v].Set(len(sc.ids))
+					sc.ids = append(sc.ids, nid)
+				}
+			}
+			merged.strs[col.Name] = sc
+		}
+		nulls := make([]bool, 0, total)
+		for _, i := range idxs {
+			nulls = append(nulls, t.segments[i].nulls[col.Name]...)
+		}
+		merged.nulls[col.Name] = nulls
+	}
+	return merged
+}
+
+// snapshotSegments returns the immutable segment list a query iterates:
+// sealed/compacted segments plus a frozen view of the open segment.
+func (t *Table) snapshotSegments() []*segment {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	segs := make([]*segment, 0, len(t.segments)+1)
+	segs = append(segs, t.segments...)
+	if t.open != nil && t.open.n > 0 {
+		segs = append(segs, t.open.freeze())
+	}
+	return segs
+}
+
+// SegmentStats is the lifecycle census of one table.
+type SegmentStats struct {
+	Open      int // 0 or 1
+	OpenRows  int
+	Sealed    int // sealed but not compacted
+	Compacted int
+	Rows      int // total rows across all states
+}
+
+// Stats reports the table's segment census.
+func (t *Table) Stats() SegmentStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var s SegmentStats
+	if t.open != nil && t.open.n > 0 {
+		s.Open = 1
+		s.OpenRows = t.open.n
+		s.Rows += t.open.n
+	}
+	for _, seg := range t.segments {
+		if seg.compacted {
+			s.Compacted++
+		} else {
+			s.Sealed++
+		}
+		s.Rows += seg.n
+	}
+	return s
+}
+
+// SegmentCount returns the total number of segments (open + sealed +
+// compacted) — the regression guard against one-segment-per-Ingest-call.
+func (t *Table) SegmentCount() int {
+	s := t.Stats()
+	return s.Open + s.Sealed + s.Compacted
+}
+
+// ---------------------------------------------------------------------------
+// Observability.
+
+// storeMetrics holds the lifecycle counters shared by every table of a
+// store; nil until RegisterObsMetrics wires a registry in.
+type storeMetrics struct {
+	seals             *obs.Counter
+	compactions       *obs.Counter
+	compactedSegments *obs.Counter
+}
+
+// RegisterObsMetrics publishes the store's lifecycle metrics: seal and
+// compaction counters plus computed open/sealed/compacted segment gauges.
+// Implements obs.MetricsSource.
+func (s *Store) RegisterObsMetrics(reg *obs.Registry) {
+	m := &storeMetrics{
+		seals:             reg.Counter("druid_segments_sealed"),
+		compactions:       reg.Counter("druid_compactions"),
+		compactedSegments: reg.Counter("druid_segments_compacted"),
+	}
+	s.metrics.Store(m)
+	census := func(pick func(SegmentStats) int) func() float64 {
+		return func() float64 {
+			total := 0
+			s.mu.RLock()
+			tables := make([]*Table, 0, len(s.tables))
+			for _, t := range s.tables {
+				tables = append(tables, t)
+			}
+			s.mu.RUnlock()
+			for _, t := range tables {
+				total += pick(t.Stats())
+			}
+			return float64(total)
+		}
+	}
+	reg.GaugeFunc("druid_open_segments", census(func(st SegmentStats) int { return st.Open }))
+	reg.GaugeFunc("druid_sealed_segments", census(func(st SegmentStats) int { return st.Sealed }))
+	reg.GaugeFunc("druid_compacted_segments", census(func(st SegmentStats) int { return st.Compacted }))
+}
+
+// metrics resolves the store's metric sink (nil when no registry is wired).
+func (t *Table) metrics() *storeMetrics {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.metrics.Load()
+}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"prestolite/internal/expr"
 	"prestolite/internal/types"
@@ -24,22 +26,30 @@ type Column struct {
 	Type *types.Type // Bigint, Double or Varchar
 }
 
-// Table is a collection of immutable segments.
+// Table holds sealed immutable segments plus at most one open mutable
+// segment accepting real-time appends (see lifecycle.go).
 type Table struct {
 	Name    string
 	Columns []Column
 
+	store *Store // back-pointer for lifecycle metrics; nil in tests
+
 	mu       sync.RWMutex
-	segments []*segment
+	cfg      SegmentConfig
+	segments []*segment // sealed (and compacted) segments
+	open     *openSegment
 }
 
-// segment is one horizontal shard with columnar storage.
+// segment is one horizontal shard with columnar storage. Sealed segments
+// are immutable; frozen views of the open segment share its buffers but
+// carry no inverted indexes (index == nil).
 type segment struct {
-	n       int
-	longs   map[string][]int64
-	doubles map[string][]float64
-	strs    map[string]*strColumn
-	nulls   map[string][]bool
+	n         int
+	compacted bool
+	longs     map[string][]int64
+	doubles   map[string][]float64
+	strs      map[string]*strColumn
+	nulls     map[string][]bool
 }
 
 // strColumn is dictionary-encoded with a per-value inverted index.
@@ -51,8 +61,9 @@ type strColumn struct {
 
 // Store is the embedded druid instance.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	metrics atomic.Pointer[storeMetrics]
 }
 
 // NewStore creates an empty store.
@@ -74,7 +85,7 @@ func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	if _, exists := s.tables[name]; exists {
 		return nil, fmt.Errorf("druid: table %q already exists", name)
 	}
-	t := &Table{Name: name, Columns: cols}
+	t := &Table{Name: name, Columns: cols, store: s, cfg: DefaultSegmentConfig()}
 	s.tables[name] = t
 	return t, nil
 }
@@ -102,81 +113,21 @@ func (s *Store) Tables() []string {
 	return out
 }
 
-// Ingest appends rows as one new segment (real-time ingestion creates
-// segments; queries see them immediately).
+// Ingest appends rows through the mutable-segment lifecycle: rows land in
+// the table's open segment (queryable immediately) which seals into an
+// immutable indexed segment on the row-count/age thresholds, instead of the
+// old one-immutable-segment-per-call behaviour that left bulk loaders with
+// thousands of tiny segments.
 func (t *Table) Ingest(rows [][]any) error {
-	if len(rows) == 0 {
-		return nil
-	}
-	seg := &segment{
-		n:       len(rows),
-		longs:   map[string][]int64{},
-		doubles: map[string][]float64{},
-		strs:    map[string]*strColumn{},
-		nulls:   map[string][]bool{},
-	}
-	for ci, col := range t.Columns {
-		nulls := make([]bool, len(rows))
-		switch col.Type.Kind {
-		case types.KindBigint:
-			vals := make([]int64, len(rows))
-			for ri, row := range rows {
-				if row[ci] == nil {
-					nulls[ri] = true
-					continue
-				}
-				v, ok := row[ci].(int64)
-				if !ok {
-					return fmt.Errorf("druid: column %s row %d: want int64, got %T", col.Name, ri, row[ci])
-				}
-				vals[ri] = v
-			}
-			seg.longs[col.Name] = vals
-		case types.KindDouble:
-			vals := make([]float64, len(rows))
-			for ri, row := range rows {
-				if row[ci] == nil {
-					nulls[ri] = true
-					continue
-				}
-				v, ok := row[ci].(float64)
-				if !ok {
-					return fmt.Errorf("druid: column %s row %d: want float64, got %T", col.Name, ri, row[ci])
-				}
-				vals[ri] = v
-			}
-			seg.doubles[col.Name] = vals
-		case types.KindVarchar:
-			sc := &strColumn{ids: make([]int32, len(rows)), index: map[string]*Bitmap{}}
-			dictIdx := map[string]int32{}
-			for ri, row := range rows {
-				if row[ci] == nil {
-					nulls[ri] = true
-					sc.ids[ri] = -1
-					continue
-				}
-				v, ok := row[ci].(string)
-				if !ok {
-					return fmt.Errorf("druid: column %s row %d: want string, got %T", col.Name, ri, row[ci])
-				}
-				id, seen := dictIdx[v]
-				if !seen {
-					id = int32(len(sc.dict))
-					dictIdx[v] = id
-					sc.dict = append(sc.dict, v)
-					sc.index[v] = NewBitmap(len(rows))
-				}
-				sc.ids[ri] = id
-				sc.index[v].Set(ri)
-			}
-			seg.strs[col.Name] = sc
-		}
-		seg.nulls[col.Name] = nulls
-	}
-	t.mu.Lock()
-	t.segments = append(t.segments, seg)
-	t.mu.Unlock()
-	return nil
+	return t.Append(rows, time.Now())
+}
+
+func errRowWidth(table string, ri, got, want int) error {
+	return fmt.Errorf("druid: table %s row %d: %d values for %d columns", table, ri, got, want)
+}
+
+func errCellType(col string, ri int, want string, got any) error {
+	return fmt.Errorf("druid: column %s row %d: want %s, got %T", col, ri, want, got)
 }
 
 // ---------------------------------------------------------------------------
@@ -220,9 +171,7 @@ func (s *Store) Execute(q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	segs := append([]*segment{}, t.segments...)
-	t.mu.RUnlock()
+	segs := t.snapshotSegments()
 
 	colType := map[string]*types.Type{}
 	for _, c := range t.Columns {
@@ -248,9 +197,10 @@ func (seg *segment) selection(filters []Filter, colType map[string]*types.Type) 
 	for _, f := range filters {
 		fb := NewBitmap(seg.n)
 		ct := colType[f.Column]
-		if ct.Kind == types.KindVarchar && (f.Op == "eq" || f.Op == "in") {
-			// Inverted index path: union the per-value bitmaps.
-			sc := seg.strs[f.Column]
+		sc := seg.strs[f.Column]
+		if ct.Kind == types.KindVarchar && (f.Op == "eq" || f.Op == "in") && sc != nil && sc.index != nil {
+			// Inverted index path: union the per-value bitmaps. Frozen views
+			// of the open segment have no indexes yet and take the scan path.
 			for _, v := range f.Values {
 				str, ok := v.(string)
 				if !ok {

@@ -105,6 +105,23 @@ func buildParallel(node planner.Node, ctx *Context, n int) ([]Operator, error) {
 	case *planner.Join:
 		return buildParallelJoin(t, ctx, n)
 
+	case *planner.Union:
+		// Concatenate the sides' streams (UNION ALL): each side keeps its
+		// own parallelism and downstream gathers/exchanges accept the
+		// combined stream set.
+		var streams []Operator
+		for _, src := range t.Sources {
+			srcStreams, err := buildParallel(src, ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			streams = append(streams, srcStreams...)
+		}
+		for i := range streams {
+			streams[i] = ctx.instrument(t, streams[i])
+		}
+		return streams, nil
+
 	default:
 		// Values, RemoteSource, GeoJoin, and anything new: build the whole
 		// subtree serially (instrumented by Build itself).

@@ -181,9 +181,57 @@ func build(node planner.Node, ctx *Context) (Operator, error) {
 			return nil, fmt.Errorf("execution: RemoteSource outside distributed execution")
 		}
 		return ctx.RemoteSources(t.FragmentID, t.Cols)
+	case *planner.Union:
+		children := make([]Operator, len(t.Sources))
+		for i, src := range t.Sources {
+			child, err := Build(src, ctx)
+			if err != nil {
+				for _, c := range children[:i] {
+					_ = c.Close() // already failing: the build error is the one to report
+				}
+				return nil, err
+			}
+			children[i] = child
+		}
+		return &unionOperator{children: children}, nil
 	default:
 		return nil, fmt.Errorf("execution: no operator for %T", node)
 	}
+}
+
+// unionOperator concatenates its children's streams (UNION ALL): drain one
+// source fully, then move to the next.
+type unionOperator struct {
+	children []Operator
+	idx      int
+}
+
+func (u *unionOperator) Next() (*block.Page, error) {
+	for u.idx < len(u.children) {
+		p, err := u.children[u.idx].Next()
+		if errors.Is(err, io.EOF) {
+			_ = u.children[u.idx].Close() // close-as-you-go; Close re-checks survivors
+			u.children[u.idx] = nil
+			u.idx++
+			continue
+		}
+		return p, err
+	}
+	return nil, io.EOF
+}
+
+func (u *unionOperator) Close() error {
+	var first error
+	for i, c := range u.children {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		u.children[i] = nil
+	}
+	return first
 }
 
 // Drain pulls all pages from op, closing it afterwards.

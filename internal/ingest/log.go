@@ -1,0 +1,173 @@
+// Package ingest is the real-time write path of the paper's title promise
+// ("from batch processing to real-time analytics"): a partitioned,
+// in-process append log shaped like Kafka — topics split into partitions of
+// offset-addressed records, producers batching writes, consumer groups
+// tracking committed offsets — feeding the druid store's mutable-segment
+// lifecycle so events become queryable seconds after they are produced.
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Record is one offset-addressed log entry: an event timestamp, an optional
+// partitioning key and the row payload.
+type Record struct {
+	Offset int64
+	Time   time.Time
+	Key    string
+	Row    []any
+}
+
+// Log is the in-process broker: a set of named topics plus per-group
+// committed offsets.
+type Log struct {
+	mu        sync.RWMutex
+	topics    map[string]*Topic
+	committed map[groupKey]int64 // next offset to consume
+}
+
+type groupKey struct {
+	group     string
+	topic     string
+	partition int
+}
+
+// NewLog creates an empty broker.
+func NewLog() *Log {
+	return &Log{topics: map[string]*Topic{}, committed: map[groupKey]int64{}}
+}
+
+// CreateTopic registers a topic with the given partition count.
+func (l *Log) CreateTopic(name string, partitions int) (*Topic, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("ingest: topic %q needs at least one partition", name)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, exists := l.topics[name]; exists {
+		return nil, fmt.Errorf("ingest: topic %q already exists", name)
+	}
+	t := &Topic{name: name, parts: make([]partition, partitions)}
+	l.topics[name] = t
+	return t, nil
+}
+
+// Topic resolves a topic by name.
+func (l *Log) Topic(name string) (*Topic, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	t, ok := l.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("ingest: topic %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Commit records that group has consumed topic/partition up to (but not
+// including) offset — Kafka semantics: the committed offset is the next
+// record to read.
+func (l *Log) Commit(group, topic string, partition int, offset int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := groupKey{group, topic, partition}
+	if offset > l.committed[k] {
+		l.committed[k] = offset
+	}
+}
+
+// Committed returns the group's committed offset for a partition (0 when
+// the group has never committed).
+func (l *Log) Committed(group, topic string, partition int) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.committed[groupKey{group, topic, partition}]
+}
+
+// Lag sums end-offset minus committed-offset across a topic's partitions:
+// the number of records the group has not yet consumed.
+func (l *Log) Lag(group, topic string) int64 {
+	t, err := l.Topic(topic)
+	if err != nil {
+		return 0
+	}
+	var lag int64
+	for p := 0; p < t.Partitions(); p++ {
+		if d := t.EndOffset(p) - l.Committed(group, topic, p); d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// Topic is an ordered, partitioned record log.
+type Topic struct {
+	name  string
+	parts []partition
+}
+
+// partition is one append-only record sequence with its own offset space.
+type partition struct {
+	mu   sync.RWMutex
+	recs []Record
+}
+
+// Partitions returns the partition count.
+func (t *Topic) Partitions() int { return len(t.parts) }
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Append adds records to partition p, assigning consecutive offsets, and
+// returns the offset of the first appended record.
+func (t *Topic) Append(p int, recs ...Record) (int64, error) {
+	if p < 0 || p >= len(t.parts) {
+		return 0, fmt.Errorf("ingest: topic %q has no partition %d", t.name, p)
+	}
+	part := &t.parts[p]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	base := int64(len(part.recs))
+	for i := range recs {
+		recs[i].Offset = base + int64(i)
+	}
+	part.recs = append(part.recs, recs...)
+	return base, nil
+}
+
+// Fetch reads up to max records of partition p starting at offset. An
+// offset at or past the end returns an empty batch (callers poll).
+func (t *Topic) Fetch(p int, offset int64, max int) ([]Record, error) {
+	if p < 0 || p >= len(t.parts) {
+		return nil, fmt.Errorf("ingest: topic %q has no partition %d", t.name, p)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("ingest: negative offset %d", offset)
+	}
+	part := &t.parts[p]
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	if offset >= int64(len(part.recs)) {
+		return nil, nil
+	}
+	end := offset + int64(max)
+	if max <= 0 || end > int64(len(part.recs)) {
+		end = int64(len(part.recs))
+	}
+	// Records are immutable once appended; returning a subslice is safe.
+	return part.recs[offset:end], nil
+}
+
+// EndOffset returns the offset one past the last record of partition p
+// (0 for an empty or unknown partition).
+func (t *Topic) EndOffset(p int) int64 {
+	if p < 0 || p >= len(t.parts) {
+		return 0
+	}
+	part := &t.parts[p]
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	return int64(len(part.recs))
+}

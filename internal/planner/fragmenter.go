@@ -59,18 +59,21 @@ func (f *Fragmenter) rewrite(n Node, fp *FragmentedPlan) Node {
 		partial := &Aggregate{Child: agg.Child, GroupBy: agg.GroupBy, Aggs: agg.Aggs, Step: AggPartial}
 		frag := f.newSourceFragment(partial, fp)
 		remote := &RemoteSource{FragmentID: frag.ID, Cols: partial.Outputs()}
-		groups := len(agg.GroupBy)
-		finalAggs := make([]Aggregation, len(agg.Aggs))
-		for i, a := range agg.Aggs {
-			fa := a
-			fa.Args = []int{groups + i} // the intermediate channel
-			finalAggs[i] = fa
+		return finalOver(remote, agg)
+	}
+	// The same split over a hybrid union: one partial-aggregation source
+	// fragment per union side, one final aggregation over the concatenated
+	// partials.
+	if agg, ok := n.(*Aggregate); ok && agg.Step == AggSingle && !hasDistinct(agg) {
+		if u, isUnion := agg.Child.(*Union); isUnion && allScanLocal(u.Sources) {
+			remotes := make([]Node, len(u.Sources))
+			for i, src := range u.Sources {
+				partial := &Aggregate{Child: src, GroupBy: agg.GroupBy, Aggs: agg.Aggs, Step: AggPartial}
+				frag := f.newSourceFragment(partial, fp)
+				remotes[i] = &RemoteSource{FragmentID: frag.ID, Cols: partial.Outputs()}
+			}
+			return finalOver(&Union{Sources: remotes}, agg)
 		}
-		finalGroups := make([]int, groups)
-		for i := range finalGroups {
-			finalGroups[i] = i
-		}
-		return &Aggregate{Child: remote, GroupBy: finalGroups, Aggs: finalAggs, Step: AggFinal}
 	}
 	if isScanLocal(n) {
 		if scanOf(n) == nil {
@@ -114,9 +117,42 @@ func (f *Fragmenter) rewrite(n Node, fp *FragmentedPlan) Node {
 		t2 := *t
 		t2.Child = f.rewrite(t.Child, fp)
 		return &t2
+	case *Union:
+		// Each union side becomes its own source fragment (hybrid tables:
+		// one per connector), read back through RemoteSources.
+		t2 := Union{Sources: make([]Node, len(t.Sources))}
+		for i, src := range t.Sources {
+			t2.Sources[i] = f.rewrite(src, fp)
+		}
+		return &t2
 	default:
 		return n
 	}
+}
+
+// finalOver builds the AggFinal matching agg over the given (remote) child.
+func finalOver(child Node, agg *Aggregate) *Aggregate {
+	groups := len(agg.GroupBy)
+	finalAggs := make([]Aggregation, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		fa := a
+		fa.Args = []int{groups + i} // the intermediate channel
+		finalAggs[i] = fa
+	}
+	finalGroups := make([]int, groups)
+	for i := range finalGroups {
+		finalGroups[i] = i
+	}
+	return &Aggregate{Child: child, GroupBy: finalGroups, Aggs: finalAggs, Step: AggFinal}
+}
+
+func allScanLocal(nodes []Node) bool {
+	for _, n := range nodes {
+		if !isScanLocal(n) || scanOf(n) == nil {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *Fragmenter) newSourceFragment(root Node, fp *FragmentedPlan) *Fragment {

@@ -33,6 +33,10 @@ func (o *Optimizer) Optimize(root Node) Node {
 			break
 		}
 	}
+	// Phase 1b: expand hybrid scans into union(historical, real-time) before
+	// the per-connector pushdown phases, so the boundary and user predicates
+	// are pushed into each side's connector.
+	root = o.expandHybridScans(root)
 	// Phase 2: spatial join rewrite (needs predicates in join residuals).
 	if o.Session.Property("geospatial_optimization", "true") == "true" {
 		root = rewrite(root, rewriteGeoJoin)
@@ -88,6 +92,12 @@ func rewrite(n Node, fn func(Node) Node) Node {
 	case *Output:
 		t2 := *t
 		t2.Child = rewrite(t.Child, fn)
+		return fn(&t2)
+	case *Union:
+		t2 := Union{Sources: make([]Node, len(t.Sources))}
+		for i, src := range t.Sources {
+			t2.Sources[i] = rewrite(src, fn)
+		}
 		return fn(&t2)
 	default:
 		return fn(n)
@@ -777,6 +787,41 @@ func pruneNode(n Node, required []int, catalogs *connector.Registry) (Node, []in
 			}
 		}
 		return ng, mapping
+	case *Union:
+		// Prune each source with the same required set; sides may prune
+		// asymmetrically (e.g. a residual Filter survives on one side only),
+		// so realize exactly the required channels on every source with a
+		// Project built from that source's own mapping.
+		nu := &Union{Sources: make([]Node, len(t.Sources))}
+		for i, src := range t.Sources {
+			newSrc, srcMap := pruneNode(src, required, catalogs)
+			exact := len(newSrc.Outputs()) == len(required)
+			if exact {
+				for newCh, oldCh := range required {
+					if srcMap[oldCh] != newCh {
+						exact = false
+						break
+					}
+				}
+			}
+			if exact {
+				nu.Sources[i] = newSrc
+				continue
+			}
+			srcOut := newSrc.Outputs()
+			proj := &Project{Child: newSrc}
+			for _, oldCh := range required {
+				ch := srcMap[oldCh]
+				proj.Exprs = append(proj.Exprs, expr.NewVariable(srcOut[ch].Name, ch, srcOut[ch].Type))
+				proj.Names = append(proj.Names, srcOut[ch].Name)
+			}
+			nu.Sources[i] = proj
+		}
+		mapping := fill(width, -1)
+		for newCh, oldCh := range required {
+			mapping[oldCh] = newCh
+		}
+		return nu, mapping
 	default:
 		return n, identityChannels(width)
 	}
@@ -863,6 +908,13 @@ func CheckTypes(n Node) error {
 	case *Join:
 		if t.Residual != nil {
 			return validate(t.Residual, len(t.Left.Outputs())+len(t.Right.Outputs()), "join residual")
+		}
+	case *Union:
+		width := len(t.Sources[0].Outputs())
+		for i, src := range t.Sources[1:] {
+			if len(src.Outputs()) != width {
+				return fmt.Errorf("planner: union source %d has width %d, want %d", i+1, len(src.Outputs()), width)
+			}
 		}
 	}
 	return nil

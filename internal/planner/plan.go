@@ -26,6 +26,7 @@ func init() {
 	gob.Register(&Limit{})
 	gob.Register(&Output{})
 	gob.Register(&RemoteSource{})
+	gob.Register(&Union{})
 	gob.Register(&expr.Constant{})
 	gob.Register(&expr.Variable{})
 	gob.Register(&expr.Call{})
@@ -382,6 +383,17 @@ type Limit struct {
 func (l *Limit) Outputs() []Column { return l.Child.Outputs() }
 func (l *Limit) Children() []Node  { return []Node{l.Child} }
 func (l *Limit) Describe() string  { return fmt.Sprintf("Limit[%d]", l.N) }
+
+// Union concatenates its sources (UNION ALL semantics; no dedup). All
+// sources must have the same output width and types. The hybrid-table
+// expansion produces Union[historical scan, real-time scan].
+type Union struct {
+	Sources []Node
+}
+
+func (u *Union) Outputs() []Column { return u.Sources[0].Outputs() }
+func (u *Union) Children() []Node  { return append([]Node{}, u.Sources...) }
+func (u *Union) Describe() string  { return fmt.Sprintf("Union[%d sources]", len(u.Sources)) }
 
 // Output is the plan root, fixing result column names.
 type Output struct {

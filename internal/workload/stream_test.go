@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	for seq := int64(0); seq < 100; seq++ {
+		a := MakeStreamEvent(42, seq, now)
+		b := MakeStreamEvent(42, seq, now)
+		if a != b {
+			t.Fatalf("event %d not deterministic: %+v vs %+v", seq, a, b)
+		}
+		if a.Key != a.Country {
+			t.Fatalf("event %d key %q != country %q", seq, a.Key, a.Country)
+		}
+	}
+	if MakeStreamEvent(1, 0, now).Country == MakeStreamEvent(2, 0, now).Country &&
+		MakeStreamEvent(1, 1, now).Clicks == MakeStreamEvent(2, 1, now).Clicks &&
+		MakeStreamEvent(1, 2, now).Clicks == MakeStreamEvent(2, 2, now).Clicks {
+		t.Error("different seeds produced identical stream prefix")
+	}
+}
+
+func TestStreamMaxEventsUnpaced(t *testing.T) {
+	var got []StreamEvent
+	n, err := RunStream(context.Background(), StreamConfig{MaxEvents: 250, Seed: 7}, func(e StreamEvent) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 250 || len(got) != 250 {
+		t.Fatalf("emitted %d events (callback saw %d), want 250", n, len(got))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestStreamRateLimited(t *testing.T) {
+	start := time.Now()
+	n, err := RunStream(context.Background(), StreamConfig{EventsPerSec: 1000, MaxEvents: 200, Seed: 7}, func(StreamEvent) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n != 200 {
+		t.Fatalf("emitted %d, want 200", n)
+	}
+	// 200 events at 1000/s should take ~200ms; allow generous slack but
+	// reject "no pacing at all" (would finish in microseconds).
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("200 events at 1000/s finished in %v; rate limit not applied", elapsed)
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, _ = RunStream(ctx, StreamConfig{EventsPerSec: 50}, func(StreamEvent) error { return nil })
+	}()
+	time.Sleep(120 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunStream did not stop on context cancel")
+	}
+	if n == 0 {
+		t.Error("expected some events before cancel")
+	}
+}
