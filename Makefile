@@ -31,17 +31,21 @@ chaos-ingest:
 	go test -race -count=1 -v -run TestChaosIngest ./internal/cluster
 
 # Static analysis: go vet plus the project's own invariant suite
-# (internal/analysis, run by cmd/prestolint). prestolint enforces lockheld,
-# ctxflow, errdrop, atomicmix and hotalloc; suppress individual findings
-# only with `//lint:ignore <analyzer> <reason>`.
+# (internal/analysis, run by cmd/prestolint). prestolint enforces ten
+# analyzers — lockheld, ctxflow, errdrop, atomicmix, hotalloc, goleak,
+# chanmisuse, clockdet, closeleak, obshygiene — and exits non-zero on any
+# unsuppressed finding. Suppress individual findings only with
+# `//lint:ignore <analyzer> <reason>`; a directive missing its reason (or
+# naming an unknown analyzer) is itself a finding. CI runs this as its own
+# cached job; locally it is part of `make check`.
 lint:
 	go vet ./...
 	go run ./cmd/prestolint ./...
 
-# The pre-commit gate: everything a PR must pass. test covers the chaos suite
-# too (TestChaos* are ordinary go tests); `make chaos` re-runs just that slice
-# verbosely with seeds logged.
-check: build vet lint test test-race
+# The pre-commit gate: everything a PR must pass (lint includes go vet).
+# test covers the chaos suite too (TestChaos* are ordinary go tests);
+# `make chaos` re-runs just that slice verbosely with seeds logged.
+check: build lint test test-race
 
 bench:
 	go test -bench=. -benchmem ./...

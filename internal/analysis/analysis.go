@@ -19,11 +19,29 @@
 //   - hotalloc:  no fmt formatting or interface{} boxing allocations inside
 //     the per-row loops of the vectorized kernels.
 //
+// and the concurrency/lifecycle suite added with the ingestion and driver
+// machinery (goroutine-heavy code the intra-function analyzers above cannot
+// see into):
+//
+//   - goleak:     no goroutines without a way to terminate (unstoppable
+//     loops, wg.Add inside the spawned goroutine).
+//   - chanmisuse: no sends/closes on already-closed channels, no calls that
+//     block on channels while a mutex is held (interprocedural, via the
+//     fact store), no select loops without a cancellation arm in driver
+//     hot paths.
+//   - clockdet:   no direct time.Now/Sleep/After/... in packages threaded
+//     with fault.Clock — direct wall-time breaks CHAOS_SEED replay.
+//   - closeleak:  no io.Closer obtained from an opener that neither escapes
+//     nor gets closed.
+//   - obshygiene: no obs metrics that are registered but never updated,
+//     constructed outside a registry, or registered under colliding names.
+//
 // The framework is deliberately free of golang.org/x/tools: packages are
 // loaded with `go list -export` plus go/types (see load.go), analyzers are
-// plain functions over a Pass, and diagnostics can be suppressed — with a
-// written reason — via `//lint:ignore <analyzer> <reason>` comments
-// (see suppress.go).
+// plain functions over a Pass, cross-package reasoning goes through a fact
+// store computed in a pre-pass (see facts.go), and diagnostics can be
+// suppressed — with a written reason — via `//lint:ignore <analyzer>
+// <reason>` comments (see suppress.go).
 package analysis
 
 import (
@@ -56,6 +74,10 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Facts is the cross-package fact store computed over every loaded
+	// package before any analyzer ran (see facts.go).
+	Facts *Facts
+
 	diags *[]Diagnostic
 }
 
@@ -86,7 +108,10 @@ func (d Diagnostic) String() string {
 // All returns every registered analyzer, sorted by name. The suite is the
 // product surface of prestolint: new invariants are added here.
 func All() []*Analyzer {
-	all := []*Analyzer{AtomicMix, CtxFlow, ErrDrop, HotAlloc, LockHeld}
+	all := []*Analyzer{
+		AtomicMix, CtxFlow, ErrDrop, HotAlloc, LockHeld,
+		ChanMisuse, ClockDet, CloseLeak, GoLeak, ObsHygiene,
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
 }
@@ -106,6 +131,7 @@ func ByName(name string) *Analyzer {
 // comments as diagnostics of the pseudo-analyzer "lint", and returns the
 // remainder sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := ComputeFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
@@ -118,6 +144,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &raw,
 			}
 			a.Run(pass)

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChanMisuse flags channel lifecycle and composition mistakes in three
+// forms:
+//
+//  1. A send on — or second close of — a channel already closed on the same
+//     path. The walker tracks closed channel expressions linearly through
+//     each function body (branch bodies get copies, reassignment via make
+//     clears), the same simulation style as lockheld.
+//  2. A call, made while a sync.Mutex/RWMutex is held, to a function whose
+//     body performs a blocking channel operation (the cross-package
+//     BlockingChan fact). This is the interprocedural extension of
+//     lockheld's direct-operation rule: the channel peer often needs the
+//     same lock to make progress, which is the classic driver/exchange
+//     deadlock.
+//  3. In the driver hot paths (internal/execution, internal/ingest): a
+//     select inside an infinite for-loop with no default and no
+//     cancellation arm (no receive from a chan struct{} such as ctx.Done()
+//     or a stop channel). Query cancellation cannot stop such a loop; it
+//     parks forever once its peers exit.
+var ChanMisuse = &Analyzer{
+	Name: "chanmisuse",
+	Doc:  "flags sends/closes on channels already closed on the same path, calls that block on channels while a mutex is held, and select loops without a cancellation arm in driver hot paths",
+	Run:  runChanMisuse,
+}
+
+func runChanMisuse(pass *Pass) {
+	w := &closedChanWalker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.stmts(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				w.stmts(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	chanBlockedUnderLock(pass)
+	if hotChanPath(pass.Pkg.Path()) {
+		for _, file := range pass.Files {
+			checkSelectLoops(pass, file)
+		}
+	}
+}
+
+// hotChanPath scopes the select-loop rule to the operator/driver hot paths.
+func hotChanPath(path string) bool {
+	return strings.Contains(path, "internal/execution") || strings.Contains(path, "internal/ingest")
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: closed-channel tracking.
+
+// closedChanWalker simulates the set of closed channels through a function
+// body, keyed by the printed channel expression.
+type closedChanWalker struct {
+	pass *Pass
+}
+
+func (w *closedChanWalker) stmts(list []ast.Stmt, closed map[string]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, closed)
+	}
+}
+
+func (w *closedChanWalker) stmt(s ast.Stmt, closed map[string]token.Pos) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		if ch, pos, ok := closeCall(w.pass.Info, t.X); ok {
+			if prev, dup := closed[ch]; dup {
+				w.pass.Reportf(pos, "close of %q, already closed at %s: closing a closed channel panics", ch, w.pass.Fset.Position(prev))
+			}
+			closed[ch] = pos
+		}
+	case *ast.SendStmt:
+		key := types.ExprString(t.Chan)
+		if prev, ok := closed[key]; ok {
+			w.pass.Reportf(t.Arrow, "send on %q, closed at %s: sending on a closed channel panics", key, w.pass.Fset.Position(prev))
+		}
+	case *ast.AssignStmt:
+		// Reassignment (ch = make(...)) makes the old closed channel
+		// unreachable through this name.
+		for _, lhs := range t.Lhs {
+			delete(closed, types.ExprString(lhs))
+		}
+	case *ast.BlockStmt:
+		w.stmts(t.List, closed)
+	case *ast.LabeledStmt:
+		w.stmt(t.Stmt, closed)
+	case *ast.IfStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, closed)
+		}
+		w.stmts(t.Body.List, copyHeld(closed))
+		if t.Else != nil {
+			w.stmt(t.Else, copyHeld(closed))
+		}
+	case *ast.ForStmt:
+		if t.Init != nil {
+			w.stmt(t.Init, closed)
+		}
+		w.stmts(t.Body.List, copyHeld(closed))
+	case *ast.RangeStmt:
+		w.stmts(t.Body.List, copyHeld(closed))
+	case *ast.SwitchStmt:
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(closed))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(closed))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range t.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(closed))
+			}
+		}
+		// GoStmt/DeferStmt: deferred closes run at function end and spawned
+		// goroutines interleave arbitrarily; neither extends the linear path.
+	}
+}
+
+// closeCall matches a statement-level `close(ch)` on the builtin and returns
+// the printed channel expression.
+func closeCall(info *types.Info, e ast.Expr) (string, token.Pos, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", token.NoPos, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return "", token.NoPos, false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", token.NoPos, false
+	}
+	return types.ExprString(call.Args[0]), call.Pos(), true
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: blocking channel operations reached through a call, under a lock.
+
+func chanBlockedUnderLock(pass *Pass) {
+	w := &lockHeldWalker{pass: pass}
+	w.visit = func(call *ast.CallExpr, held map[string]token.Pos) {
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return
+		}
+		if pos, ok := pass.Facts.BlockingChan(fn); ok {
+			lock, acquired := minHeld(held)
+			pass.Reportf(call.Pos(), "call to %s, which blocks on a channel operation (%s), while %q is held (acquired at %s): the channel peer may need this lock to make progress",
+				fn.Name(), pos, lock, pass.Fset.Position(acquired))
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.stmts(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				w.stmts(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: select loops without a cancellation arm (hot paths only).
+
+func checkSelectLoops(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			switch t := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				// Nested loops bound their own selects: conditional ones can
+				// exit by condition, infinite ones get their own visit from
+				// the outer inspection.
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(t) && !selectHasCancelArm(pass, t) {
+					pass.Reportf(t.Select, "select loop without a cancellation arm (no receive from ctx.Done or a stop channel): query cancellation cannot stop this loop")
+				}
+				return false
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// selectHasCancelArm reports whether any comm clause receives from a channel
+// of empty struct — the shape of both ctx.Done() and the stop/done channels
+// threaded through the drivers.
+func selectHasCancelArm(pass *Pass, s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch t := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = t.X
+		case *ast.AssignStmt:
+			if len(t.Rhs) == 1 {
+				recv = t.Rhs[0]
+			}
+		}
+		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			continue
+		}
+		t := pass.TypeOf(un.X)
+		if t == nil {
+			continue
+		}
+		if ch, ok := t.Underlying().(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ClockDet flags direct wall-clock access in packages threaded with
+// fault.Clock. The chaos suites replay failures deterministically from a
+// CHAOS_SEED; that only works if every time source in the replayed path goes
+// through the injected clock. A single direct time.Now or time.Sleep is
+// invisible to fault.ManualClock — the replay silently runs on real time and
+// the failure stops reproducing, which is the worst possible failure mode
+// for a debugging tool. The analyzer is scoped to the clock-threaded
+// subsystems (cluster, ingest, druid, resource, gateway) plus any package
+// that declares a fault.Clock-typed variable, field or parameter — declaring
+// one is opting into injected time everywhere in the package.
+var ClockDet = &Analyzer{
+	Name: "clockdet",
+	Doc:  "flags direct time.Now/Sleep/After/NewTimer/... calls in packages threaded with fault.Clock, where wall-clock access silently breaks CHAOS_SEED replay",
+	Run:  runClockDet,
+}
+
+// clockFuncs are the time-package functions that read or schedule against
+// the wall clock. Pure conversions (time.Unix, time.Parse, time.Duration
+// arithmetic) are deterministic and allowed.
+var clockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Tick": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// clockScopedPaths are the subsystems cluster.ClientConfig threads its clock
+// through; fixtures impersonate subpackages of these to exercise the rule.
+var clockScopedPaths = []string{
+	"prestolite/internal/cluster",
+	"prestolite/internal/ingest",
+	"prestolite/internal/druid",
+	"prestolite/internal/resource",
+	"prestolite/internal/gateway",
+}
+
+func runClockDet(pass *Pass) {
+	if !clockScoped(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !clockFuncs[fn.Name()] || !isPkgFunc(fn, "time", fn.Name()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct time.%s in a clock-threaded package: wall-clock access is invisible to fault.ManualClock and breaks CHAOS_SEED replay — use the injected fault.Clock", fn.Name())
+			return true
+		})
+	}
+}
+
+func clockScoped(pass *Pass) bool {
+	path := pass.Pkg.Path()
+	// fault implements the real clock; its time calls are the injection point.
+	if path == "prestolite/internal/fault" {
+		return false
+	}
+	for _, p := range clockScopedPaths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	for _, obj := range pass.Info.Defs {
+		if v, ok := obj.(*types.Var); ok && isNamedType(v.Type(), "prestolite/internal/fault", "Clock") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseLeak flags io.Closer values obtained from an opener call that are
+// neither closed nor handed off. Split readers, spill runs, exchange
+// endpoints and HTTP response bodies are all Closers here; one leaked per
+// query is a descriptor exhaustion incident a few hours into a production
+// day. The analyzer tracks each opener result through its function: a
+// .Close() anywhere (including resp.Body.Close() and deferred literals)
+// releases it, and any escape — passed as an argument, returned, stored into
+// a struct/map/channel, address taken — transfers ownership and silences the
+// report. Helpers that return an opener result unclosed carry the
+// cross-package ReturnsCloser fact and are treated like openers themselves.
+var CloseLeak = &Analyzer{
+	Name: "closeleak",
+	Doc:  "flags io.Closer values obtained from opener calls that are neither closed nor handed off on any path",
+	Run:  runCloseLeak,
+}
+
+func runCloseLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCloseLeaks(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// openedVal is one tracked opener result within a function body.
+type openedVal struct {
+	call     *ast.CallExpr
+	what     string
+	released bool
+	escaped  bool
+}
+
+func checkCloseLeaks(pass *Pass, body *ast.BlockStmt) {
+	opened := map[types.Object]*openedVal{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(t.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !openerCall(pass, fn) {
+				return true
+			}
+			for _, lhs := range t.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				typ := pass.Info.TypeOf(id)
+				if !implementsCloser(typ) && !isNamedType(typ, "net/http", "Response") {
+					continue
+				}
+				if obj := objectOf(pass.Info, id); obj != nil {
+					if _, seen := opened[obj]; !seen {
+						opened[obj] = &openedVal{call: call, what: funcDesc(fn)}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			// Bare opener statement: the open value is discarded outright.
+			if call, ok := ast.Unparen(t.X).(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass.Info, call); openerCall(pass, fn) {
+					pass.Reportf(call.Pos(), "result of %s is discarded without Close: the open handle leaks", funcDesc(fn))
+				}
+			}
+		}
+		return true
+	})
+	if len(opened) == 0 {
+		return
+	}
+	parents := parentMap(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		ov := opened[pass.Info.Uses[id]]
+		if ov == nil {
+			return true
+		}
+		switch classifyCloserUse(parents, id) {
+		case useReleased:
+			ov.released = true
+		case useEscaped:
+			ov.escaped = true
+		}
+		return true
+	})
+	for _, ov := range opened {
+		if !ov.released && !ov.escaped {
+			pass.Reportf(ov.call.Pos(), "value opened by %s is never closed and never escapes this function: add a defer Close (leaked descriptor/connection)", ov.what)
+		}
+	}
+}
+
+type closerUse int
+
+const (
+	useNeutral closerUse = iota
+	useReleased
+	useEscaped
+)
+
+// classifyCloserUse decides what one mention of a tracked closer does with
+// it. Unknown contexts default to escaped: the analyzer under-reports rather
+// than flag ownership patterns it cannot follow.
+func classifyCloserUse(parents map[ast.Node]ast.Node, id *ast.Ident) closerUse {
+	// Climb the selector chain the identifier roots (f → f.Body → ...).
+	var cur ast.Node = id
+	for {
+		sel, ok := parents[cur].(*ast.SelectorExpr)
+		if !ok || sel.X != cur {
+			break
+		}
+		cur = sel
+	}
+	// A method call rooted at the value: Close (directly or via a field like
+	// resp.Body) releases it; other methods just use the open handle.
+	if call, ok := parents[cur].(*ast.CallExpr); ok && call.Fun == cur {
+		if sel, ok := cur.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+			return useReleased
+		}
+		return useNeutral
+	}
+	switch p := parents[cur].(type) {
+	case *ast.CallExpr, *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit, *ast.SendStmt, *ast.IndexExpr:
+		return useEscaped
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == cur {
+				return useNeutral // reassignment target
+			}
+		}
+		return useEscaped // stored under another name
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return useEscaped
+		}
+		return useNeutral
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.SwitchStmt:
+		return useNeutral // nil checks and condition reads
+	}
+	return useEscaped
+}
+
+// openerCall reports whether fn's results include an open resource the
+// caller owns: a stdlib opener, a repo helper carrying the ReturnsCloser
+// fact, or an opener-named method with a Closer result.
+func openerCall(pass *Pass, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if isStdlibOpener(fn) || pass.Facts.ReturnsCloser(fn) {
+		return true
+	}
+	if recvNamed(fn) == nil || !openerMethodNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if implementsCloser(t) || isNamedType(t, "net/http", "Response") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDesc renders a callee for diagnostics (Recv.Name or pkg.Name).
+func funcDesc(fn *types.Func) string {
+	if fn == nil {
+		return "opener"
+	}
+	if recv := recvNamed(fn); recv != nil {
+		return recv.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

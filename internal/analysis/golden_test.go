@@ -8,9 +8,9 @@ import (
 )
 
 // goldenCases maps each fixture package under testdata to the analyzers run
-// over it and the import path it is loaded as. The hotalloc fixture
-// impersonates an internal/execution package, since that analyzer is scoped
-// to the hot kernels by import path. The suppress fixture runs the full
+// over it and the import path it is loaded as. The hotalloc, chanmisuse and
+// clockdet fixtures impersonate packages inside the subsystems those
+// analyzers are scoped to by import path. The suppress fixture runs the full
 // suite to prove a directive silences exactly its target and nothing else.
 var goldenCases = []struct {
 	dir        string
@@ -22,6 +22,11 @@ var goldenCases = []struct {
 	{"errdrop", "prestolite/internal/analysis/testdata/errdrop", []string{"errdrop"}},
 	{"atomicmix", "prestolite/internal/analysis/testdata/atomicmix", []string{"atomicmix"}},
 	{"hotalloc", "prestolite/internal/execution/testfixture", []string{"hotalloc"}},
+	{"goleak", "prestolite/internal/analysis/testdata/goleak", []string{"goleak"}},
+	{"chanmisuse", "prestolite/internal/execution/chanmisusefixture", []string{"chanmisuse"}},
+	{"clockdet", "prestolite/internal/cluster/clockfixture", []string{"clockdet"}},
+	{"closeleak", "prestolite/internal/analysis/testdata/closeleak", []string{"closeleak"}},
+	{"obshygiene", "prestolite/internal/analysis/testdata/obshygiene", []string{"obshygiene"}},
 	{"suppress", "prestolite/internal/analysis/testdata/suppress", nil},
 }
 

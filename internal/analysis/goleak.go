@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoLeak flags goroutines that can never terminate. The driver pipelines,
+// local exchange, segment writer and producer layers spawn a goroutine per
+// pipeline/partition; one spawned without a termination path outlives its
+// query and accumulates for the life of the worker — the leak class the
+// chaos suite's goroutine-count checks only catch when the leaking
+// interleaving actually executes. Two rules:
+//
+//  1. A go statement whose body (or a function it calls, via the cross-
+//     package Unstoppable fact) loops forever with no return, no break
+//     binding to the loop, no goto and no terminating call.
+//  2. wg.Add called inside the spawned goroutine on a WaitGroup declared
+//     outside it: the Add races the matching Wait, which may observe the
+//     counter at zero and return before the goroutine ever runs.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags goroutines with no termination path (infinite loops with no exit, directly or through a called function) and wg.Add calls made inside the spawned goroutine",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkSpawnedWgAdd(pass, lit)
+		if pos := unstoppableLoopPos(lit.Body); pos.IsValid() {
+			pass.Reportf(pos, "goroutine loops forever with no way to stop (no return, break or terminating call): it leaks for the life of the process — add a ctx.Done/stop-channel arm")
+		}
+		checkUnstoppableCallees(pass, lit.Body)
+		return
+	}
+	// go pkg.Fn(...) / go recv.Method(...): the leak lives in the callee.
+	if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+		if pos, ok := pass.Facts.Unstoppable(fn); ok {
+			pass.Reportf(g.Go, "goroutine runs %s, which loops forever with no way to stop (loop at %s): it leaks for the life of the process", fn.Name(), pos)
+		}
+	}
+}
+
+// checkUnstoppableCallees reports calls inside a spawned literal to functions
+// carrying the Unstoppable fact. Nested literals are separate goroutines (or
+// deferred work) and get their own go statements if spawned.
+func checkUnstoppableCallees(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.Info, call); fn != nil {
+			if pos, ok := pass.Facts.Unstoppable(fn); ok {
+				pass.Reportf(call.Pos(), "goroutine calls %s, which loops forever with no way to stop (loop at %s): it leaks for the life of the process", fn.Name(), pos)
+			}
+		}
+		return true
+	})
+}
+
+// checkSpawnedWgAdd flags wg.Add inside the spawned literal when the
+// WaitGroup is declared outside it (captured variable or field). A WaitGroup
+// created inside the goroutine is its own synchronization domain and is fine.
+func checkSpawnedWgAdd(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !isMethod(fn, "sync", "WaitGroup", "Add") {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := baseIdent(sel.X)
+		if !ok {
+			return true
+		}
+		obj := objectOf(pass.Info, base)
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			pass.Reportf(call.Pos(), "wg.Add inside the spawned goroutine races the matching Wait (Wait may observe zero and return before this Add runs): call Add before the go statement")
+		}
+		return true
+	})
+}

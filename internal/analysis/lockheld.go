@@ -49,6 +49,12 @@ var blockingMethods = []struct {
 
 type lockHeldWalker struct {
 	pass *Pass
+	// visit, when set, replaces the walker's own blocking-operation reports:
+	// every call expression reached with at least one lock held is handed to
+	// the hook along with the held set. chanmisuse reuses the lock-state
+	// simulation through this hook for its interprocedural check instead of
+	// duplicating the walker.
+	visit func(call *ast.CallExpr, held map[string]token.Pos)
 }
 
 func runLockHeld(pass *Pass) {
@@ -134,7 +140,7 @@ func (w *lockHeldWalker) stmt(s ast.Stmt, held map[string]token.Pos) {
 		w.stmts(t.Body.List, copyHeld(held))
 	case *ast.RangeStmt:
 		w.check(t.X, held)
-		if len(held) > 0 {
+		if len(held) > 0 && w.visit == nil {
 			if x := w.pass.TypeOf(t.X); x != nil {
 				if _, isChan := x.Underlying().(*types.Chan); isChan {
 					w.reportBlocked(t.X.Pos(), "range over channel", held)
@@ -164,7 +170,7 @@ func (w *lockHeldWalker) stmt(s ast.Stmt, held map[string]token.Pos) {
 			}
 		}
 	case *ast.SelectStmt:
-		if len(held) > 0 && !selectHasDefault(t) {
+		if len(held) > 0 && w.visit == nil && !selectHasDefault(t) {
 			w.reportBlocked(t.Pos(), "select without default", held)
 		}
 		for _, c := range t.Body.List {
@@ -197,13 +203,17 @@ func (w *lockHeldWalker) check(n ast.Node, held map[string]token.Pos) {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if desc := w.blockingCall(t); desc != "" {
+			if w.visit != nil {
+				w.visit(t, held)
+			} else if desc := w.blockingCall(t); desc != "" {
 				w.reportBlocked(t.Pos(), desc, held)
 			}
 		case *ast.SendStmt:
-			w.reportBlocked(t.Arrow, "channel send", held)
+			if w.visit == nil {
+				w.reportBlocked(t.Arrow, "channel send", held)
+			}
 		case *ast.UnaryExpr:
-			if t.Op == token.ARROW {
+			if t.Op == token.ARROW && w.visit == nil {
 				w.reportBlocked(t.Pos(), "channel receive", held)
 			}
 		}
@@ -220,15 +230,21 @@ func (w *lockHeldWalker) checkArgs(call *ast.CallExpr, held map[string]token.Pos
 }
 
 func (w *lockHeldWalker) reportBlocked(pos token.Pos, what string, held map[string]token.Pos) {
-	// Report against one deterministic lock (the lexically smallest name).
+	lock, acquired := minHeld(held)
+	w.pass.Reportf(pos, "%s while %q is held (acquired at %s): blocking with a mutex held stalls every goroutine contending for it",
+		what, lock, w.pass.Fset.Position(acquired))
+}
+
+// minHeld picks one deterministic lock out of the held set (the lexically
+// smallest name) so diagnostics are stable across runs.
+func minHeld(held map[string]token.Pos) (string, token.Pos) {
 	lock := ""
 	for k := range held {
 		if lock == "" || k < lock {
 			lock = k
 		}
 	}
-	w.pass.Reportf(pos, "%s while %q is held (acquired at %s): blocking with a mutex held stalls every goroutine contending for it",
-		what, lock, w.pass.Fset.Position(held[lock]))
+	return lock, held[lock]
 }
 
 type lockOpKind int

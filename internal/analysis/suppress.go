@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -52,6 +53,17 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet
 						Pos:      pos,
 						Analyzer: "lint",
 						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>, the reason is mandatory",
+					})
+					continue
+				}
+				if name != "*" && ByName(name) == nil {
+					// A typoed analyzer name silences nothing; surface it
+					// instead of letting the author believe they suppressed
+					// a finding.
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("suppression names unknown analyzer %q (see prestolint -list for valid names)", name),
 					})
 					continue
 				}

@@ -1,0 +1,80 @@
+// Package fixture exercises the chanmisuse analyzer. The golden harness
+// loads it under an internal/execution import path, opting it into the
+// select-loop cancellation rule alongside the closed-channel tracking and
+// the blocked-under-lock interprocedural check.
+package fixture
+
+import "sync"
+
+type pipe struct {
+	mu   sync.Mutex
+	out  chan int
+	stop chan struct{}
+	n    int
+}
+
+// emit blocks sending on out; the BlockingChan fact records it so callers
+// holding p.mu are reported.
+func (p *pipe) emit(v int) {
+	p.out <- v
+}
+
+// badDoubleClose closes the same channel twice on one path.
+func badDoubleClose() {
+	done := make(chan struct{})
+	close(done)
+	close(done)
+}
+
+// badSendClosed sends on a channel already closed on this path.
+func badSendClosed() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+
+// badBlockedUnderLock calls emit — a blocking channel send — with p.mu
+// held; the consumer may need the lock to drain.
+func (p *pipe) badBlockedUnderLock() {
+	p.mu.Lock()
+	p.emit(p.n)
+	p.mu.Unlock()
+}
+
+// badSelectLoop has only data arms: query cancellation cannot stop it.
+func (p *pipe) badSelectLoop(in chan int) {
+	for {
+		select {
+		case v := <-in:
+			p.n += v
+		}
+	}
+}
+
+// goodReassign replaces the closed channel before closing again.
+func goodReassign() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// goodUnlockFirst releases the lock before the blocking send.
+func (p *pipe) goodUnlockFirst() {
+	p.mu.Lock()
+	v := p.n
+	p.mu.Unlock()
+	p.emit(v)
+}
+
+// goodSelectLoop carries a stop arm, so cancellation drains it.
+func (p *pipe) goodSelectLoop(in chan int) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case v := <-in:
+			p.n += v
+		}
+	}
+}

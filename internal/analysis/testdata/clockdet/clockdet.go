@@ -1,0 +1,49 @@
+// Package fixture exercises the clockdet analyzer. The golden harness loads
+// it under an internal/cluster import path, inside the clock-threaded scope:
+// direct wall-clock reads and scheduling are reported; injected-clock use
+// and pure time conversions are not.
+package fixture
+
+import (
+	"time"
+
+	"prestolite/internal/fault"
+)
+
+type scheduler struct {
+	clock fault.Clock
+	last  time.Time
+}
+
+// badNow reads the wall clock directly.
+func (s *scheduler) badNow() {
+	s.last = time.Now()
+}
+
+// badSleep sleeps on the wall clock.
+func (s *scheduler) badSleep() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// badAfter schedules against the wall clock.
+func (s *scheduler) badAfter() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+// badTicker builds a wall-clock ticker.
+func (s *scheduler) badTicker() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+// goodInjected routes every time decision through the injected clock.
+func (s *scheduler) goodInjected() {
+	s.last = s.clock.Now()
+	s.clock.Sleep(time.Millisecond)
+}
+
+// goodConversions: pure time construction and arithmetic are deterministic
+// and allowed.
+func goodConversions() time.Duration {
+	epoch := time.Unix(0, 0)
+	return epoch.Add(3 * time.Hour).Sub(epoch)
+}

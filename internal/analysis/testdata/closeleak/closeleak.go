@@ -1,0 +1,85 @@
+// Package fixture exercises the closeleak analyzer: opener results that are
+// never closed and never handed off are reported — including through a
+// package helper carrying the ReturnsCloser fact — while defer Close,
+// returning the value and storing it into a struct all transfer ownership.
+package fixture
+
+import (
+	"net/http"
+	"os"
+)
+
+// openSpill returns its open file to the caller: the escape silences the
+// report here and the ReturnsCloser fact makes callers accountable.
+func openSpill(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// badFile opens a file and forgets it.
+func badFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	return f != nil
+}
+
+// badResp leaks the response body: the status check reads the struct but
+// nothing ever closes it.
+func badResp() bool {
+	resp, err := http.Get("http://peer/v1/stats")
+	if err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK
+}
+
+// badDiscard drops the opener result on the floor outright.
+func badDiscard(path string) {
+	os.Create(path)
+}
+
+// badHelper leaks through the repo helper: openSpill hands it an open file
+// it never releases.
+func badHelper(path string) bool {
+	f, err := openSpill(path)
+	if err != nil {
+		return false
+	}
+	return f != nil
+}
+
+// goodDefer releases on every path.
+func goodDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// goodBodyClose releases a response through its Body field.
+func goodBodyClose() error {
+	resp, err := http.Get("http://peer/v1/stats")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+type holder struct {
+	f *os.File
+}
+
+// goodStored transfers ownership into the struct; whoever owns the holder
+// closes it later.
+func goodStored(h *holder, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}

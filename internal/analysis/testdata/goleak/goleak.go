@@ -1,0 +1,93 @@
+// Package fixture exercises the goleak analyzer: goroutines with no
+// termination path — looping forever in their own body or in a function
+// they call — are reported, as is wg.Add inside the spawned goroutine. A
+// loop with a stop arm, Add before the go statement, and range over a
+// closable channel are the clean counterparts.
+package fixture
+
+import "sync"
+
+type pumper struct {
+	n    int
+	in   chan int
+	stop chan struct{}
+}
+
+// spin loops forever with no exit; the Unstoppable fact carries this to
+// every go statement that runs it.
+func (p *pumper) spin() {
+	for {
+		p.n++
+	}
+}
+
+// badLiteral spawns a literal whose loop has no return, break or
+// terminating call.
+func badLiteral(p *pumper) {
+	go func() {
+		for {
+			p.n++
+		}
+	}()
+}
+
+// badWgAdd calls wg.Add inside the spawned goroutine: Wait may observe
+// zero and return before the goroutine runs.
+func badWgAdd(p *pumper) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		p.n++
+	}()
+	wg.Wait()
+}
+
+// badNamed leaks through the named callee's loop.
+func badNamed(p *pumper) {
+	go p.spin()
+}
+
+// badCalleeInLiteral reaches the unstoppable loop through a call inside
+// the literal body.
+func badCalleeInLiteral(p *pumper) {
+	go func() {
+		p.n++
+		p.spin()
+	}()
+}
+
+// goodStopArm loops forever but every iteration can exit via the stop
+// channel.
+func goodStopArm(p *pumper) {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case v := <-p.in:
+				p.n += v
+			}
+		}
+	}()
+}
+
+// goodAddBeforeGo follows the correct WaitGroup protocol.
+func goodAddBeforeGo(p *pumper) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.n++
+	}()
+	wg.Wait()
+}
+
+// goodRange terminates when the producer closes the channel.
+func goodRange(p *pumper) {
+	go func() {
+		for v := range p.in {
+			p.n += v
+		}
+	}()
+}

@@ -338,18 +338,18 @@ func planTextResult(text string) (*QueryResult, error) {
 // cluster-level metrics the gateway routes on.
 func (c *Coordinator) runTracked(session *planner.Session, q *sql.Query, rawSQL string, analyze bool) (*QueryResult, string, error) {
 	queryID := fmt.Sprintf("q%d", c.queryCounter.Add(1))
-	c.queries.add(&QueryInfo{ID: queryID, Query: rawSQL, User: session.User, State: QueryQueued, Queued: time.Now()})
+	c.queries.add(&QueryInfo{ID: queryID, Query: rawSQL, User: session.User, State: QueryQueued, Queued: c.cfg.Clock.Now()})
 	c.submitted.Inc()
 	c.outstanding.Add(1)
-	start := time.Now()
+	start := c.cfg.Clock.Now()
 
 	res, text, err := c.admitAndExec(session, q, queryID, analyze, start)
 
 	c.outstanding.Add(-1)
-	c.queryWall.Observe(time.Since(start))
+	c.queryWall.Observe(c.cfg.Clock.Now().Sub(start))
 	if err != nil {
 		c.failed.Inc()
-		now := time.Now()
+		now := c.cfg.Clock.Now()
 		c.queries.update(queryID, func(qi *QueryInfo) {
 			qi.State = QueryFailed
 			qi.Error = err.Error()
@@ -374,14 +374,14 @@ func (c *Coordinator) admitAndExec(session *planner.Session, q *sql.Query, query
 			return nil, "", err
 		}
 		defer release()
-		queuedMs := time.Since(queued).Milliseconds()
+		queuedMs := c.cfg.Clock.Now().Sub(queued).Milliseconds()
 		c.queries.update(queryID, func(qi *QueryInfo) { qi.QueuedMs = queuedMs })
 	}
 	return c.execQuery(session, q, queryID, analyze)
 }
 
 func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID string, analyze bool) (*QueryResult, string, error) {
-	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryPlanning; qi.Planning = time.Now() })
+	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryPlanning; qi.Planning = c.cfg.Clock.Now() })
 	memLimit, err := queryMemoryLimit(session, c.groupFor(session))
 	if err != nil {
 		return nil, "", err
@@ -393,7 +393,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	fragmenter := &planner.Fragmenter{}
 	fp := fragmenter.Fragment(plan)
 
-	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryRunning; qi.Running = time.Now() })
+	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryRunning; qi.Running = c.cfg.Clock.Now() })
 
 	// Schedule source fragments onto active workers. The query state
 	// carries the shared retry budget its remote sources draw on.
@@ -535,7 +535,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		res.Pages = append(res.Pages, data)
 	}
 
-	now := time.Now()
+	now := c.cfg.Clock.Now()
 	peak, spilled := int64(0), int64(0)
 	if ctx.Memory != nil {
 		peak, spilled = ctx.Memory.Peak(), ctx.Memory.Spilled()

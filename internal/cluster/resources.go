@@ -48,6 +48,7 @@ type coordResources struct {
 func (c *Coordinator) ConfigureResources(cfg ResourceConfig) error {
 	res := &coordResources{groups: map[string]*resource.Group{}}
 	res.pool = resource.NewPool("coordinator", cfg.MemoryLimit)
+	res.pool.SetClock(c.cfg.Clock)
 	if cfg.OOMKill {
 		res.pool.EnableOOMKiller(c.obs.Counter("oom_kills"))
 	}

@@ -216,6 +216,7 @@ func (w *Worker) activeTaskCount() int {
 func (w *Worker) Start(addr string) error {
 	if w.MemoryLimit > 0 || w.SpillDir != "" {
 		w.pool = resource.NewPool("worker", w.MemoryLimit)
+		w.pool.SetClock(w.Clock)
 		w.Obs.GaugeFunc("pool_reserved_bytes", func() float64 { return float64(w.pool.Reserved()) })
 	}
 	if w.SpillDir != "" {
@@ -346,7 +347,7 @@ func (w *Worker) GracefulShutdown() {
 		if remaining == 0 {
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		w.Clock.Sleep(10 * time.Millisecond)
 	}
 	w.Clock.Sleep(w.GracePeriod)
 
@@ -392,7 +393,7 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 
 func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 	w.tasksStarted.Inc()
-	start := time.Now()
+	start := w.Clock.Now()
 	var cacheKey string
 	if w.EnableFragmentResultCache {
 		cacheKey = fragmentCacheKey(req)
@@ -435,7 +436,7 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 		return
 	}
 	pages, err := execution.Drain(op)
-	w.taskWall.Observe(time.Since(start))
+	w.taskWall.Observe(w.Clock.Now().Sub(start))
 	if err != nil {
 		w.tasksFailed.Inc()
 		task.fail(err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/obs"
 	"prestolite/internal/types"
 )
@@ -74,6 +75,38 @@ func TestSealOnAge(t *testing.T) {
 	tab.Maintain(base.Add(2 * time.Second))
 	if st := tab.Stats(); st.Open != 0 || st.Sealed != 1 {
 		t.Fatalf("maintain after SealAge did not seal: %+v", st)
+	}
+}
+
+// TestSealOnAgeInjectedClock proves Ingest stamps the open segment from the
+// store's injected clock, not the wall clock: the manual clock starts in
+// 1970, so if Ingest read real time the segment would be "born in the
+// future" and the age-based Maintain below could never seal it.
+func TestSealOnAgeInjectedClock(t *testing.T) {
+	s := NewStore()
+	clk := fault.NewManualClock(time.Unix(0, 0))
+	s.SetClock(clk)
+	tab, err := s.CreateTable("events", []Column{
+		{Name: "ts", Type: types.Bigint},
+		{Name: "country", Type: types.Varchar},
+		{Name: "clicks", Type: types.Bigint},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetSegmentConfig(SegmentConfig{SealRows: 1000, SealAge: time.Second})
+	if err := tab.Ingest([][]any{eventRow(0)}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(500 * time.Millisecond)
+	tab.Maintain(clk.Now())
+	if st := tab.Stats(); st.Open != 1 || st.Sealed != 0 {
+		t.Fatalf("maintain before SealAge sealed early: %+v", st)
+	}
+	clk.Advance(2 * time.Second)
+	tab.Maintain(clk.Now())
+	if st := tab.Stats(); st.Open != 0 || st.Sealed != 1 {
+		t.Fatalf("maintain after SealAge did not seal on the injected clock: %+v", st)
 	}
 }
 

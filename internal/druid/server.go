@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/types"
 )
 
@@ -187,23 +188,35 @@ func (c *HTTPClient) Schema(table string) ([]Column, error) {
 type LatencyClient struct {
 	Inner   Client
 	Latency time.Duration
+	// Clock charges the latency; nil means real time, which is what the
+	// benchmarks measuring broker RTT want.
+	Clock fault.Clock
+}
+
+func (c *LatencyClient) sleep() {
+	if c.Clock != nil {
+		c.Clock.Sleep(c.Latency)
+		return
+	}
+	//lint:ignore clockdet the simulated broker RTT is the benchmark's measured subject; callers that replay under CHAOS_SEED inject a Clock instead
+	time.Sleep(c.Latency)
 }
 
 // Execute implements Client.
 func (c *LatencyClient) Execute(q Query) (*Result, error) {
-	time.Sleep(c.Latency)
+	c.sleep()
 	return c.Inner.Execute(q)
 }
 
 // Tables implements Client.
 func (c *LatencyClient) Tables() ([]string, error) {
-	time.Sleep(c.Latency)
+	c.sleep()
 	return c.Inner.Tables()
 }
 
 // Schema implements Client.
 func (c *LatencyClient) Schema(table string) ([]Column, error) {
-	time.Sleep(c.Latency)
+	c.sleep()
 	return c.Inner.Schema(table)
 }
 

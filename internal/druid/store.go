@@ -13,9 +13,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"prestolite/internal/expr"
+	"prestolite/internal/fault"
 	"prestolite/internal/types"
 )
 
@@ -64,11 +64,30 @@ type Store struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	metrics atomic.Pointer[storeMetrics]
+	clock   fault.Clock
 }
 
-// NewStore creates an empty store.
+// NewStore creates an empty store on the real clock.
 func NewStore() *Store {
-	return &Store{tables: map[string]*Table{}}
+	return &Store{tables: map[string]*Table{}, clock: fault.RealClock{}}
+}
+
+// SetClock injects the time source Ingest stamps appends with — and so the
+// base of every SealAge decision. Chaos and replay harnesses point it at
+// the same fault.Clock the rest of the cluster runs on.
+func (s *Store) SetClock(c fault.Clock) {
+	if c != nil {
+		s.clock = c
+	}
+}
+
+// clockOrReal is the table-level accessor: tables created without a store
+// back-pointer (unit tests) fall back to real time.
+func (t *Table) clockOrReal() fault.Clock {
+	if t.store != nil && t.store.clock != nil {
+		return t.store.clock
+	}
+	return fault.RealClock{}
 }
 
 // CreateTable registers a table.
@@ -119,7 +138,7 @@ func (s *Store) Tables() []string {
 // old one-immutable-segment-per-call behaviour that left bulk loaders with
 // thousands of tiny segments.
 func (t *Table) Ingest(rows [][]any) error {
-	return t.Append(rows, time.Now())
+	return t.Append(rows, t.clockOrReal().Now())
 }
 
 func errRowWidth(table string, ri, got, want int) error {

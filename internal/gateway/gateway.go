@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"prestolite/internal/cluster"
+	"prestolite/internal/fault"
 	"prestolite/internal/mysqlite"
 	"prestolite/internal/obs"
 	"prestolite/internal/types"
@@ -71,6 +72,10 @@ type Gateway struct {
 
 	obs       *obs.Registry
 	failovers *obs.Counter
+
+	// clock drives the load-cache TTL checks; injected via ClientConfig so
+	// chaos replay controls gateway staleness decisions too.
+	clock fault.Clock
 }
 
 type clusterLoad struct {
@@ -115,6 +120,7 @@ func NewWithConfig(cfg cluster.ClientConfig) (*Gateway, error) {
 		LoadTTL:   defaultLoadTTL,
 		loads:     map[string]clusterLoad{},
 		statsHTTP: cfg.StatsHTTPClient(),
+		clock:     cfg.Clock,
 		obs:       obs.NewRegistry(),
 	}
 	g.failovers = g.obs.Counter("gateway_failovers")
@@ -283,10 +289,10 @@ func (g *Gateway) pollCluster(addr string) clusterLoad {
 	g.loadMu.Lock()
 	cached, ok := g.loads[addr]
 	g.loadMu.Unlock()
-	if ok && time.Since(cached.fetched) < g.LoadTTL {
+	if ok && g.clock.Now().Sub(cached.fetched) < g.LoadTTL {
 		return cached
 	}
-	load := clusterLoad{fetched: time.Now()}
+	load := clusterLoad{fetched: g.clock.Now()}
 	if resp, err := g.statsHTTP.Get("http://" + addr + "/v1/stats"); err == nil {
 		var snap struct {
 			Gauges map[string]float64

@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"prestolite/internal/fault"
 )
 
 // ProducerConfig tunes producer batching.
@@ -16,6 +18,9 @@ type ProducerConfig struct {
 	// before a background flush (default 50ms). Zero keeps the default; a
 	// negative value disables the background flusher (tests flush manually).
 	Linger time.Duration
+	// Clock schedules the linger flusher (default real time). Chaos replay
+	// injects a fault.ManualClock here so batching cadence is deterministic.
+	Clock fault.Clock
 }
 
 func (c ProducerConfig) withDefaults() ProducerConfig {
@@ -24,6 +29,9 @@ func (c ProducerConfig) withDefaults() ProducerConfig {
 	}
 	if c.Linger == 0 {
 		c.Linger = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = fault.RealClock{}
 	}
 	return c
 }
@@ -64,13 +72,11 @@ func NewProducer(topic *Topic, cfg ProducerConfig) *Producer {
 
 func (p *Producer) lingerLoop() {
 	defer close(p.doneCh)
-	ticker := time.NewTicker(p.cfg.Linger)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-p.stopCh:
 			return
-		case <-ticker.C:
+		case <-p.cfg.Clock.After(p.cfg.Linger):
 			_ = p.Flush() // background tick: Close's final Flush surfaces errors
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prestolite/internal/druid"
+	"prestolite/internal/fault"
 	"prestolite/internal/obs"
 )
 
@@ -25,6 +26,9 @@ type WriterConfig struct {
 	// MaintainEvery is the cadence of the table lifecycle maintenance tick
 	// — age-based sealing and compaction (default 250ms).
 	MaintainEvery time.Duration
+	// Clock times polls, maintenance ticks and freshness observations
+	// (default real time); chaos replay injects a fault.ManualClock.
+	Clock fault.Clock
 }
 
 func (c WriterConfig) withDefaults() WriterConfig {
@@ -39,6 +43,9 @@ func (c WriterConfig) withDefaults() WriterConfig {
 	}
 	if c.MaintainEvery <= 0 {
 		c.MaintainEvery = 250 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = fault.RealClock{}
 	}
 	return c
 }
@@ -125,7 +132,7 @@ func (w *SegmentWriter) Stop() {
 	w.wg.Wait()
 	for w.RunOnce() > 0 {
 	}
-	w.table.Maintain(time.Now())
+	w.table.Maintain(w.cfg.Clock.Now())
 }
 
 func (w *SegmentWriter) consumePartition(p int, stop chan struct{}) {
@@ -136,7 +143,7 @@ func (w *SegmentWriter) consumePartition(p int, stop chan struct{}) {
 			select {
 			case <-stop:
 				return
-			case <-time.After(w.cfg.PollInterval):
+			case <-w.cfg.Clock.After(w.cfg.PollInterval):
 			}
 			continue
 		}
@@ -150,14 +157,12 @@ func (w *SegmentWriter) consumePartition(p int, stop chan struct{}) {
 
 func (w *SegmentWriter) maintainLoop(stop chan struct{}) {
 	defer w.wg.Done()
-	ticker := time.NewTicker(w.cfg.MaintainEvery)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case now := <-ticker.C:
-			w.table.Maintain(now)
+		case <-w.cfg.Clock.After(w.cfg.MaintainEvery):
+			w.table.Maintain(w.cfg.Clock.Now())
 		}
 	}
 }
@@ -175,7 +180,7 @@ func (w *SegmentWriter) pollPartition(p int) int {
 	for i, r := range recs {
 		rows[i] = r.Row
 	}
-	now := time.Now()
+	now := w.cfg.Clock.Now()
 	if err := w.table.Append(rows, now); err != nil {
 		// A malformed batch cannot become well-formed on retry: count it,
 		// commit past it and keep consuming instead of hot-looping.

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/obs"
 )
 
@@ -77,6 +78,11 @@ type Pool struct {
 	// Root-only OOM-killer policy (EnableOOMKiller).
 	oomKill  atomic.Bool
 	oomKills *obs.Counter
+
+	// Root-only time source for the OOM-kill wait loop (SetClock); nil
+	// means real time. Pools built by operators mid-query inherit real
+	// time, which is fine — the waits they time are never replayed.
+	clock fault.Clock
 }
 
 // killMark records why a pool was killed (boxed for atomic.Pointer).
@@ -104,6 +110,21 @@ func (p *Pool) Child(name string, limit int64) *Pool {
 func (p *Pool) EnableOOMKiller(kills *obs.Counter) {
 	p.oomKills = kills
 	p.oomKill.Store(true)
+}
+
+// SetClock injects the time source the OOM-kill wait loop sleeps on. Set it
+// on the root pool (like EnableOOMKiller); Reserve always consults the root.
+func (p *Pool) SetClock(c fault.Clock) {
+	if c != nil {
+		p.clock = c
+	}
+}
+
+func (p *Pool) clockOrReal() fault.Clock {
+	if p.clock != nil {
+		return p.clock
+	}
+	return fault.RealClock{}
 }
 
 // Name returns the pool's name.
@@ -204,11 +225,12 @@ func (p *Pool) Reserve(n int64) error {
 	if !root.oomKill.Load() || !errors.As(err, &ex) || ex.Pool != root.name {
 		return err
 	}
+	clock := root.clockOrReal()
 	for i := 0; i < oomKillWaits; i++ {
 		if killErr := root.oomKillFor(p); killErr != nil {
 			return killErr
 		}
-		time.Sleep(oomKillWaitStep)
+		clock.Sleep(oomKillWaitStep)
 		err = p.TryReserve(n)
 		if err == nil || !errors.Is(err, ErrPoolExhausted) {
 			return err

@@ -71,6 +71,7 @@ func NewStore(cfg Config) *Store {
 // maybeFail charges latency and injects throttles.
 func (s *Store) maybeFail() error {
 	if s.cfg.RequestLatency > 0 {
+		//lint:ignore clockdet this Sleep simulates S3 service-side latency, the quantity the experiments measure; client-side retry backoff goes through the Clock injected in s3fs.go
 		time.Sleep(s.cfg.RequestLatency)
 	}
 	if s.cfg.ThrottleEvery > 0 {
