@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race lint check chaos chaos-ingest bench bench-json bench-ingest-json experiments examples fmt vet
+.PHONY: build test test-race lint check chaos chaos-ingest fuzz-smoke bench bench-json bench-ingest-json experiments examples fmt vet
 
 build:
 	go build ./...
@@ -30,6 +30,18 @@ chaos:
 chaos-ingest:
 	go test -race -count=1 -v -run TestChaosIngest ./internal/cluster
 
+# Brief randomized runs of the vector-kernel fuzz targets (open-addressing
+# hash tables, selection kernels) on top of their checked-in corpus under
+# internal/execution/vector/testdata/fuzz. CI runs this as a smoke; crank
+# -fuzztime locally to dig deeper. New crashers land in testdata/fuzz —
+# check them in.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	go test -fuzz '^FuzzGroupTable$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/execution/vector/
+	go test -fuzz '^FuzzJoinTable$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/execution/vector/
+	go test -fuzz '^FuzzSelectTrue$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/execution/vector/
+	go test -fuzz '^FuzzSelectConst$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/execution/vector/
+
 # Static analysis: go vet plus the project's own invariant suite
 # (internal/analysis, run by cmd/prestolint). prestolint enforces ten
 # analyzers — lockheld, ctxflow, errdrop, atomicmix, hotalloc, goleak,
@@ -51,11 +63,15 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Machine-readable results for the intra-task parallelism benchmark: runs
-# scan/aggregation/join workloads at 1/2/4/8 drivers and writes ns/op plus
-# per-workload speedups (relative to drivers=1) to BENCH_PR5.json.
+# scan/aggregation/join workloads (vectorized and _rowwise baselines) at
+# 1/2/4/8 drivers and writes ns/op, per-workload speedups (relative to
+# drivers=1) and vector_speedups (vectorized vs rowwise-at-1-driver) to
+# BENCH_PR8.json. The -compare gate fails on any benchmark >20% slower than
+# the previous checked-in trajectory point (override with BENCH_BASE=).
+BENCH_BASE ?= BENCH_PR5.json
 bench-json:
-	go test -bench BenchmarkIntraTaskParallelism -benchmem -benchtime=5x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR5.json
-	@cat BENCH_PR5.json
+	go test -bench BenchmarkIntraTaskParallelism -benchmem -benchtime=50x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR8.json -compare $(BENCH_BASE)
+	@cat BENCH_PR8.json
 
 # Machine-readable results for the real-time ingestion benchmark: streams a
 # fixed event load under 0/4/16 concurrent hybrid queries and writes freshness

@@ -1,12 +1,20 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON report:
 //
-//	go test -bench BenchmarkIntraTaskParallelism -run '^$' . | benchjson -o BENCH_PR5.json
+//	go test -bench BenchmarkIntraTaskParallelism -run '^$' . | benchjson -o BENCH_PR8.json
 //
 // Each benchmark line becomes one result entry. Sub-benchmarks named
 // ".../drivers=N" are additionally folded into a speedups section keyed by
 // workload, reporting each driver count's throughput relative to drivers=1 —
-// the number the intra-task parallelism acceptance criterion reads.
+// the number the intra-task parallelism acceptance criterion reads. Workload
+// pairs named X and X_rowwise additionally produce a vector_speedups section:
+// X at each driver count relative to X_rowwise at drivers=1, isolating the
+// vectorized kernels' contribution from driver parallelism.
+//
+// With -compare OLD.json the report is additionally checked against a
+// previous run: any benchmark present in both whose ns/op regressed more
+// than 20% fails the command (exit 1) after the new report is written —
+// the trajectory gate for BENCH_*.json files checked into the repo.
 package main
 
 import (
@@ -34,10 +42,15 @@ type report struct {
 	Context  map[string]string             `json:"context,omitempty"`
 	Results  []result                      `json:"results"`
 	Speedups map[string]map[string]float64 `json:"speedups,omitempty"`
+	// VectorSpeedups compares each workload X (vectorized) at every driver
+	// count against its X_rowwise sibling at drivers=1 — the row-at-a-time
+	// serial baseline.
+	VectorSpeedups map[string]map[string]float64 `json:"vector_speedups,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "previous report to diff against; >20% ns/op regressions fail")
 	flag.Parse()
 
 	rep := report{Context: map[string]string{}}
@@ -93,6 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Speedups = speedups(rep.Results)
+	rep.VectorSpeedups = vectorSpeedups(rep.Results)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -105,12 +119,92 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	// The comparison runs after the report is written: a failing gate still
+	// leaves the new numbers on disk to inspect.
+	if *compare != "" && regressed(rep.Results, *compare) {
+		os.Exit(1)
+	}
+}
+
+// regressionThreshold is how much slower (ns/op) a benchmark may get
+// relative to the compared report before the run fails.
+const regressionThreshold = 1.20
+
+// regressed diffs the new results against the report at path and reports
+// whether any shared benchmark slowed down past the threshold.
+func regressed(results []result, path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare:", err)
+		return true
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -compare %s: %v\n", path, err)
+		return true
+	}
+	base := make(map[string]float64, len(old.Results))
+	for _, r := range old.Results {
+		if r.NsPerOp > 0 {
+			base[r.Name] = r.NsPerOp
+		}
+	}
+	bad := false
+	for _, r := range results {
+		was, ok := base[r.Name]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		if r.NsPerOp > was*regressionThreshold {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op, was %.0f (%.2fx > %.2fx allowed)\n",
+				r.Name, r.NsPerOp, was, r.NsPerOp/was, regressionThreshold)
+			bad = true
+		}
+	}
+	if bad {
+		fmt.Fprintf(os.Stderr, "benchjson: regressions vs %s\n", path)
+	}
+	return bad
+}
+
+// vectorSpeedups pairs each ".../X/drivers=N" workload with its
+// ".../X_rowwise/drivers=1" sibling and reports the vectorized path's
+// speedup over the serial row-at-a-time baseline at every driver count —
+// kernel contribution times driver scaling, against a fixed denominator.
+func vectorSpeedups(results []result) map[string]map[string]float64 {
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		if r.NsPerOp > 0 {
+			byName[r.Name] = r.NsPerOp
+		}
+	}
+	out := map[string]map[string]float64{}
+	for _, r := range results {
+		i := strings.LastIndex(r.Name, "/drivers=")
+		if i < 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		workload := r.Name[:i]
+		if strings.HasSuffix(workload, "_rowwise") {
+			continue
+		}
+		base, ok := byName[workload+"_rowwise/drivers=1"]
+		if !ok {
+			continue
+		}
+		m := out[workload]
+		if m == nil {
+			m = map[string]float64{}
+			out[workload] = m
+		}
+		// Two decimal places: these are summary ratios, not raw data.
+		m["drivers="+r.Name[i+len("/drivers="):]] = float64(int(base/r.NsPerOp*100+0.5)) / 100
+	}
+	return out
 }
 
 // trimProcSuffix drops go test's trailing -GOMAXPROCS from a benchmark name.

@@ -39,6 +39,10 @@ var clockScopedPaths = []string{
 	"prestolite/internal/druid",
 	"prestolite/internal/resource",
 	"prestolite/internal/gateway",
+	// The vector kernels carry no clock at all: any wall-clock read there
+	// is per-batch overhead and a determinism leak (kernel results feed
+	// CHAOS_SEED-replayed plans), so the whole package is scoped.
+	"prestolite/internal/execution/vector",
 }
 
 func runClockDet(pass *Pass) {

@@ -27,6 +27,10 @@ var goldenCases = []struct {
 	{"clockdet", "prestolite/internal/cluster/clockfixture", []string{"clockdet"}},
 	{"closeleak", "prestolite/internal/analysis/testdata/closeleak", []string{"closeleak"}},
 	{"obshygiene", "prestolite/internal/analysis/testdata/obshygiene", []string{"obshygiene"}},
+	// vectorhot loads under the vector kernels' import path, where the
+	// hot-loop, clock-determinism and metrics-hygiene rules all apply to
+	// one package — the lint surface PR8's kernel code is held to.
+	{"vectorhot", "prestolite/internal/execution/vector/vectorhotfixture", []string{"hotalloc", "clockdet", "obshygiene"}},
 	{"suppress", "prestolite/internal/analysis/testdata/suppress", nil},
 }
 

@@ -1,0 +1,69 @@
+// Package fixture exercises the kernel-package lint surface as one unit.
+// The golden harness loads it under the vector kernels' import path, where
+// three analyzers apply at once: hotalloc (per-row allocation inside batch
+// loops), clockdet (the kernel tree is clock-scoped — wall-clock reads are
+// per-batch overhead and a determinism leak) and obshygiene (dead metric
+// handles). The batch-at-a-time kernel at the bottom shows the shape that
+// stays silent under all three.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"prestolite/internal/obs"
+)
+
+type kernelStats struct {
+	rows *obs.Counter
+}
+
+// badRowFormat formats every row reflectively inside the row loop: the
+// per-row fmt.Sprintf turns a memory-bandwidth kernel into a GC workload.
+func badRowFormat(vals []int64) []string {
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, fmt.Sprintf("%d", v))
+	}
+	return out
+}
+
+// badRowBoxing builds a boxed row vector per iteration.
+func badRowBoxing(vals []int64) [][]any {
+	var rows [][]any
+	for _, v := range vals {
+		rows = append(rows, []any{v})
+	}
+	return rows
+}
+
+// badBatchStamp timestamps each emitted batch off the wall clock.
+func badBatchStamp(batches int) []time.Time {
+	stamps := make([]time.Time, 0, batches)
+	for i := 0; i < batches; i++ {
+		stamps = append(stamps, time.Now())
+	}
+	return stamps
+}
+
+// badDiscardedMetric registers the kernel's row counter and throws the
+// handle away: the metric exists in snapshots but can never move.
+func badDiscardedMetric(reg *obs.Registry) {
+	reg.Counter("vector_rows_processed")
+}
+
+// goodBatchKernel is the clean shape: typed appends per row, one bound and
+// updated counter per batch, and only duration arithmetic for bookkeeping.
+func goodBatchKernel(s *kernelStats, reg *obs.Registry, vals []int64) ([]byte, time.Duration) {
+	if s.rows == nil {
+		s.rows = reg.Counter("vector_batches")
+	}
+	buf := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		buf = strconv.AppendInt(buf, v, 10)
+		buf = append(buf, '\n')
+	}
+	s.rows.Add(int64(len(vals)))
+	return buf, time.Duration(len(vals)) * time.Microsecond
+}

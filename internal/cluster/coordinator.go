@@ -409,6 +409,23 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		}
 		taskDrivers = d
 	}
+	noVector := session.Property("vectorized_execution", "true") == "false"
+	adaptiveRows := 0
+	if v := session.Property("adaptive_exchange_rows", ""); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, "", fmt.Errorf("cluster: bad adaptive_exchange_rows %q: want an integer", v)
+		}
+		adaptiveRows = r
+	}
+	bypassRows := 0
+	if v := session.Property("partial_aggregation_bypass_rows", ""); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, "", fmt.Errorf("cluster: bad partial_aggregation_bypass_rows %q: want an integer", v)
+		}
+		bypassRows = r
+	}
 	if !fp.SingleFragment() {
 		workers, err := c.waitActiveWorkers()
 		if err != nil {
@@ -445,11 +462,14 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 				}
 				taskID := fmt.Sprintf("%s.f%d.t%d", queryID, id, wi)
 				th, err := c.startTaskAnywhere(workers, wi, TaskRequest{
-					TaskID:   taskID,
-					Fragment: frag.Root,
-					TableKey: frag.TableKey,
-					Splits:   splitSet,
-					Drivers:  taskDrivers,
+					TaskID:               taskID,
+					Fragment:             frag.Root,
+					TableKey:             frag.TableKey,
+					Splits:               splitSet,
+					Drivers:              taskDrivers,
+					DisableVectorized:    noVector,
+					AdaptiveExchangeRows: adaptiveRows,
+					PartialAggBypassRows: bypassRows,
 				})
 				if err != nil {
 					return nil, "", err
@@ -477,8 +497,11 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	// limit — and, when configured, the shared spill manager.
 	rootStats := obs.NewTaskStats()
 	ctx := &execution.Context{
-		Catalogs: c.Catalogs,
-		Stats:    rootStats,
+		Catalogs:             c.Catalogs,
+		Stats:                rootStats,
+		DisableVectorized:    noVector,
+		AdaptiveExchangeRows: adaptiveRows,
+		PartialAggBypassRows: bypassRows,
 		RemoteSources: func(fragmentID int, cols []planner.Column) (execution.Operator, error) {
 			return &remoteSourceOperator{c: c, qs: qs, tasks: remotes[fragmentID]}, nil
 		},

@@ -48,6 +48,15 @@ type TaskRequest struct {
 	// Drivers requests a specific intra-task parallelism (the session's
 	// task_concurrency); 0 defers to the worker's own configuration.
 	Drivers int
+	// DisableVectorized pins the task to the row-at-a-time reference
+	// operators (the session's vectorized_execution=false).
+	DisableVectorized bool
+	// AdaptiveExchangeRows tunes the local exchange's skip-repartition
+	// threshold (0 = default, negative = always partition).
+	AdaptiveExchangeRows int
+	// PartialAggBypassRows tunes adaptive partial aggregation's trigger
+	// (0 = default, negative = never bypass).
+	PartialAggBypassRows int
 }
 
 // TaskResultChunk is one page (or the end-of-stream marker) of task output.
@@ -415,11 +424,14 @@ func (w *Worker) runTask(req *TaskRequest, task *workerTask) {
 	defer cancel()
 	task.setCancel(cancel)
 	ctx := &execution.Context{
-		Catalogs: w.Catalogs,
-		Splits:   map[string][]connector.Split{req.TableKey: req.Splits},
-		Stats:    task.stats,
-		Ctx:      tctx,
-		Drivers:  w.taskDrivers(req),
+		Catalogs:             w.Catalogs,
+		Splits:               map[string][]connector.Split{req.TableKey: req.Splits},
+		Stats:                task.stats,
+		Ctx:                  tctx,
+		Drivers:              w.taskDrivers(req),
+		DisableVectorized:    req.DisableVectorized,
+		AdaptiveExchangeRows: req.AdaptiveExchangeRows,
+		PartialAggBypassRows: req.PartialAggBypassRows,
 	}
 	if w.pool != nil {
 		// Per-task memory context: tasks share the worker pool, and a failed

@@ -207,6 +207,29 @@ func (e *Engine) execContext(session *planner.Session) (*execution.Context, func
 		}
 		ctx.Drivers = d
 	}
+	// vectorized_execution=false pins every aggregation and join to the
+	// row-at-a-time reference operators — the escape hatch, and the oracle
+	// the equivalence suite compares the kernels against.
+	ctx.DisableVectorized = session.Property("vectorized_execution", "true") == "false"
+	// adaptive_exchange_rows tunes the local exchange's skip-repartition
+	// threshold (0 = default, negative = always partition).
+	if v := session.Property("adaptive_exchange_rows", ""); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: bad adaptive_exchange_rows %q: want an integer", v)
+		}
+		ctx.AdaptiveExchangeRows = r
+	}
+	// partial_aggregation_bypass_rows tunes how much input a partial
+	// aggregation hashes before it may switch to pass-through
+	// (0 = default, negative = never bypass).
+	if v := session.Property("partial_aggregation_bypass_rows", ""); v != "" {
+		r, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: bad partial_aggregation_bypass_rows %q: want an integer", v)
+		}
+		ctx.PartialAggBypassRows = r
+	}
 	return ctx, cleanup, nil
 }
 

@@ -57,9 +57,7 @@ type aggregateOperator struct {
 
 	hasDistinct bool
 	runs        []*resource.Run
-	cursors     []*aggMergeCursor
-	mergeKeys   []any
-	mergeBuf    []byte
+	merger      *aggMerger
 }
 
 // aggMergeCursor reads one sorted spill run during the merge, holding one
@@ -150,8 +148,8 @@ func (o *aggregateOperator) Next() (*block.Page, error) {
 		}
 		o.consumed = true
 	}
-	if len(o.cursors) > 0 {
-		return o.mergeNext()
+	if o.merger != nil {
+		return o.merger.next()
 	}
 	if o.emitted {
 		return nil, io.EOF
@@ -270,21 +268,24 @@ func (o *aggregateOperator) consume() error {
 		if err := o.spillGroups(); err != nil {
 			return err
 		}
-		return o.openMerge()
+		o.merger = newAggMerger(o.node, o.fns)
+		return o.merger.open(o.runs)
 	}
 	return nil
 }
 
-// spillTypes is the schema of a spilled aggregation page: the group-by key
-// columns followed by one intermediate-state column per aggregate.
-func (o *aggregateOperator) spillTypes() []*types.Type {
-	childCols := o.node.Child.Outputs()
-	ts := make([]*types.Type, 0, len(o.node.GroupBy)+len(o.fns))
-	for _, ch := range o.node.GroupBy {
+// aggSpillTypes is the schema of a spilled aggregation page: the group-by
+// key columns followed by one intermediate-state column per aggregate. Both
+// the row-at-a-time and vectorized operators spill this schema, so their
+// runs merge interchangeably.
+func aggSpillTypes(node *planner.Aggregate, fns []*expr.AggregateFunction) []*types.Type {
+	childCols := node.Child.Outputs()
+	ts := make([]*types.Type, 0, len(node.GroupBy)+len(fns))
+	for _, ch := range node.GroupBy {
 		ts = append(ts, childCols[ch].Type)
 	}
-	for i, fn := range o.fns {
-		ts = append(ts, fn.IntermediateType(o.node.Aggs[i].ArgTypes))
+	for i, fn := range fns {
+		ts = append(ts, fn.IntermediateType(node.Aggs[i].ArgTypes))
 	}
 	return ts
 }
@@ -301,7 +302,7 @@ func (o *aggregateOperator) spillGroups() error {
 	if err != nil {
 		return err
 	}
-	ts := o.spillTypes()
+	ts := aggSpillTypes(o.node, o.fns)
 	row := make([]any, len(ts))
 	nk := len(o.node.GroupBy)
 	for off := 0; off < len(o.order); off += spillPageRows {
@@ -335,13 +336,31 @@ func (o *aggregateOperator) spillGroups() error {
 	return nil
 }
 
-// openMerge opens a cursor per sorted run and positions each on its first
-// row. The merge holds only the cursor pages plus one group's states at a
-// time, so it fits any budget — unlike rebuilding the full distinct-group
-// table, which by construction cannot fit (that is why it spilled).
-func (o *aggregateOperator) openMerge() error {
+// aggMerger k-way merges key-sorted aggregation spill runs, combining equal
+// keys across runs with AddIntermediate and streaming result pages out. It
+// is shared by the row-at-a-time operator above and the vectorized
+// aggregation (vectoragg.go): both spill the same page schema ([group
+// keys..., intermediate states...], sorted by encoded key), so one merge
+// serves either producer.
+type aggMerger struct {
+	node      *planner.Aggregate
+	fns       []*expr.AggregateFunction
+	cursors   []*aggMergeCursor
+	mergeKeys []any
+	mergeBuf  []byte
+}
+
+func newAggMerger(node *planner.Aggregate, fns []*expr.AggregateFunction) *aggMerger {
+	return &aggMerger{node: node, fns: fns}
+}
+
+// open starts a cursor per sorted run and positions each on its first row.
+// The merge holds only the cursor pages plus one group's states at a time,
+// so it fits any budget — unlike rebuilding the full distinct-group table,
+// which by construction cannot fit (that is why it spilled).
+func (o *aggMerger) open(runs []*resource.Run) error {
 	o.mergeKeys = make([]any, len(o.node.GroupBy))
-	for _, r := range o.runs {
+	for _, r := range runs {
 		rr, err := r.Open()
 		if err != nil {
 			return err
@@ -355,9 +374,20 @@ func (o *aggregateOperator) openMerge() error {
 	return nil
 }
 
+// close releases any cursors still holding open run readers.
+func (o *aggMerger) close() error {
+	var errs []error
+	for _, c := range o.cursors {
+		if c.rr != nil && !c.done {
+			errs = append(errs, c.rr.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // advanceCursor moves a cursor to its next row, loading pages as needed; at
 // the end of the run the file is removed immediately.
-func (o *aggregateOperator) advanceCursor(c *aggMergeCursor) error {
+func (o *aggMerger) advanceCursor(c *aggMergeCursor) error {
 	if c.page != nil {
 		c.row++
 		if c.row < c.page.Count() {
@@ -387,7 +417,7 @@ func (o *aggregateOperator) advanceCursor(c *aggMergeCursor) error {
 }
 
 // cursorKey recomputes the cursor's encoded group key for its current row.
-func (o *aggregateOperator) cursorKey(c *aggMergeCursor) {
+func (o *aggMerger) cursorKey(c *aggMergeCursor) {
 	for i := range o.mergeKeys {
 		o.mergeKeys[i] = c.page.Blocks[i].Value(c.row)
 	}
@@ -395,11 +425,11 @@ func (o *aggregateOperator) cursorKey(c *aggMergeCursor) {
 	c.key = string(o.mergeBuf)
 }
 
-// mergeNext emits the next page of the k-way merge: the smallest key across
+// next emits the next page of the k-way merge: the smallest key across
 // the live cursors is combined (AddIntermediate over every run holding it)
 // into one transient group and appended, until the page fills or the runs
 // drain.
-func (o *aggregateOperator) mergeNext() (*block.Page, error) {
+func (o *aggMerger) next() (*block.Page, error) {
 	outs := o.node.Outputs()
 	colTypes := make([]*types.Type, len(outs))
 	for i, col := range outs {
@@ -484,10 +514,8 @@ func (o *aggregateOperator) emit() (*block.Page, error) {
 
 func (o *aggregateOperator) Close() error {
 	var errs []error
-	for _, c := range o.cursors {
-		if c.rr != nil && !c.done {
-			errs = append(errs, c.rr.Close())
-		}
+	if o.merger != nil {
+		errs = append(errs, o.merger.close())
 	}
 	for _, r := range o.runs {
 		r.Remove()

@@ -196,7 +196,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 		return nil, err
 	}
 	serial := func() ([]Operator, error) {
-		op, err := newAggregateOperator(t, gatherOne(ctx, streams), newOpMem("hash aggregation", ctx))
+		op, err := newAggOp(ctx, t, gatherOne(ctx, streams))
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +219,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 			// the downstream FINAL (same contract as across tasks).
 			outs := make([]Operator, len(streams))
 			for i, s := range streams {
-				op, err := newAggregateOperator(t, s, newOpMem("hash aggregation", ctx))
+				op, err := newAggOp(ctx, t, s)
 				if err != nil {
 					return nil, err
 				}
@@ -233,7 +233,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 			partial := &planner.Aggregate{Child: t.Child, GroupBy: t.GroupBy, Aggs: t.Aggs, Step: planner.AggPartial}
 			partials := make([]Operator, len(streams))
 			for i, s := range streams {
-				op, err := newAggregateOperator(partial, s, newOpMem("hash aggregation", ctx))
+				op, err := newAggOp(ctx, partial, s)
 				if err != nil {
 					return nil, err
 				}
@@ -245,11 +245,11 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 			for i := range keys {
 				keys[i] = i
 			}
-			endpoints := newLocalExchange(ctx, partials, exPartition, keys, n)
+			endpoints, _ := newAdaptiveExchange(ctx, partials, keys, n, exGather)
 			final := finalOverPartial(t, partial)
 			outs := make([]Operator, n)
 			for i, ep := range endpoints {
-				op, err := newAggregateOperator(final, ep, newOpMem("hash aggregation", ctx))
+				op, err := newAggOp(ctx, final, ep)
 				if err != nil {
 					return nil, err
 				}
@@ -263,7 +263,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 			endpoints := newLocalExchange(ctx, streams, exPartition, t.GroupBy, n)
 			outs := make([]Operator, n)
 			for i, ep := range endpoints {
-				op, err := newAggregateOperator(t, ep, newOpMem("hash aggregation", ctx))
+				op, err := newAggOp(ctx, t, ep)
 				if err != nil {
 					return nil, err
 				}
@@ -283,7 +283,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 	partial := &planner.Aggregate{Child: t.Child, Aggs: t.Aggs, Step: planner.AggPartial}
 	partials := make([]Operator, len(streams))
 	for i, s := range streams {
-		op, err := newAggregateOperator(partial, s, newOpMem("hash aggregation", ctx))
+		op, err := newAggOp(ctx, partial, s)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +297,7 @@ func buildParallelAggregate(t *planner.Aggregate, ctx *Context, n int) ([]Operat
 		return partials, nil
 	}
 	final := finalOverPartial(t, partial)
-	op, err := newAggregateOperator(final, gatherOne(ctx, partials), newOpMem("hash aggregation", ctx))
+	op, err := newAggOp(ctx, final, gatherOne(ctx, partials))
 	if err != nil {
 		return nil, err
 	}
@@ -345,14 +345,14 @@ func buildParallelJoin(t *planner.Join, ctx *Context, n int) ([]Operator, error)
 		return nil, err
 	}
 	if len(t.LeftKeys) == 0 || (len(ls) == 1 && len(rs) == 1) {
-		op := newJoinOperator(t, gatherOne(ctx, ls), gatherOne(ctx, rs), newOpMem("the build side of a join", ctx))
+		op := newJoinOp(ctx, t, gatherOne(ctx, ls), gatherOne(ctx, rs))
 		return []Operator{ctx.instrument(t, op)}, nil
 	}
-	probeEnds := newLocalExchange(ctx, ls, exPartition, t.LeftKeys, n)
-	buildEnds := newLocalExchange(ctx, rs, exPartition, t.RightKeys, n)
+	buildEnds, st := newAdaptiveExchange(ctx, rs, t.RightKeys, n, exBroadcast)
+	probeEnds := newFollowerExchange(ctx, ls, t.LeftKeys, n, st)
 	outs := make([]Operator, n)
 	for i := range outs {
-		op := newJoinOperator(t, probeEnds[i], buildEnds[i], newOpMem("the build side of a join", ctx))
+		op := newJoinOp(ctx, t, probeEnds[i], buildEnds[i])
 		outs[i] = ctx.instrument(t, op)
 	}
 	return outs, nil

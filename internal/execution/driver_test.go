@@ -35,9 +35,9 @@ type testConnector struct {
 	opened atomic.Int64 // page sources created (== splits actually read)
 }
 
-func (c *testConnector) Name() string                                 { return "test" }
-func (c *testConnector) Metadata() connector.Metadata                 { return nil }
-func (c *testConnector) SplitManager() connector.SplitManager         { return c }
+func (c *testConnector) Name() string                                   { return "test" }
+func (c *testConnector) Metadata() connector.Metadata                   { return nil }
+func (c *testConnector) SplitManager() connector.SplitManager           { return c }
 func (c *testConnector) RecordSetProvider() connector.RecordSetProvider { return c }
 
 func (c *testConnector) Splits(connector.TableHandle) ([]connector.Split, error) {
@@ -582,5 +582,170 @@ func TestBuildParallelFallsBackWithoutScan(t *testing.T) {
 	}
 	if n := len(col0Int64s(pages)); n != 2 {
 		t.Fatalf("got %d rows, want 2", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive exchange.
+
+func TestAdaptiveExchangeGathersSmall(t *testing.T) {
+	// Under the row limit every page must land on output 0 (no partitioning),
+	// leaving the sibling endpoints empty.
+	sources := []Operator{pagesOf(1, 2, 3), pagesOf(4, 5)}
+	eps, st := newAdaptiveExchange(&Context{}, sources, []int{0}, 3, exGather)
+	vals, errs := drainAll(t, eps)
+	for i := range eps {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if got := sortedInt64s(vals[0]); len(got) != 5 {
+		t.Fatalf("output 0 got %v, want all 5 rows", got)
+	}
+	if len(vals[1])+len(vals[2]) != 0 {
+		t.Fatalf("small input leaked past output 0: %v / %v", vals[1], vals[2])
+	}
+	if !st.isDecided() || st.mode != exGather {
+		t.Fatalf("decision = %v (decided %v), want exGather", st.mode, st.isDecided())
+	}
+}
+
+func TestAdaptiveExchangePartitionsLarge(t *testing.T) {
+	// Over the limit the exchange must fall back to hash partitioning: every
+	// occurrence of a key on one output, with real spread across outputs.
+	ctx := &Context{AdaptiveExchangeRows: 4}
+	sources := []Operator{
+		&pagesOperator{pages: []*block.Page{intPage(1, 2, 3, 4, 5, 6, 7, 8), intPage(1, 2, 3)}},
+		&pagesOperator{pages: []*block.Page{intPage(5, 6, 7, 8)}},
+	}
+	eps, st := newAdaptiveExchange(ctx, sources, []int{0}, 3, exGather)
+	vals, errs := drainAll(t, eps)
+	home := map[int64]int{}
+	total, nonEmpty := 0, 0
+	for i := range eps {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		total += len(vals[i])
+		if len(vals[i]) > 0 {
+			nonEmpty++
+		}
+		for _, v := range vals[i] {
+			if prev, ok := home[v]; ok && prev != i {
+				t.Fatalf("key %d split across outputs %d and %d", v, prev, i)
+			}
+			home[v] = i
+		}
+	}
+	if total != 15 {
+		t.Fatalf("adaptive partition lost rows: %d of 15", total)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("adaptive partition did not spread: %d non-empty outputs", nonEmpty)
+	}
+	if st.mode != exPartition {
+		t.Fatalf("decision = %v, want exPartition", st.mode)
+	}
+}
+
+func TestAdaptiveExchangeBroadcastFollower(t *testing.T) {
+	// A small build side broadcasts to every output, and the follower (probe)
+	// side round-robins — together each output can join any probe row.
+	ctx := &Context{}
+	build, st := newAdaptiveExchange(ctx, []Operator{pagesOf(10, 20)}, []int{0}, 2, exBroadcast)
+	probe := newFollowerExchange(ctx, []Operator{pagesOf(1, 2, 3, 4)}, []int{0}, 2, st)
+
+	var wg sync.WaitGroup
+	buildVals := make([][]int64, 2)
+	probeVals := make([][]int64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bp, err := Drain(build[i])
+			if err != nil {
+				t.Error(err)
+			}
+			buildVals[i] = col0Int64s(bp)
+			pp, err := Drain(probe[i])
+			if err != nil {
+				t.Error(err)
+			}
+			probeVals[i] = col0Int64s(pp)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if got := sortedInt64s(buildVals[i]); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+			t.Fatalf("output %d build side = %v, want the full broadcast {10,20}", i, got)
+		}
+	}
+	if n := len(probeVals[0]) + len(probeVals[1]); n != 4 {
+		t.Fatalf("follower lost probe rows: %d of 4", n)
+	}
+	if st.mode != exBroadcast {
+		t.Fatalf("decision = %v, want exBroadcast", st.mode)
+	}
+}
+
+func TestAdaptiveExchangeFollowerPartitionsWithSameHash(t *testing.T) {
+	// A large build side partitions, and the follower must route matching
+	// keys to the same output index (the join co-location invariant).
+	ctx := &Context{AdaptiveExchangeRows: 2}
+	build, st := newAdaptiveExchange(ctx, []Operator{pagesOf(1, 2, 3, 4, 5, 6)}, []int{0}, 3, exBroadcast)
+	probe := newFollowerExchange(ctx, []Operator{pagesOf(1, 2, 3, 4, 5, 6)}, []int{0}, 3, st)
+
+	var wg sync.WaitGroup
+	buildVals := make([][]int64, 3)
+	probeVals := make([][]int64, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bp, err := Drain(build[i])
+			if err != nil {
+				t.Error(err)
+			}
+			buildVals[i] = col0Int64s(bp)
+			pp, err := Drain(probe[i])
+			if err != nil {
+				t.Error(err)
+			}
+			probeVals[i] = col0Int64s(pp)
+		}(i)
+	}
+	wg.Wait()
+	if st.mode != exPartition {
+		t.Fatalf("decision = %v, want exPartition", st.mode)
+	}
+	buildHome := map[int64]int{}
+	for i, vs := range buildVals {
+		for _, v := range vs {
+			buildHome[v] = i
+		}
+	}
+	for i, vs := range probeVals {
+		for _, v := range vs {
+			if buildHome[v] != i {
+				t.Fatalf("key %d probed on output %d but built on output %d", v, i, buildHome[v])
+			}
+		}
+	}
+}
+
+func TestAdaptiveExchangeDisabledIsPlainPartition(t *testing.T) {
+	ctx := &Context{AdaptiveExchangeRows: -1}
+	eps, st := newAdaptiveExchange(ctx, []Operator{pagesOf(1, 2, 3)}, []int{0}, 2, exGather)
+	if st != nil {
+		t.Fatal("disabled adaptive exchange still returned shared state")
+	}
+	vals, errs := drainAll(t, eps)
+	for i := range eps {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	if len(vals[0])+len(vals[1]) != 3 {
+		t.Fatalf("disabled mode lost rows: %v / %v", vals[0], vals[1])
 	}
 }

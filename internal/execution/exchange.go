@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"prestolite/internal/block"
+	"prestolite/internal/execution/vector"
 )
 
 // exchangeMode selects how a local exchange routes pages from its source
@@ -33,6 +34,24 @@ const (
 	// exPartition routes each row to the output chosen by hashing its key
 	// columns (k→n), so all rows of one group/join key land on one driver.
 	exPartition
+	// exBroadcast copies every page to every output (k→n). Never chosen
+	// statically — it is the adaptive exchange's small-build-side decision
+	// for joins, where shipping the whole build table to each driver is
+	// cheaper than repartitioning the (much larger) probe side.
+	exBroadcast
+	// exAdaptive starts undecided: pages are buffered until the observed
+	// row count crosses the limit (decide exPartition) or every producer
+	// finishes under it (decide the configured small mode — exGather for
+	// aggregations, exBroadcast for join build sides). Repartitioning only
+	// pays for itself when there is enough data to spread; below the limit
+	// the partition step is pure overhead, the measured cause of the 1→2
+	// driver regression on small group-by workloads.
+	exAdaptive
+	// exAdaptiveFollow is the probe side of an adaptively-exchanged join:
+	// it waits for the build side's decision, then partitions (build was
+	// partitioned) or round-robins (build was broadcast, any driver can
+	// join any probe row).
+	exAdaptiveFollow
 )
 
 // exchangeBuffer is the per-output channel capacity. Pages in flight inside
@@ -65,9 +84,58 @@ type localExchange struct {
 	launched  bool // set under startOnce: producers actually started
 	stopOnce  sync.Once
 
+	adapt *adaptiveState // exAdaptive / exAdaptiveFollow only
+
 	mu       sync.Mutex
 	err      error // first produce-side error (surfaced by Next after EOF)
 	closeErr error // source Close errors (surfaced by the last output Close)
+}
+
+// defaultAdaptiveRows is the buffered-row threshold below which an adaptive
+// exchange skips repartitioning (Context.AdaptiveExchangeRows overrides).
+const defaultAdaptiveRows = 4096
+
+// adaptiveState is the decision shared between an adaptive exchange and its
+// follower: undecided while pages accumulate in buf, then fixed to either
+// exPartition (the data outgrew the limit) or the small-side mode.
+type adaptiveState struct {
+	limit int
+	small exchangeMode  // decision when the build side stays under limit
+	ch    chan struct{} // closed once mode is valid
+	mode  exchangeMode
+
+	mu      sync.Mutex
+	decided bool
+	buf     []*block.Page
+	rows    int
+}
+
+func newAdaptiveState(ctx *Context, small exchangeMode) *adaptiveState {
+	limit := ctx.AdaptiveExchangeRows
+	if limit == 0 {
+		limit = defaultAdaptiveRows
+	}
+	return &adaptiveState{limit: limit, small: small, ch: make(chan struct{})}
+}
+
+// decideLocked fixes the routing mode and hands the buffered pages to the
+// caller for flushing (outside the lock — sends can block on consumers).
+func (st *adaptiveState) decideLocked(mode exchangeMode) []*block.Page {
+	st.decided = true
+	st.mode = mode
+	close(st.ch)
+	buf := st.buf
+	st.buf = nil
+	return buf
+}
+
+func (st *adaptiveState) isDecided() bool {
+	select {
+	case <-st.ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // exchangeOut is one output stream of a localExchange. Each endpoint has a
@@ -105,6 +173,32 @@ func newLocalExchange(ctx *Context, sources []Operator, mode exchangeMode, keys 
 	return endpoints
 }
 
+// newAdaptiveExchange wires a partition exchange that may skip partitioning:
+// it returns the endpoints plus the shared decision state a follower exchange
+// (the join probe side) can key off. A negative Context.AdaptiveExchangeRows
+// disables adaptivity and yields a plain partition exchange (nil state).
+func newAdaptiveExchange(ctx *Context, sources []Operator, keys []int, outputs int, small exchangeMode) ([]Operator, *adaptiveState) {
+	if ctx.AdaptiveExchangeRows < 0 {
+		return newLocalExchange(ctx, sources, exPartition, keys, outputs), nil
+	}
+	st := newAdaptiveState(ctx, small)
+	ends := newLocalExchange(ctx, sources, exAdaptive, keys, outputs)
+	ends[0].(*exchangeOut).ex.adapt = st
+	return ends, st
+}
+
+// newFollowerExchange wires the probe side of an adaptively-exchanged join:
+// partition when the build side partitioned, round-robin when it broadcast.
+// With adaptivity disabled (nil state) it is a plain partition exchange.
+func newFollowerExchange(ctx *Context, sources []Operator, keys []int, outputs int, st *adaptiveState) []Operator {
+	if st == nil {
+		return newLocalExchange(ctx, sources, exPartition, keys, outputs)
+	}
+	ends := newLocalExchange(ctx, sources, exAdaptiveFollow, keys, outputs)
+	ends[0].(*exchangeOut).ex.adapt = st
+	return ends
+}
+
 // gatherOne reduces k streams to a single serial operator (identity for k=1).
 func gatherOne(ctx *Context, streams []Operator) Operator {
 	if len(streams) == 1 {
@@ -125,6 +219,12 @@ func (ex *localExchange) start() {
 			// them once every producer has exited (and recorded any error).
 			go func() {
 				ex.wg.Wait()
+				if ex.mode == exAdaptive {
+					// Every producer finished while undecided: the data
+					// stayed under the limit, so skip partitioning and
+					// flush the buffer in the small mode.
+					ex.flushAdaptive()
+				}
 				for _, o := range ex.outs {
 					close(o.ch)
 				}
@@ -150,7 +250,7 @@ func (ex *localExchange) produce(i int) {
 		defer close(ex.outs[i].ch)
 	}
 	var pt *partitioner
-	if ex.mode == exPartition {
+	if ex.mode == exPartition || ex.mode == exAdaptive || ex.mode == exAdaptiveFollow {
 		pt = newPartitioner(ex)
 		defer pt.release()
 	}
@@ -193,9 +293,119 @@ func (ex *localExchange) dispatch(i int, pt *partitioner, p *block.Page) bool {
 	case exRoundRobin:
 		j := int(ex.rr.Add(1)-1) % len(ex.outs)
 		return ex.send(j, p)
+	case exAdaptive:
+		return ex.adaptDispatch(pt, p)
+	case exAdaptiveFollow:
+		return ex.followDispatch(pt, p)
+	case exBroadcast:
+		return ex.broadcast(p)
 	default: // exPartition
 		return pt.dispatch(p)
 	}
+}
+
+// broadcast copies one page to every output.
+func (ex *localExchange) broadcast(p *block.Page) bool {
+	for j := range ex.outs {
+		if !ex.send(j, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// adaptDispatch routes one page of an undecided-or-decided adaptive
+// exchange. While undecided, pages are buffered under the state lock; the
+// producer that pushes the row count over the limit makes the partition
+// decision and flushes the backlog through its own partitioner (hashing is
+// deterministic, so whose partitioner does it is irrelevant).
+func (ex *localExchange) adaptDispatch(pt *partitioner, p *block.Page) bool {
+	st := ex.adapt
+	if st.isDecided() {
+		return ex.routeDecided(pt, p)
+	}
+	st.mu.Lock()
+	if st.decided {
+		st.mu.Unlock()
+		return ex.routeDecided(pt, p)
+	}
+	// Buffered pages outlive this producer and may be consumed from any
+	// driver; force lazy columns now, while a single goroutine owns them.
+	p = forceLazy(p)
+	st.buf = append(st.buf, p)
+	st.rows += p.Count()
+	if st.rows <= st.limit {
+		st.mu.Unlock()
+		return true
+	}
+	buf := st.decideLocked(exPartition)
+	st.mu.Unlock()
+	for _, q := range buf {
+		if !pt.dispatch(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// routeDecided routes per the adaptive decision.
+func (ex *localExchange) routeDecided(pt *partitioner, p *block.Page) bool {
+	switch ex.adapt.mode {
+	case exPartition:
+		return pt.dispatch(p)
+	case exBroadcast:
+		return ex.broadcast(forceLazy(p))
+	default: // exGather
+		return ex.send(0, p)
+	}
+}
+
+// flushAdaptive runs after the last producer exits: an undecided exchange
+// stayed under the limit, so fix the small mode and deliver the backlog.
+func (ex *localExchange) flushAdaptive() {
+	st := ex.adapt
+	st.mu.Lock()
+	if st.decided {
+		st.mu.Unlock()
+		return
+	}
+	buf := st.decideLocked(st.small)
+	st.mu.Unlock()
+	for _, p := range buf {
+		var ok bool
+		if st.mode == exBroadcast {
+			ok = ex.broadcast(p)
+		} else {
+			ok = ex.send(0, p)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// followDispatch blocks until the build side decides, then mirrors it:
+// partition with the same hash (matching keys meet on one driver) or
+// round-robin against the broadcast build table.
+func (ex *localExchange) followDispatch(pt *partitioner, p *block.Page) bool {
+	st := ex.adapt
+	var cancelled <-chan struct{}
+	if ex.ctx != nil {
+		cancelled = ex.ctx.Done()
+	}
+	select {
+	case <-st.ch:
+	case <-ex.done:
+		return false
+	case <-cancelled:
+		ex.fail(ex.ctx.Err())
+		return false
+	}
+	if st.mode == exPartition {
+		return pt.dispatch(p)
+	}
+	j := int(ex.rr.Add(1)-1) % len(ex.outs)
+	return ex.send(j, p)
 }
 
 // send delivers a page to output j. It returns false only when the whole
@@ -290,20 +500,19 @@ func (o *exchangeOut) Close() error {
 // Hash partitioning.
 
 // partitioner is one producer's scratch state for exPartition: per-output
-// selection vectors (leased from the block pool) and a reusable key buffer,
+// selection vectors (leased from the block pool) and a reusable hash buffer,
 // so routing a page allocates nothing beyond the masked output blocks.
 type partitioner struct {
 	ex        *localExchange
 	selectors []*block.Positions
-	keyVals   []any
-	keyBuf    []byte
+	hasher    vector.Hasher
+	hashes    []uint64
 }
 
 func newPartitioner(ex *localExchange) *partitioner {
 	pt := &partitioner{
 		ex:        ex,
 		selectors: make([]*block.Positions, len(ex.outs)),
-		keyVals:   make([]any, len(ex.keys)),
 	}
 	for i := range pt.selectors {
 		pt.selectors[i] = block.GetPositions()
@@ -318,10 +527,14 @@ func (pt *partitioner) release() {
 	pt.selectors = nil
 }
 
-// dispatch routes the rows of one page by key hash. Rows are batched into
-// per-output selection vectors and masked out vectorized (Mask copies the
-// selected rows, so the vectors are reusable immediately); a page whose rows
-// all hash to one output is forwarded as-is.
+// dispatch routes the rows of one page by key hash — vector.Hasher hashes
+// whole key columns at a time (encoding-aware, no per-row boxing), which is
+// what keeps a 2-driver partition exchange cheaper than the serial plan it
+// replaces. Rows are batched into per-output selection vectors and masked
+// out vectorized (Mask copies the selected rows, so the vectors are reusable
+// immediately); a page whose rows all hash to one output is forwarded as-is.
+// Both sides of a partitioned join route through this same value-based hash,
+// which is what makes matching keys meet on the same driver.
 func (pt *partitioner) dispatch(p *block.Page) bool {
 	// Force lazy columns here, in the single producer goroutine: masking a
 	// lazy block yields derived blocks whose loaders all funnel into the
@@ -335,12 +548,14 @@ func (pt *partitioner) dispatch(p *block.Page) bool {
 	for _, s := range pt.selectors {
 		s.Buf = s.Buf[:0]
 	}
-	for r := 0; r < p.Count(); r++ {
-		for k, ch := range ex.keys {
-			pt.keyVals[k] = p.Blocks[ch].Value(r)
-		}
-		pt.keyBuf = appendGroupKey(pt.keyBuf[:0], pt.keyVals)
-		j := hashKeyBytes(pt.keyBuf) % n
+	rows := p.Count()
+	if cap(pt.hashes) < rows {
+		pt.hashes = make([]uint64, rows)
+	}
+	hashes := pt.hashes[:rows]
+	pt.hasher.HashPage(p, ex.keys, hashes)
+	for r, h := range hashes {
+		j := h % n
 		pt.selectors[j].Buf = append(pt.selectors[j].Buf, r)
 	}
 	for j, s := range pt.selectors {
@@ -382,17 +597,4 @@ func forceLazy(p *block.Page) *block.Page {
 		}
 	}
 	return &block.Page{Blocks: blocks, N: p.N}
-}
-
-// hashKeyBytes is inline FNV-1a (hash/fnv would allocate a hasher per row on
-// this hot path). The same function routes both sides of a partitioned join,
-// which is what makes matching keys meet on the same driver.
-func hashKeyBytes(b []byte) uint64 {
-	const offset64, prime64 = 14695981039346656037, 1099511628211
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
 }

@@ -1,0 +1,479 @@
+package vector
+
+import (
+	"fmt"
+	"strings"
+
+	"prestolite/internal/block"
+	"prestolite/internal/types"
+)
+
+// Agg is a typed batch aggregator: one flat state slice indexed by group
+// id, updated a page at a time. Intermediate and final emissions build
+// typed blocks straight from the state slices (no boxing), and the
+// intermediate formats match the row engine's expr.AggState contract
+// exactly, so vector partials merge into row finals (and vice versa) across
+// local exchanges, spill runs, and the distributed partial/final split:
+//
+//	count            -> int64 (never null)
+//	sum(bigint)      -> int64 or null
+//	sum(double)      -> float64 or null
+//	min/max          -> value or null
+//	avg              -> row(sum double, count bigint), never null
+type Agg interface {
+	// Grow extends the state to cover group ids < n.
+	Grow(n int)
+	// AddRaw accumulates raw input rows (arg is nil for count(*)).
+	AddRaw(ids []int32, arg *View, n int)
+	// AddIntermediate merges an intermediate column (the FINAL step).
+	AddIntermediate(ids []int32, b block.Block, n int) error
+	// EmitIntermediate / EmitFinal emit groups [from, to) as a column.
+	EmitIntermediate(from, to int) block.Block
+	EmitFinal(from, to int) block.Block
+	// IntermediateValue boxes group g's intermediate (spill encoding).
+	IntermediateValue(g int) any
+	// Reset drops all state (post-spill rebuild).
+	Reset()
+}
+
+// NewAgg builds the typed aggregator for a function name and argument type
+// (nil for count(*)); ok is false for shapes the vector path does not
+// cover (DISTINCT is handled by the caller, approx_distinct and nested
+// argument types fall back to the row engine).
+func NewAgg(name string, argType *types.Type) (Agg, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		if argType == nil {
+			return &countAgg{star: true}, true
+		}
+		if _, ok := kindOf(argType); !ok {
+			return nil, false
+		}
+		return &countAgg{}, true
+	case "sum":
+		switch argType.Kind {
+		case types.KindBigint, types.KindInteger:
+			return &sumInt64Agg{}, true
+		case types.KindDouble:
+			return &sumFloat64Agg{}, true
+		}
+		return nil, false
+	case "min", "max":
+		k, ok := kindOf(argType)
+		if !ok {
+			return nil, false
+		}
+		return &minMaxAgg{kind: k, typ: argType, isMax: strings.ToLower(name) == "max"}, true
+	case "avg":
+		switch argType.Kind {
+		case types.KindBigint, types.KindInteger, types.KindDouble:
+			return &avgAgg{}, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// viewOrNil fills v from b, returning nil on unsupported shapes (callers
+// then use the boxed fallback).
+func viewOrNil(b block.Block, v *View) *View {
+	if Of(b, v) {
+		return v
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// count / count(x)
+
+type countAgg struct {
+	star   bool
+	counts []int64
+	view   View
+}
+
+func (a *countAgg) Grow(n int) { a.counts = grown(a.counts, n) }
+
+func (a *countAgg) AddRaw(ids []int32, arg *View, n int) {
+	if a.star {
+		for r := 0; r < n; r++ {
+			a.counts[ids[r]]++
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		if arg.at(r) >= 0 {
+			a.counts[ids[r]]++
+		}
+	}
+}
+
+func (a *countAgg) AddIntermediate(ids []int32, b block.Block, n int) error {
+	v := viewOrNil(b, &a.view)
+	if v == nil || v.Kind != KindInt64 {
+		return fmt.Errorf("vector: count intermediate is %T, want int64", b)
+	}
+	for r := 0; r < n; r++ {
+		if i := v.at(r); i >= 0 {
+			a.counts[ids[r]] += v.I64[i]
+		}
+	}
+	return nil
+}
+
+func (a *countAgg) EmitIntermediate(from, to int) block.Block {
+	return &block.Int64Block{Values: a.counts[from:to]}
+}
+func (a *countAgg) EmitFinal(from, to int) block.Block { return a.EmitIntermediate(from, to) }
+func (a *countAgg) IntermediateValue(g int) any        { return a.counts[g] }
+func (a *countAgg) Reset()                             { a.counts = a.counts[:0] }
+
+// ---------------------------------------------------------------------------
+// sum(bigint)
+
+type sumInt64Agg struct {
+	sums []int64
+	set  []bool
+	view View
+}
+
+func (a *sumInt64Agg) Grow(n int) {
+	a.sums = grown(a.sums, n)
+	a.set = grown(a.set, n)
+}
+
+func (a *sumInt64Agg) AddRaw(ids []int32, arg *View, n int) {
+	if arg.flat() {
+		for r, x := range arg.I64[:n] {
+			g := ids[r]
+			a.sums[g] += x
+			a.set[g] = true
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		if i := arg.at(r); i >= 0 {
+			g := ids[r]
+			a.sums[g] += arg.I64[i]
+			a.set[g] = true
+		}
+	}
+}
+
+func (a *sumInt64Agg) AddIntermediate(ids []int32, b block.Block, n int) error {
+	v := viewOrNil(b, &a.view)
+	if v == nil || v.Kind != KindInt64 {
+		return fmt.Errorf("vector: sum(bigint) intermediate is %T, want int64", b)
+	}
+	a.AddRaw(ids, v, n)
+	return nil
+}
+
+func (a *sumInt64Agg) EmitIntermediate(from, to int) block.Block {
+	return &block.Int64Block{Values: a.sums[from:to], Nulls: nullsFromSet(a.set[from:to])}
+}
+func (a *sumInt64Agg) EmitFinal(from, to int) block.Block { return a.EmitIntermediate(from, to) }
+func (a *sumInt64Agg) IntermediateValue(g int) any {
+	if !a.set[g] {
+		return nil
+	}
+	return a.sums[g]
+}
+func (a *sumInt64Agg) Reset() { a.sums, a.set = a.sums[:0], a.set[:0] }
+
+// ---------------------------------------------------------------------------
+// sum(double)
+
+type sumFloat64Agg struct {
+	sums []float64
+	set  []bool
+	view View
+}
+
+func (a *sumFloat64Agg) Grow(n int) {
+	a.sums = grown(a.sums, n)
+	a.set = grown(a.set, n)
+}
+
+func (a *sumFloat64Agg) AddRaw(ids []int32, arg *View, n int) {
+	if arg.flat() {
+		for r, x := range arg.F64[:n] {
+			g := ids[r]
+			a.sums[g] += x
+			a.set[g] = true
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		if i := arg.at(r); i >= 0 {
+			g := ids[r]
+			a.sums[g] += arg.F64[i]
+			a.set[g] = true
+		}
+	}
+}
+
+func (a *sumFloat64Agg) AddIntermediate(ids []int32, b block.Block, n int) error {
+	v := viewOrNil(b, &a.view)
+	if v == nil || v.Kind != KindFloat64 {
+		return fmt.Errorf("vector: sum(double) intermediate is %T, want float64", b)
+	}
+	a.AddRaw(ids, v, n)
+	return nil
+}
+
+func (a *sumFloat64Agg) EmitIntermediate(from, to int) block.Block {
+	return &block.Float64Block{Values: a.sums[from:to], Nulls: nullsFromSet(a.set[from:to])}
+}
+func (a *sumFloat64Agg) EmitFinal(from, to int) block.Block { return a.EmitIntermediate(from, to) }
+func (a *sumFloat64Agg) IntermediateValue(g int) any {
+	if !a.set[g] {
+		return nil
+	}
+	return a.sums[g]
+}
+func (a *sumFloat64Agg) Reset() { a.sums, a.set = a.sums[:0], a.set[:0] }
+
+// ---------------------------------------------------------------------------
+// min / max
+
+// minMaxAgg keeps the best value per group in a typed Column-like layout.
+// Float comparisons use real float ordering (not bit order) to match
+// expr.CompareValues: NaN never replaces a best value, and a NaN best is
+// never replaced — exactly the row engine's behavior.
+type minMaxAgg struct {
+	kind  Kind
+	typ   *types.Type
+	isMax bool
+	i64   []int64
+	f64   []float64
+	str   []string
+	set   []bool
+	view  View
+}
+
+func (a *minMaxAgg) Grow(n int) {
+	switch a.kind {
+	case KindFloat64:
+		a.f64 = grown(a.f64, n)
+	case KindString:
+		a.str = grown(a.str, n)
+	default: // int64, bool (0/1)
+		a.i64 = grown(a.i64, n)
+	}
+	a.set = grown(a.set, n)
+}
+
+func (a *minMaxAgg) AddRaw(ids []int32, arg *View, n int) {
+	for r := 0; r < n; r++ {
+		i := arg.at(r)
+		if i < 0 {
+			continue
+		}
+		g := ids[r]
+		switch a.kind {
+		case KindInt64:
+			x := arg.I64[i]
+			if !a.set[g] || (a.isMax && x > a.i64[g]) || (!a.isMax && x < a.i64[g]) {
+				a.i64[g] = x
+			}
+		case KindFloat64:
+			x := arg.F64[i]
+			if !a.set[g] || (a.isMax && x > a.f64[g]) || (!a.isMax && x < a.f64[g]) {
+				a.f64[g] = x
+			}
+		case KindBool:
+			var x int64
+			if arg.B[i] {
+				x = 1
+			}
+			if !a.set[g] || (a.isMax && x > a.i64[g]) || (!a.isMax && x < a.i64[g]) {
+				a.i64[g] = x
+			}
+		default:
+			x := arg.S[i]
+			if !a.set[g] || (a.isMax && x > a.str[g]) || (!a.isMax && x < a.str[g]) {
+				a.str[g] = x
+			}
+		}
+		a.set[g] = true
+	}
+}
+
+func (a *minMaxAgg) AddIntermediate(ids []int32, b block.Block, n int) error {
+	v := viewOrNil(b, &a.view)
+	if v == nil || v.Kind != a.kind {
+		return fmt.Errorf("vector: min/max intermediate is %T, want kind %d", b, a.kind)
+	}
+	a.AddRaw(ids, v, n)
+	return nil
+}
+
+func (a *minMaxAgg) EmitIntermediate(from, to int) block.Block {
+	nulls := nullsFromSet(a.set[from:to])
+	switch a.kind {
+	case KindFloat64:
+		return &block.Float64Block{Values: a.f64[from:to], Nulls: nulls}
+	case KindString:
+		return &block.VarcharBlock{Values: a.str[from:to], Nulls: nulls}
+	case KindBool:
+		vals := make([]bool, to-from)
+		for i := range vals {
+			vals[i] = a.i64[from+i] != 0
+		}
+		return &block.BoolBlock{Values: vals, Nulls: nulls}
+	default:
+		return &block.Int64Block{Values: a.i64[from:to], Nulls: nulls}
+	}
+}
+func (a *minMaxAgg) EmitFinal(from, to int) block.Block { return a.EmitIntermediate(from, to) }
+
+func (a *minMaxAgg) IntermediateValue(g int) any {
+	if !a.set[g] {
+		return nil
+	}
+	switch a.kind {
+	case KindFloat64:
+		return a.f64[g]
+	case KindString:
+		return a.str[g]
+	case KindBool:
+		return a.i64[g] != 0
+	default:
+		return a.i64[g]
+	}
+}
+
+func (a *minMaxAgg) Reset() {
+	a.i64, a.f64, a.str, a.set = a.i64[:0], a.f64[:0], a.str[:0], a.set[:0]
+}
+
+// ---------------------------------------------------------------------------
+// avg
+
+type avgAgg struct {
+	sums   []float64
+	counts []int64
+	view   View
+}
+
+func (a *avgAgg) Grow(n int) {
+	a.sums = grown(a.sums, n)
+	a.counts = grown(a.counts, n)
+}
+
+func (a *avgAgg) AddRaw(ids []int32, arg *View, n int) {
+	for r := 0; r < n; r++ {
+		i := arg.at(r)
+		if i < 0 {
+			continue
+		}
+		g := ids[r]
+		if arg.Kind == KindFloat64 {
+			a.sums[g] += arg.F64[i]
+		} else {
+			a.sums[g] += float64(arg.I64[i])
+		}
+		a.counts[g]++
+	}
+}
+
+// AddIntermediate merges row(sum double, count bigint) intermediates. The
+// typed path reads the RowBlock fields directly; other producers (spill
+// read-back through generic builders) fall back to boxed pairs.
+func (a *avgAgg) AddIntermediate(ids []int32, b block.Block, n int) error {
+	if rb, ok := block.Unwrap(b).(*block.RowBlock); ok && len(rb.Fields) == 2 {
+		sums, sok := block.Unwrap(rb.Fields[0]).(*block.Float64Block)
+		counts, cok := block.Unwrap(rb.Fields[1]).(*block.Int64Block)
+		if sok && cok {
+			for r := 0; r < n; r++ {
+				if rb.IsNull(r) || sums.IsNull(r) || counts.IsNull(r) {
+					continue
+				}
+				g := ids[r]
+				a.sums[g] += sums.Values[r]
+				a.counts[g] += counts.Values[r]
+			}
+			return nil
+		}
+	}
+	for r := 0; r < n; r++ {
+		v := b.Value(r)
+		if v == nil {
+			continue
+		}
+		pair, ok := v.([]any)
+		if !ok || len(pair) != 2 {
+			return fmt.Errorf("vector: avg intermediate is %T, want (sum, count) pair", v)
+		}
+		g := ids[r]
+		a.sums[g] += asF64(pair[0])
+		a.counts[g] += asI64(pair[1])
+	}
+	return nil
+}
+
+func (a *avgAgg) EmitIntermediate(from, to int) block.Block {
+	return block.NewRowBlock(to-from, []block.Block{
+		&block.Float64Block{Values: a.sums[from:to]},
+		&block.Int64Block{Values: a.counts[from:to]},
+	}, nil)
+}
+
+func (a *avgAgg) EmitFinal(from, to int) block.Block {
+	vals := make([]float64, to-from)
+	var nulls []bool
+	for i := range vals {
+		n := a.counts[from+i]
+		if n == 0 {
+			if nulls == nil {
+				nulls = make([]bool, to-from)
+			}
+			nulls[i] = true
+			continue
+		}
+		vals[i] = a.sums[from+i] / float64(n)
+	}
+	return &block.Float64Block{Values: vals, Nulls: nulls}
+}
+
+func (a *avgAgg) IntermediateValue(g int) any { return []any{a.sums[g], a.counts[g]} }
+func (a *avgAgg) Reset()                      { a.sums, a.counts = a.sums[:0], a.counts[:0] }
+
+// ---------------------------------------------------------------------------
+
+// nullsFromSet inverts a set mask into a null mask, or nil when every group
+// is set.
+func nullsFromSet(set []bool) []bool {
+	var nulls []bool
+	for i, s := range set {
+		if !s {
+			if nulls == nil {
+				nulls = make([]bool, len(set))
+			}
+			nulls[i] = true
+		}
+	}
+	return nulls
+}
+
+func asF64(v any) float64 {
+	switch t := v.(type) {
+	case float64:
+		return t
+	case int64:
+		return float64(t)
+	}
+	panic(fmt.Sprintf("vector: not numeric: %T", v))
+}
+
+func asI64(v any) int64 {
+	switch t := v.(type) {
+	case int64:
+		return t
+	case float64:
+		return int64(t)
+	}
+	panic(fmt.Sprintf("vector: not numeric: %T", v))
+}

@@ -1,0 +1,282 @@
+package vector
+
+import (
+	"prestolite/internal/block"
+	"prestolite/internal/types"
+)
+
+// initialSlots is the starting slot-array size (power of two).
+const initialSlots = 64
+
+// GroupTable is a flat open-addressing (linear probe) hash table mapping
+// group keys to dense group ids 0..Len()-1. Keys live in typed Column
+// stores and rows arrive pre-hashed, so assigning a batch of rows does no
+// per-row interface dispatch and no per-row key encoding — the two costs
+// that dominate the row-at-a-time aggregation path.
+type GroupTable struct {
+	cols   []*Column
+	hashes []uint64 // per group
+	slots  []int32  // group id, or -1 when empty
+	mask   uint64
+	// dampen masks stored hashes; ^0 in production. The fuzz harness
+	// shrinks it to force hash collisions through the equality path.
+	dampen uint64
+}
+
+// NewGroupTable builds a table keyed by the given column types; ok is false
+// when any key type is outside the vector kernels.
+func NewGroupTable(keyTypes []*types.Type) (*GroupTable, bool) {
+	t := &GroupTable{dampen: ^uint64(0)}
+	for _, kt := range keyTypes {
+		c, ok := NewColumn(kt)
+		if !ok {
+			return nil, false
+		}
+		t.cols = append(t.cols, c)
+	}
+	t.slots = newSlots(initialSlots)
+	t.mask = initialSlots - 1
+	return t, true
+}
+
+func newSlots(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// Len is the number of distinct groups.
+func (t *GroupTable) Len() int { return len(t.hashes) }
+
+// Bytes estimates retained memory: key stores plus hash/slot arrays.
+func (t *GroupTable) Bytes() int64 {
+	n := int64(8*len(t.hashes) + 4*len(t.slots))
+	for _, c := range t.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// KeyBytes is the retained size of the key stores alone.
+func (t *GroupTable) KeyBytes() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// Assign maps each of the n pre-hashed rows (key columns in views) to its
+// group id, creating groups for unseen keys. ids[:n] receives the mapping.
+func (t *GroupTable) Assign(views []*View, n int, hashes []uint64, ids []int32) {
+	for r := 0; r < n; r++ {
+		h := hashes[r] & t.dampen
+		slot := h & t.mask
+		for {
+			g := t.slots[slot]
+			if g < 0 {
+				g = int32(len(t.hashes))
+				t.hashes = append(t.hashes, h)
+				for c, col := range t.cols {
+					col.AppendRow(views[c], r)
+				}
+				t.slots[slot] = g
+				ids[r] = g
+				if 4*len(t.hashes) >= 3*len(t.slots) {
+					t.growSlots()
+				}
+				break
+			}
+			if t.hashes[g] == h && t.equal(int(g), views, r) {
+				ids[r] = g
+				break
+			}
+			slot = (slot + 1) & t.mask
+		}
+	}
+}
+
+// equal compares group g's stored key against row r of the key views.
+func (t *GroupTable) equal(g int, views []*View, r int) bool {
+	for c, col := range t.cols {
+		if !col.equalRow(g, views[c], r) {
+			return false
+		}
+	}
+	return true
+}
+
+// growSlots doubles the slot array and reinserts by stored hash (groups are
+// distinct by construction, so no equality checks are needed).
+func (t *GroupTable) growSlots() {
+	slots := newSlots(2 * len(t.slots))
+	mask := uint64(len(slots) - 1)
+	for g, h := range t.hashes {
+		slot := h & mask
+		for slots[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		slots[slot] = int32(g)
+	}
+	t.slots, t.mask = slots, mask
+}
+
+// KeyBlock emits key column c for groups [from, to).
+func (t *GroupTable) KeyBlock(c, from, to int) block.Block { return t.cols[c].Block(from, to) }
+
+// KeyValues boxes group g's key into dst (cold paths: spill encoding).
+func (t *GroupTable) KeyValues(g int, dst []any) {
+	for c, col := range t.cols {
+		dst[c] = col.ValueAt(g)
+	}
+}
+
+// Reset empties the table, retaining allocations where cheap (post-spill
+// rebuild).
+func (t *GroupTable) Reset() {
+	for i, c := range t.cols {
+		nc, _ := NewColumn(c.typ)
+		t.cols[i] = nc
+	}
+	t.hashes = t.hashes[:0]
+	t.slots = newSlots(initialSlots)
+	t.mask = initialSlots - 1
+}
+
+// ---------------------------------------------------------------------------
+
+// JoinTable maps join keys to chains of build-side row indices. The build
+// rows themselves live in the caller's Column stores; the table keeps one
+// entry per distinct key (hash + first row) and threads equal-keyed rows
+// through next, so probing walks an int32 chain instead of a []*rowRef.
+type JoinTable struct {
+	keyCols []*Column // the caller's key-column stores (shared, not owned)
+	hashes  []uint64  // per entry
+	head    []int32   // per entry: most recently inserted row of the chain
+	next    []int32   // per build row: next row with the same key, or -1
+	slots   []int32   // entry index, or -1
+	mask    uint64
+	dampen  uint64
+}
+
+// NewJoinTable builds a table over the given key-column stores (the build
+// side's key channels, shared with its output store).
+func NewJoinTable(keyCols []*Column) *JoinTable {
+	return &JoinTable{
+		keyCols: keyCols,
+		slots:   newSlots(initialSlots),
+		mask:    initialSlots - 1,
+		dampen:  ^uint64(0),
+	}
+}
+
+// Bytes estimates the table's own retained memory (the key-column stores
+// are accounted by their owner).
+func (jt *JoinTable) Bytes() int64 {
+	return int64(8*len(jt.hashes) + 4*len(jt.head) + 4*len(jt.next) + 4*len(jt.slots))
+}
+
+// Insert indexes rows [base, base+n) of the build store, whose key columns
+// were just appended from views with the given hashes. Rows with any null
+// key are skipped — NULL never matches in an equi-join.
+func (jt *JoinTable) Insert(views []*View, n int, hashes []uint64, base int) {
+	jt.next = grown(jt.next, base+n)
+	for r := 0; r < n; r++ {
+		row := int32(base + r)
+		jt.next[row] = -1
+		if nullKey(views, r) {
+			continue
+		}
+		h := hashes[r] & jt.dampen
+		slot := h & jt.mask
+		for {
+			e := jt.slots[slot]
+			if e < 0 {
+				e = int32(len(jt.hashes))
+				jt.hashes = append(jt.hashes, h)
+				jt.head = append(jt.head, row)
+				jt.slots[slot] = e
+				if 4*len(jt.hashes) >= 3*len(jt.slots) {
+					jt.growSlots()
+				}
+				break
+			}
+			if jt.hashes[e] == h && jt.equalEntry(int(e), views, r) {
+				jt.next[row] = jt.head[e]
+				jt.head[e] = row
+				break
+			}
+			slot = (slot + 1) & jt.mask
+		}
+	}
+}
+
+// equalEntry compares entry e's key (read from its first chained row in the
+// shared stores) against probe/build row r of views.
+func (jt *JoinTable) equalEntry(e int, views []*View, r int) bool {
+	row := int(jt.head[e])
+	for c, col := range jt.keyCols {
+		if !col.equalRow(row, views[c], r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (jt *JoinTable) growSlots() {
+	slots := newSlots(2 * len(jt.slots))
+	mask := uint64(len(slots) - 1)
+	for e, h := range jt.hashes {
+		slot := h & mask
+		for slots[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		slots[slot] = int32(e)
+	}
+	jt.slots, jt.mask = slots, mask
+}
+
+// nullKey reports whether row r has a null in any key view.
+func nullKey(views []*View, r int) bool {
+	for _, v := range views {
+		if v.at(r) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe matches n pre-hashed probe rows (key columns in views) against the
+// table, appending one (probe row, build row) pair per match to probeSel
+// and buildRows. matched (when non-nil, length ≥ n) records probe rows with
+// at least one match — the LEFT-join null-extension input. Probe rows with
+// null keys never match.
+func (jt *JoinTable) Probe(views []*View, n int, hashes []uint64, probeSel []int, buildRows []int32, matched []bool) ([]int, []int32) {
+	for r := 0; r < n; r++ {
+		if nullKey(views, r) {
+			continue
+		}
+		h := hashes[r] & jt.dampen
+		slot := h & jt.mask
+		for {
+			e := jt.slots[slot]
+			if e < 0 {
+				break
+			}
+			if jt.hashes[e] == h && jt.equalEntry(int(e), views, r) {
+				for row := jt.head[e]; row >= 0; row = jt.next[row] {
+					probeSel = append(probeSel, r)
+					buildRows = append(buildRows, row)
+				}
+				if matched != nil {
+					matched[r] = true
+				}
+				break
+			}
+			slot = (slot + 1) & jt.mask
+		}
+	}
+	return probeSel, buildRows
+}

@@ -1,0 +1,462 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prestolite/internal/block"
+	"prestolite/internal/types"
+)
+
+// encodeInt64 wraps the same logical int64 column in each encoding the view
+// layer understands.
+func encodeInt64(vals []int64, nulls []bool) []block.Block {
+	n := len(vals)
+	flat := &block.Int64Block{Values: vals, Nulls: nulls}
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	dict := &block.DictionaryBlock{Dictionary: &block.Int64Block{Values: vals, Nulls: nulls}, Ids: ids}
+	lazy := block.NewLazyBlock(n, func() block.Block { return flat })
+	return []block.Block{flat, dict, lazy}
+}
+
+func TestHashEncodingIndependent(t *testing.T) {
+	vals := []int64{3, -1, 3, 0, 42, math.MaxInt64}
+	nulls := []bool{false, true, false, false, false, false}
+	n := len(vals)
+	var want []uint64
+	for _, b := range encodeInt64(vals, nulls) {
+		var h Hasher
+		out := make([]uint64, n)
+		h.HashPage(&block.Page{Blocks: []block.Block{b}, N: n}, []int{0}, out)
+		if want == nil {
+			want = out
+			continue
+		}
+		for r := range out {
+			if out[r] != want[r] {
+				t.Fatalf("encoding %T row %d: hash %x != flat %x", b, r, out[r], want[r])
+			}
+		}
+	}
+	// The boxed fallback must agree with the typed paths too.
+	var h Hasher
+	for r := 0; r < n; r++ {
+		var v any
+		if !nulls[r] {
+			v = vals[r]
+		}
+		if got := combine(0, h.hashValue(v)); got != want[r] {
+			t.Fatalf("boxed row %d: hash %x != typed %x", r, got, want[r])
+		}
+	}
+}
+
+func TestHashRLEAndFloatBits(t *testing.T) {
+	var h Hasher
+	n := 4
+	rle := block.NewRunLengthBlock(&block.Float64Block{Values: []float64{2.5}}, n)
+	flat := &block.Float64Block{Values: []float64{2.5, 2.5, 2.5, 2.5}}
+	a, b := make([]uint64, n), make([]uint64, n)
+	h.HashBlock(rle, n, a)
+	h.HashBlock(flat, n, b)
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("RLE row %d hash %x != flat %x", r, a[r], b[r])
+		}
+	}
+	// NaN hashes equal to NaN; +0 and -0 stay distinct (bit-pattern keys).
+	nan1, nan2 := h.hashValue(math.NaN()), h.hashValue(math.NaN())
+	if nan1 != nan2 {
+		t.Fatalf("NaN hash unstable: %x vs %x", nan1, nan2)
+	}
+	if h.hashValue(0.0) == h.hashValue(math.Copysign(0, -1)) {
+		t.Fatal("+0.0 and -0.0 should hash differently (bit-pattern keys)")
+	}
+}
+
+func TestGroupTableVsMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gt, ok := NewGroupTable([]*types.Type{types.Bigint, types.Varchar})
+	if !ok {
+		t.Fatal("NewGroupTable failed")
+	}
+	gt.dampen = 0xf // force collisions through the equality path
+	ref := map[[2]any]int32{}
+	var h Hasher
+	strs := []string{"a", "bb", "ccc", ""}
+	for page := 0; page < 20; page++ {
+		n := 1 + rng.Intn(200)
+		iv := make([]int64, n)
+		inulls := make([]bool, n)
+		sv := make([]string, n)
+		snulls := make([]bool, n)
+		for r := 0; r < n; r++ {
+			iv[r] = int64(rng.Intn(7))
+			inulls[r] = rng.Intn(5) == 0
+			sv[r] = strs[rng.Intn(len(strs))]
+			snulls[r] = rng.Intn(7) == 0
+		}
+		p := &block.Page{Blocks: []block.Block{
+			&block.Int64Block{Values: iv, Nulls: inulls},
+			&block.VarcharBlock{Values: sv, Nulls: snulls},
+		}, N: n}
+		hashes := make([]uint64, n)
+		h.HashPage(p, []int{0, 1}, hashes)
+		views := make([]*View, 2)
+		for c := range views {
+			views[c] = &View{}
+			if !Of(p.Blocks[c], views[c]) {
+				t.Fatal("Of failed on flat block")
+			}
+		}
+		ids := make([]int32, n)
+		gt.Assign(views, n, hashes, ids)
+		for r := 0; r < n; r++ {
+			var key [2]any
+			if !inulls[r] {
+				key[0] = iv[r]
+			}
+			if !snulls[r] {
+				key[1] = sv[r]
+			}
+			want, seen := ref[key]
+			if !seen {
+				want = int32(len(ref))
+				ref[key] = want
+			}
+			if ids[r] != want {
+				t.Fatalf("page %d row %d key %v: id %d, want %d", page, r, key, ids[r], want)
+			}
+		}
+	}
+	if gt.Len() != len(ref) {
+		t.Fatalf("table has %d groups, reference %d", gt.Len(), len(ref))
+	}
+	// Key emission round-trips the stored values.
+	for key, id := range ref {
+		dst := make([]any, 2)
+		gt.KeyValues(int(id), dst)
+		if dst[0] != key[0] || dst[1] != key[1] {
+			t.Fatalf("group %d: KeyValues %v, want %v", id, dst, key)
+		}
+	}
+}
+
+func TestJoinTableVsNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	store, _ := NewColumn(types.Bigint)
+	jt := NewJoinTable([]*Column{store})
+	jt.dampen = 0x7
+	var h Hasher
+	var buildVals []any // nil = NULL
+	for page := 0; page < 5; page++ {
+		n := 1 + rng.Intn(60)
+		vals := make([]int64, n)
+		nulls := make([]bool, n)
+		for r := 0; r < n; r++ {
+			vals[r] = int64(rng.Intn(9))
+			nulls[r] = rng.Intn(6) == 0
+			if nulls[r] {
+				buildVals = append(buildVals, nil)
+			} else {
+				buildVals = append(buildVals, vals[r])
+			}
+		}
+		b := &block.Int64Block{Values: vals, Nulls: nulls}
+		v := &View{}
+		Of(b, v)
+		hashes := make([]uint64, n)
+		h.HashBlock(b, n, hashes)
+		base := store.Len()
+		store.Append(v, n)
+		jt.Insert([]*View{v}, n, hashes, base)
+	}
+
+	pn := 40
+	pv := make([]int64, pn)
+	pnulls := make([]bool, pn)
+	for r := 0; r < pn; r++ {
+		pv[r] = int64(rng.Intn(12))
+		pnulls[r] = rng.Intn(6) == 0
+	}
+	pb := &block.Int64Block{Values: pv, Nulls: pnulls}
+	v := &View{}
+	Of(pb, v)
+	hashes := make([]uint64, pn)
+	h.HashBlock(pb, pn, hashes)
+	matched := make([]bool, pn)
+	probeSel, buildRows := jt.Probe([]*View{v}, pn, hashes, nil, nil, matched)
+
+	got := map[[2]int]bool{}
+	for i, r := range probeSel {
+		got[[2]int{r, int(buildRows[i])}] = true
+	}
+	want := map[[2]int]bool{}
+	for r := 0; r < pn; r++ {
+		if pnulls[r] {
+			continue
+		}
+		for brow, bval := range buildVals {
+			if bval == pv[r] {
+				want[[2]int{r, brow}] = true
+			}
+		}
+	}
+	if len(got) != len(want) || len(got) != len(probeSel) {
+		t.Fatalf("probe found %d pairs (%d unique), nested loop %d", len(probeSel), len(got), len(want))
+	}
+	for pair := range want {
+		if !got[pair] {
+			t.Fatalf("missing match %v", pair)
+		}
+	}
+	for r := 0; r < pn; r++ {
+		wantMatched := false
+		for pair := range want {
+			if pair[0] == r {
+				wantMatched = true
+			}
+		}
+		if matched[r] != wantMatched {
+			t.Fatalf("row %d matched=%v, want %v", r, matched[r], wantMatched)
+		}
+	}
+}
+
+func TestSelectConstMatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	vals := make([]int64, n)
+	nulls := make([]bool, n)
+	for r := range vals {
+		vals[r] = int64(rng.Intn(10))
+		nulls[r] = rng.Intn(4) == 0
+	}
+	blocks := encodeInt64(vals, nulls)
+	blocks = append(blocks, block.NewRunLengthBlock(&block.Int64Block{Values: []int64{5}}, n))
+	var f Filter
+	for _, b := range blocks {
+		for op := CmpEq; op <= CmpGe; op++ {
+			v := &View{}
+			if !Of(b, v) {
+				t.Fatalf("Of failed on %T", b)
+			}
+			sel, ok := f.SelectConst(v, n, op, int64(5), nil)
+			if !ok {
+				t.Fatalf("SelectConst rejected %T", b)
+			}
+			var want []int
+			for r := 0; r < n; r++ {
+				if x := b.Value(r); x != nil && cmpOrd(op, x.(int64), 5) {
+					want = append(want, r)
+				}
+			}
+			if len(sel) != len(want) {
+				t.Fatalf("%T op %s: %d rows, want %d", b, op.Name(), len(sel), len(want))
+			}
+			for i := range sel {
+				if sel[i] != want[i] {
+					t.Fatalf("%T op %s row %d: %d != %d", b, op.Name(), i, sel[i], want[i])
+				}
+			}
+		}
+	}
+	// Null constant selects nothing.
+	v := &View{}
+	Of(blocks[0], v)
+	if sel, ok := f.SelectConst(v, n, CmpEq, nil, nil); !ok || len(sel) != 0 {
+		t.Fatalf("null constant: ok=%v len=%d", ok, len(sel))
+	}
+}
+
+func TestSelectTrue(t *testing.T) {
+	b := &block.BoolBlock{Values: []bool{true, false, true, true}, Nulls: []bool{false, false, true, false}}
+	v := &View{}
+	Of(b, v)
+	sel := SelectTrue(v, 4, nil)
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 3 {
+		t.Fatalf("SelectTrue = %v, want [0 3]", sel)
+	}
+}
+
+func TestAggsMatchSemantics(t *testing.T) {
+	// Two groups; group 1 sees only nulls for the argument.
+	ids := []int32{0, 1, 0, 1}
+	argVals := []int64{10, 0, 32, 0}
+	argNulls := []bool{false, true, false, true}
+	arg := &View{}
+	Of(&block.Int64Block{Values: argVals, Nulls: argNulls}, arg)
+
+	cases := []struct {
+		name      string
+		wantG0    any
+		wantG1    any // nil = SQL NULL
+		finalType Kind
+	}{
+		{"count", int64(2), int64(0), KindInt64},
+		{"sum", int64(42), nil, KindInt64},
+		{"min", int64(10), nil, KindInt64},
+		{"max", int64(32), nil, KindInt64},
+		{"avg", 21.0, nil, KindFloat64},
+	}
+	for _, tc := range cases {
+		a, ok := NewAgg(tc.name, types.Bigint)
+		if !ok {
+			t.Fatalf("NewAgg(%s) not supported", tc.name)
+		}
+		a.Grow(2)
+		a.AddRaw(ids, arg, len(ids))
+		fin := a.EmitFinal(0, 2)
+		if got := fin.Value(0); got != tc.wantG0 {
+			t.Fatalf("%s group 0 = %v (%T), want %v", tc.name, got, got, tc.wantG0)
+		}
+		if got := fin.Value(1); got != tc.wantG1 {
+			t.Fatalf("%s group 1 = %v (%T), want %v", tc.name, got, got, tc.wantG1)
+		}
+		// Merging the emitted intermediates into a fresh aggregator must
+		// reproduce the final (the partial -> final contract).
+		b, _ := NewAgg(tc.name, types.Bigint)
+		b.Grow(2)
+		inter := a.EmitIntermediate(0, 2)
+		if err := b.AddIntermediate(ids[:2], inter, 2); err != nil {
+			t.Fatalf("%s AddIntermediate: %v", tc.name, err)
+		}
+		fin2 := b.EmitFinal(0, 2)
+		if fin2.Value(0) != tc.wantG0 || fin2.Value(1) != tc.wantG1 {
+			t.Fatalf("%s merge round-trip: got (%v, %v), want (%v, %v)",
+				tc.name, fin2.Value(0), fin2.Value(1), tc.wantG0, tc.wantG1)
+		}
+		// Boxed intermediates match the row engine's spill encoding shapes.
+		switch tc.name {
+		case "count":
+			if a.IntermediateValue(1) != int64(0) {
+				t.Fatalf("count intermediate for empty group must be 0, got %v", a.IntermediateValue(1))
+			}
+		case "sum", "min", "max":
+			if a.IntermediateValue(1) != nil {
+				t.Fatalf("%s intermediate for null group must be nil, got %v", tc.name, a.IntermediateValue(1))
+			}
+		case "avg":
+			pair := a.IntermediateValue(1).([]any)
+			if pair[0] != 0.0 || pair[1] != int64(0) {
+				t.Fatalf("avg intermediate = %v, want [0 0]", pair)
+			}
+		}
+	}
+}
+
+func TestMinMaxFloatNaN(t *testing.T) {
+	a, _ := NewAgg("max", types.Double)
+	a.Grow(1)
+	v := &View{}
+	Of(&block.Float64Block{Values: []float64{1.5, math.NaN(), 2.5}}, v)
+	a.AddRaw([]int32{0, 0, 0}, v, 3)
+	if got := a.EmitFinal(0, 1).Value(0); got != 2.5 {
+		t.Fatalf("max with NaN = %v, want 2.5", got)
+	}
+	// A NaN first value sticks (CompareValues semantics: NaN never loses).
+	b, _ := NewAgg("min", types.Double)
+	b.Grow(1)
+	Of(&block.Float64Block{Values: []float64{math.NaN(), 1.0}}, v)
+	b.AddRaw([]int32{0, 0}, v, 2)
+	got := b.EmitFinal(0, 1).Value(0)
+	if f, ok := got.(float64); !ok || !math.IsNaN(f) {
+		t.Fatalf("min(NaN, 1.0) = %v, want NaN", got)
+	}
+}
+
+func TestColumnBlockRoundTrip(t *testing.T) {
+	c, _ := NewColumn(types.Double)
+	src := &View{}
+	Of(&block.Float64Block{Values: []float64{1.5, 0, -2.25}, Nulls: []bool{false, true, false}}, src)
+	c.Append(src, 3)
+	out := c.Block(0, 3)
+	want := []any{1.5, nil, -2.25}
+	for i, w := range want {
+		if out.Value(i) != w {
+			t.Fatalf("row %d = %v, want %v", i, out.Value(i), w)
+		}
+	}
+	g := c.Gather([]int32{2, 0, 1})
+	if g.Value(0) != -2.25 || g.Value(1) != 1.5 || g.Value(2) != nil {
+		t.Fatalf("gather = %v %v %v", g.Value(0), g.Value(1), g.Value(2))
+	}
+	nb := NullBlock(types.Varchar, 2)
+	if nb.Count() != 2 || !nb.IsNull(0) || !nb.IsNull(1) {
+		t.Fatal("NullBlock not all-null")
+	}
+}
+
+func TestGroupTableGrowAndReset(t *testing.T) {
+	gt, _ := NewGroupTable([]*types.Type{types.Bigint})
+	var h Hasher
+	n := 1000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b := &block.Int64Block{Values: vals}
+	v := &View{}
+	Of(b, v)
+	hashes := make([]uint64, n)
+	h.HashBlock(b, n, hashes)
+	ids := make([]int32, n)
+	gt.Assign([]*View{v}, n, hashes, ids)
+	if gt.Len() != n {
+		t.Fatalf("Len = %d, want %d", gt.Len(), n)
+	}
+	// Re-assigning the same keys yields the same ids.
+	ids2 := make([]int32, n)
+	gt.Assign([]*View{v}, n, hashes, ids2)
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatalf("row %d: id changed %d -> %d", i, ids[i], ids2[i])
+		}
+	}
+	if gt.Bytes() <= 0 || gt.KeyBytes() <= 0 {
+		t.Fatal("byte accounting empty")
+	}
+	gt.Reset()
+	if gt.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", gt.Len())
+	}
+	gt.Assign([]*View{v}, n, hashes, ids)
+	if gt.Len() != n {
+		t.Fatalf("Len after rebuild = %d, want %d", gt.Len(), n)
+	}
+}
+
+// TestAggResetClearsState is the spill-path regression: Reset truncates the
+// state slices in place, and the next Grow must expose zeroed state — not
+// the pre-spill groups' counts and sums.
+func TestAggResetClearsState(t *testing.T) {
+	for _, name := range []string{"count", "sum", "min", "max", "avg"} {
+		agg, ok := NewAgg(name, types.Bigint)
+		if !ok {
+			t.Fatalf("NewAgg(%s) not ok", name)
+		}
+		arg := &View{Kind: KindInt64, N: 3, I64: []int64{7, 8, 9}}
+		agg.Grow(3)
+		agg.AddRaw([]int32{0, 1, 2}, arg, 3)
+		agg.Reset()
+		agg.Grow(3)
+		for g := 0; g < 3; g++ {
+			if v := agg.IntermediateValue(g); v != nil && v != int64(0) {
+				if pair, ok := v.([]any); !ok || pair[0] != float64(0) || pair[1] != int64(0) {
+					t.Errorf("%s: group %d holds stale state %v after Reset+Grow", name, g, v)
+				}
+			}
+		}
+		agg.AddRaw([]int32{0, 1, 2}, arg, 3)
+		want := map[string]any{"count": int64(1), "sum": int64(8), "min": int64(8), "max": int64(8)}
+		if w, ok := want[name]; ok {
+			if got := agg.IntermediateValue(1); got != w {
+				t.Errorf("%s: group 1 after Reset = %v, want %v", name, got, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package execution
+
+// Property-based equivalence suite for the vectorized kernels: random
+// schemas, encodings, NULL densities, cardinalities and driver counts are
+// generated from a seed, run through the vectorized operators, and compared
+// row-exactly against the row-at-a-time reference path (DisableVectorized,
+// serial Build). Every failure logs its seed; replay one with
+// EQUIV_SEED=<seed> go test -run TestVector.*Equivalence ./internal/execution/.
+//
+// DOUBLE columns only hold multiples of 0.5 with small magnitudes, so
+// floating-point sums are exact regardless of addition order — that is what
+// makes row-exact comparison valid across driver counts and partial/final
+// splits that add values in different orders.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/expr"
+	"prestolite/internal/planner"
+	"prestolite/internal/resource"
+	"prestolite/internal/types"
+)
+
+// equivSeeds returns the seeds to run, honoring an EQUIV_SEED override.
+func equivSeeds(t *testing.T) []int64 {
+	if env := os.Getenv("EQUIV_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad EQUIV_SEED %q: %v", env, err)
+		}
+		return []int64{seed}
+	}
+	return []int64{1, 7, 42, 1234}
+}
+
+// ---------------------------------------------------------------------------
+// Connector serving pre-generated pages.
+
+type equivSplit struct{ pages []*block.Page }
+
+func (s *equivSplit) Description() string { return "equiv split" }
+
+type equivHandle struct{ name string }
+
+func (h equivHandle) Description() string { return h.name }
+
+type equivConnector struct{ splits []connector.Split }
+
+func (c *equivConnector) Name() string                                   { return "equiv" }
+func (c *equivConnector) Metadata() connector.Metadata                   { return nil }
+func (c *equivConnector) SplitManager() connector.SplitManager           { return c }
+func (c *equivConnector) RecordSetProvider() connector.RecordSetProvider { return c }
+
+func (c *equivConnector) Splits(connector.TableHandle) ([]connector.Split, error) {
+	return c.splits, nil
+}
+
+func (c *equivConnector) CreatePageSource(_ connector.TableHandle, split connector.Split, columns []int) (connector.PageSource, error) {
+	return &equivPageSource{pages: split.(*equivSplit).pages, columns: columns}, nil
+}
+
+type equivPageSource struct {
+	pages   []*block.Page
+	columns []int
+	pos     int
+}
+
+func (s *equivPageSource) Next() (*block.Page, error) {
+	if s.pos >= len(s.pages) {
+		return nil, io.EOF
+	}
+	p := s.pages[s.pos]
+	s.pos++
+	blocks := make([]block.Block, len(s.columns))
+	for i, ord := range s.columns {
+		blocks[i] = p.Blocks[ord]
+	}
+	return block.NewPage(blocks...), nil
+}
+
+func (s *equivPageSource) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Random data generation.
+
+// equivColSpec describes one generated column: its type, the size of its
+// value domain (key cardinality) and the probability of NULL per row.
+type equivColSpec struct {
+	name    string
+	typ     *types.Type
+	card    int
+	nullDen float64
+}
+
+var equivTypes = []*types.Type{
+	types.Bigint, types.Integer, types.Double, types.Varchar, types.Boolean, types.Date,
+}
+
+func equivColSpecs(rng *rand.Rand, prefix string, n int, cards []int) []equivColSpec {
+	dens := []float64{0, 0.05, 0.3}
+	specs := make([]equivColSpec, n)
+	for i := range specs {
+		specs[i] = equivColSpec{
+			name:    fmt.Sprintf("%s%d", prefix, i),
+			typ:     equivTypes[rng.Intn(len(equivTypes))],
+			card:    cards[rng.Intn(len(cards))],
+			nullDen: dens[rng.Intn(len(dens))],
+		}
+	}
+	return specs
+}
+
+// equivValue maps domain index d to a value of type t. DOUBLE values are
+// multiples of 0.5 so any-order summation stays exact (see file comment).
+func equivValue(t *types.Type, d int) any {
+	switch t.Kind {
+	case types.KindBigint:
+		return int64(d*7 - 3)
+	case types.KindInteger:
+		return int64(d)
+	case types.KindDate:
+		return int64(18000 + d)
+	case types.KindDouble:
+		return float64(d) + 0.5
+	case types.KindBoolean:
+		return d%2 == 0
+	default:
+		return "v" + strconv.Itoa(d)
+	}
+}
+
+// equivBlock generates one page column of n rows in a random physical
+// encoding: flat, dictionary (possibly with duplicate entries and -1 null
+// ids) or run-length (constant page).
+func equivBlock(rng *rand.Rand, spec equivColSpec, n int) block.Block {
+	switch rng.Intn(4) {
+	case 0: // run-length: the whole page shares one value (or NULL)
+		var v any
+		if rng.Float64() >= spec.nullDen {
+			v = equivValue(spec.typ, rng.Intn(spec.card))
+		}
+		return block.NewRunLengthBlock(block.SingleValue(spec.typ, v), n)
+	case 1: // dictionary
+		m := 1 + rng.Intn(8)
+		vals := make([]any, m)
+		for i := range vals {
+			vals[i] = equivValue(spec.typ, rng.Intn(spec.card))
+		}
+		ids := make([]int32, n)
+		for i := range ids {
+			if rng.Float64() < spec.nullDen {
+				ids[i] = -1
+			} else {
+				ids[i] = int32(rng.Intn(m))
+			}
+		}
+		return &block.DictionaryBlock{Dictionary: block.FromValues(spec.typ, vals...), Ids: ids}
+	default: // flat
+		vals := make([]any, n)
+		for i := range vals {
+			if rng.Float64() >= spec.nullDen {
+				vals[i] = equivValue(spec.typ, rng.Intn(spec.card))
+			}
+		}
+		return block.FromValues(spec.typ, vals...)
+	}
+}
+
+// equivScan builds a table scan over `target` generated rows dealt into
+// random page sizes across a random number of splits.
+func equivScan(rng *rand.Rand, catalog string, specs []equivColSpec, target int) (*planner.TableScan, *equivConnector) {
+	var sizes []int
+	for remaining := target; remaining > 0; {
+		n := 1 + rng.Intn(256)
+		if n > remaining {
+			n = remaining
+		}
+		sizes = append(sizes, n)
+		remaining -= n
+	}
+	nsplits := 1 + rng.Intn(4)
+	pages := make([][]*block.Page, nsplits)
+	for i, n := range sizes {
+		blocks := make([]block.Block, len(specs))
+		for j, spec := range specs {
+			blocks[j] = equivBlock(rng, spec, n)
+		}
+		pages[i%nsplits] = append(pages[i%nsplits], block.NewPage(blocks...))
+	}
+	c := &equivConnector{}
+	for _, p := range pages {
+		c.splits = append(c.splits, &equivSplit{pages: p})
+	}
+	cols := make([]planner.Column, len(specs))
+	ords := make([]int, len(specs))
+	for i, spec := range specs {
+		cols[i] = planner.Column{Name: spec.name, Type: spec.typ}
+		ords[i] = i
+	}
+	scan := &planner.TableScan{
+		Catalog: catalog, Schema: "s", Table: catalog, Handle: equivHandle{catalog},
+		Cols: cols, ColumnOrdinals: ords, PushedLimit: -1,
+	}
+	return scan, c
+}
+
+// equivAggs picks one aggregate per non-key column (type-compatible, typed
+// through the same registry resolution the analyzer uses) plus count(*).
+func equivAggs(rng *rand.Rand, specs []equivColSpec, nKeys int) []planner.Aggregation {
+	aggs := []planner.Aggregation{{
+		FuncName: "count", OutputName: "cnt", InterType: types.Bigint, FinalType: types.Bigint,
+	}}
+	for j := nKeys; j < len(specs); j++ {
+		t := specs[j].typ
+		fns := []string{"count", "min", "max"}
+		if t.IsNumeric() {
+			fns = []string{"count", "sum", "min", "max", "avg"}
+		}
+		name := fns[rng.Intn(len(fns))]
+		fn, err := expr.ResolveAggregate(name, []*types.Type{t})
+		if err != nil {
+			continue
+		}
+		aggs = append(aggs, planner.Aggregation{
+			FuncName: name, Args: []int{j}, ArgTypes: []*types.Type{t},
+			OutputName: fmt.Sprintf("a%d", j),
+			InterType:  fn.IntermediateType([]*types.Type{t}),
+			FinalType:  fn.FinalType([]*types.Type{t}),
+		})
+	}
+	return aggs
+}
+
+// maybeFilter wraps node in a random comparison filter over one column when
+// the function registry supports it — exercising the selection-vector
+// kernels (including dictionary/RLE fast paths) inside full plans.
+func maybeFilter(rng *rand.Rand, node planner.Node, specs []equivColSpec) planner.Node {
+	if rng.Intn(2) == 0 {
+		return node
+	}
+	ch := rng.Intn(len(specs))
+	spec := specs[ch]
+	v := expr.NewVariable(spec.name, ch, spec.typ)
+	var pred expr.RowExpression
+	var err error
+	if spec.typ.Kind == types.KindBoolean {
+		pred, err = expr.NewCall("eq", v, expr.NewConstant(true, types.Boolean))
+	} else {
+		pred, err = expr.NewCall("lt", v, expr.NewConstant(equivValue(spec.typ, spec.card/2), spec.typ))
+	}
+	if err != nil {
+		return node
+	}
+	return &planner.Filter{Child: node, Predicate: pred}
+}
+
+// ---------------------------------------------------------------------------
+// Running and comparing.
+
+// equivConfig is one engine configuration a generated plan runs under.
+type equivConfig struct {
+	name     string
+	drivers  int
+	disable  bool // DisableVectorized: row-at-a-time operators
+	adaptive int  // AdaptiveExchangeRows: 0 default, >0 low threshold, <0 off
+	bypass   int  // PartialAggBypassRows: 0 default, >0 eager trigger, <0 off
+}
+
+// equivConfigs covers vectorized × driver counts × adaptive-exchange modes,
+// plus the row reference operators behind parallel exchanges.
+var equivConfigs = []equivConfig{
+	{name: "vector-1", drivers: 1},
+	{name: "vector-2", drivers: 2},
+	{name: "vector-8", drivers: 8},
+	{name: "vector-8-forcepartition", drivers: 8, adaptive: 1},
+	{name: "vector-4-noadaptive", drivers: 4, adaptive: -1},
+	// bypass: 1 arms adaptive partial aggregation on the first ratio check
+	// (any partial seeing <20% reduction streams through); -1 pins the
+	// always-hash behavior the other configs mostly exhibit anyway.
+	{name: "vector-4-bypass", drivers: 4, bypass: 1},
+	{name: "vector-2-forcepartition-bypass", drivers: 2, adaptive: 1, bypass: 1},
+	{name: "vector-8-nobypass", drivers: 8, bypass: -1},
+	{name: "row-8", drivers: 8, disable: true},
+}
+
+// runEquiv executes plan under cfg and returns the sorted row multiset.
+func runEquiv(t *testing.T, plan planner.Node, reg *connector.Registry, cfg equivConfig) []string {
+	t.Helper()
+	ctx := &Context{
+		Catalogs: reg, Drivers: cfg.drivers,
+		DisableVectorized: cfg.disable, AdaptiveExchangeRows: cfg.adaptive,
+		PartialAggBypassRows: cfg.bypass,
+	}
+	op, err := BuildParallel(plan, ctx)
+	if err != nil {
+		t.Fatalf("%s: build: %v", cfg.name, err)
+	}
+	return sortedMultiset(drainRows(t, op))
+}
+
+// equivReference is the oracle: serial row-at-a-time Build.
+var equivReference = equivConfig{name: "reference", drivers: 1, disable: true}
+
+func checkEquivalence(t *testing.T, seed int64, plan planner.Node, reg *connector.Registry) {
+	t.Helper()
+	want := runEquiv(t, plan, reg, equivReference)
+	for _, cfg := range equivConfigs {
+		got := runEquiv(t, plan, reg, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d, %s: %d rows diverge from reference's %d\nplan:\n%s",
+				seed, cfg.name, len(got), len(want), planner.Format(plan))
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The suites.
+
+// TestVectorAggEquivalence: random grouped aggregations (random key types,
+// cardinalities, NULL densities, encodings, optional filter, every agg
+// function with a typed kernel) must produce row-identical results on the
+// vectorized path at any driver count.
+func TestVectorAggEquivalence(t *testing.T) {
+	for _, seed := range equivSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 3; trial++ {
+				nKeys := 1 + rng.Intn(2)
+				specs := equivColSpecs(rng, "k", nKeys, []int{1, 2, 5, 40, 300})
+				specs = append(specs, equivColSpecs(rng, "v", 1+rng.Intn(2), []int{7, 1000})...)
+				scan, conn := equivScan(rng, "t", specs, rng.Intn(3000))
+				reg := connector.NewRegistry()
+				reg.Register("t", conn)
+				child := maybeFilter(rng, scan, specs)
+				groupBy := make([]int, nKeys)
+				for i := range groupBy {
+					groupBy[i] = i
+				}
+				plan := &planner.Aggregate{
+					Child: child, GroupBy: groupBy,
+					Aggs: equivAggs(rng, specs, nKeys), Step: planner.AggSingle,
+				}
+				checkEquivalence(t, seed, plan, reg)
+			}
+		})
+	}
+}
+
+// TestVectorJoinEquivalence: random inner/left equi-joins (shared key
+// domains so matches actually occur, mixed encodings and NULL keys) must
+// produce row-identical results on the vectorized path at any driver count,
+// under every adaptive-exchange mode (broadcast-small and partitioned).
+func TestVectorJoinEquivalence(t *testing.T) {
+	for _, seed := range equivSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 2; trial++ {
+				keys := equivColSpecs(rng, "k", 1+rng.Intn(2), []int{10, 50, 200})
+				left := append(append([]equivColSpec{}, keys...),
+					equivColSpecs(rng, "lv", 1, []int{1000})...)
+				right := append(append([]equivColSpec{}, keys...),
+					equivColSpecs(rng, "rv", 1, []int{1000})...)
+				scanL, connL := equivScan(rng, "l", left, rng.Intn(600))
+				scanR, connR := equivScan(rng, "r", right, rng.Intn(250))
+				reg := connector.NewRegistry()
+				reg.Register("l", connL)
+				reg.Register("r", connR)
+				kind := planner.JoinInner
+				if rng.Intn(2) == 0 {
+					kind = planner.JoinLeft
+				}
+				jk := make([]int, len(keys))
+				for i := range jk {
+					jk[i] = i
+				}
+				plan := &planner.Join{
+					Kind: kind, Left: scanL, Right: scanR,
+					LeftKeys: jk, RightKeys: append([]int{}, jk...),
+				}
+				checkEquivalence(t, seed, plan, reg)
+			}
+		})
+	}
+}
+
+// runEquivSpill executes plan serially with a capped pool and a spill
+// manager, returning the sorted row multiset and the pool (for spill
+// assertions). Serial keeps spill triggering deterministic.
+func runEquivSpill(t *testing.T, plan planner.Node, reg *connector.Registry, limit int64, disable bool) ([]string, *resource.Pool) {
+	t.Helper()
+	pool, mgr := spillEnv(t, limit)
+	ctx := &Context{
+		Catalogs: reg, Drivers: 1, Memory: pool, Spill: mgr, DisableVectorized: disable,
+	}
+	op, err := BuildParallel(plan, ctx)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return sortedMultiset(drainRows(t, op)), pool
+}
+
+// TestVectorAggSpillEquivalence: the vectorized aggregation under memory
+// pressure must spill (not fail), and the post-spill merge must reproduce
+// the unlimited reference results exactly — including the grown-slice reuse
+// after Reset that the spill path exercises.
+func TestVectorAggSpillEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	specs := []equivColSpec{
+		{name: "k0", typ: types.Bigint, card: 600, nullDen: 0.05},
+		{name: "v0", typ: types.Bigint, card: 1000},
+		{name: "v1", typ: types.Double, card: 500, nullDen: 0.1},
+	}
+	scan, conn := equivScan(rng, "t", specs, 4000)
+	reg := connector.NewRegistry()
+	reg.Register("t", conn)
+	plan := &planner.Aggregate{
+		Child: scan, GroupBy: []int{0},
+		Aggs: equivAggs(rng, specs, 1), Step: planner.AggSingle,
+	}
+	want := runEquiv(t, plan, reg, equivReference)
+	got, pool := runEquivSpill(t, plan, reg, 32<<10, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spilled vector aggregation diverged: %d vs %d rows", len(got), len(want))
+	}
+	if pool.Spilled() == 0 {
+		t.Fatal("vector aggregation never spilled despite the tiny limit")
+	}
+}
+
+// TestVectorJoinSpillEquivalence: the vectorized join under memory pressure
+// degrades to the spilling row join; results must match the unlimited
+// reference exactly.
+func TestVectorJoinSpillEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	keys := []equivColSpec{{name: "k0", typ: types.Bigint, card: 400, nullDen: 0.05}}
+	left := append(append([]equivColSpec{}, keys...),
+		equivColSpec{name: "lv", typ: types.Varchar, card: 1000})
+	right := append(append([]equivColSpec{}, keys...),
+		equivColSpec{name: "rv", typ: types.Double, card: 1000})
+	scanL, connL := equivScan(rng, "l", left, 1500)
+	scanR, connR := equivScan(rng, "r", right, 3000)
+	reg := connector.NewRegistry()
+	reg.Register("l", connL)
+	reg.Register("r", connR)
+	plan := &planner.Join{
+		Kind: planner.JoinLeft, Left: scanL, Right: scanR,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+	}
+	want := runEquiv(t, plan, reg, equivReference)
+	got, pool := runEquivSpill(t, plan, reg, 32<<10, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spilled vector join diverged: %d vs %d rows", len(got), len(want))
+	}
+	if pool.Spilled() == 0 {
+		t.Fatal("vector join never spilled despite the tiny limit")
+	}
+}
+
+// TestPartialAggBypassStreams pins the adaptive-partial-aggregation trip
+// itself, not just its end-to-end invisibility: over a nearly-unique key
+// with an eager trigger, a partial step must stop hashing and stream rows
+// through, so its output row count exceeds the group count a fully-hashed
+// partial collapses to. The disabled-trigger run doubles as the oracle for
+// the group count, and both shapes must agree with the rowwise reference
+// after a final step (covered by the equivalence configs above).
+func TestPartialAggBypassStreams(t *testing.T) {
+	const seed, rows = 21, 2000
+	// card 3x rows: ~15% of rows repeat a key, so the reduction ratio stays
+	// above the 80% trigger while pass-through visibly outgrows the groups.
+	specs := []equivColSpec{{name: "k0", typ: types.Bigint, card: 3 * rows}}
+	outRows := func(bypass int) int {
+		rng := rand.New(rand.NewSource(seed))
+		scan, conn := equivScan(rng, "t", specs, rows)
+		reg := connector.NewRegistry()
+		reg.Register("t", conn)
+		partial := &planner.Aggregate{
+			Child:   scan,
+			GroupBy: []int{0},
+			Aggs: []planner.Aggregation{{
+				FuncName: "count", OutputName: "cnt", InterType: types.Bigint, FinalType: types.Bigint,
+			}},
+			Step: planner.AggPartial,
+		}
+		op, err := Build(partial, &Context{Catalogs: reg, Drivers: 1, PartialAggBypassRows: bypass})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return len(drainRows(t, op))
+	}
+	groups := outRows(-1) // bypass disabled: one output row per group
+	passed := outRows(1)  // eager trigger: pass-through after the first page
+	if groups >= rows {
+		t.Fatalf("want duplicate keys in the input: %d groups for %d rows", groups, rows)
+	}
+	if passed <= groups {
+		t.Fatalf("partial bypass never engaged: %d output rows with eager trigger, %d groups without", passed, groups)
+	}
+}

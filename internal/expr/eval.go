@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prestolite/internal/block"
+	"prestolite/internal/execution/vector"
 	"prestolite/internal/types"
 )
 
@@ -60,13 +61,12 @@ func EvalFilterInto(e RowExpression, page *block.Page, buf []int) ([]int, error)
 	if cap(positions) == 0 {
 		positions = make([]int, 0, n)
 	}
-	if bb, ok := b.(*block.BoolBlock); ok {
-		for i := 0; i < n; i++ {
-			if bb.Values[i] && (bb.Nulls == nil || !bb.Nulls[i]) {
-				positions = append(positions, i)
-			}
-		}
-		return positions, nil
+	// The selection kernel understands flat, dictionary and run-length bool
+	// blocks (a dict-encoded predicate keeps its indirection through
+	// fastKernel, so this is the common case for filters over encoded scans).
+	var fv vector.View
+	if vector.Of(b, &fv) && fv.Kind == vector.KindBool {
+		return vector.SelectTrue(&fv, n, positions), nil
 	}
 	for i := 0; i < n; i++ {
 		if v := b.Value(i); v == true {
@@ -178,26 +178,71 @@ func evalCall(c *Call, page *block.Page) (block.Block, error) {
 	return builder.Build(), nil
 }
 
-// fastKernel dispatches vectorized implementations for flat numeric blocks.
-// Returns nil if no fast path applies.
+// mirrorKernel maps an operator to its argument-swapped equivalent, letting
+// a constant left-hand side reuse the col⊗const kernels.
+var mirrorKernel = map[string]string{
+	"eq": "eq", "neq": "neq",
+	"lt": "gt", "lte": "gte", "gt": "lt", "gte": "lte",
+	"add": "add", "multiply": "multiply",
+}
+
+// fastKernel dispatches vectorized implementations for the hot kernels,
+// aware of the numeric encodings: flat⊗flat and flat⊗const run tight typed
+// loops, run-length inputs evaluate once and re-expand, and dictionary
+// inputs evaluate over their (much smaller) dictionaries. Returns nil if no
+// fast path applies — the caller falls back to the boxed row loop.
 func fastKernel(name string, args []block.Block, n int) block.Block {
 	if len(args) != 2 {
 		return nil
 	}
-	a, aok := args[0].(*block.Int64Block)
-	b, bok := args[1].(*block.Int64Block)
-	if aok && bok {
-		return int64Kernel(name, a, b, n)
-	}
-	if rle, ok := args[1].(*block.RunLengthBlock); aok && ok && !rle.Single.IsNull(0) {
-		if cv, ok2 := rle.Single.Value(0).(int64); ok2 {
-			return int64ConstKernel(name, a, cv, n)
+	a, b := args[0], args[1]
+	ra, aIsRLE := a.(*block.RunLengthBlock)
+	rb, bIsRLE := b.(*block.RunLengthBlock)
+	switch {
+	case aIsRLE && bIsRLE:
+		// const ⊗ const: evaluate the single position once and re-expand.
+		if out := fastKernel(name, []block.Block{ra.Single, rb.Single}, 1); out != nil {
+			return block.NewRunLengthBlock(out, n)
 		}
+		return nil
+	case aIsRLE:
+		// const ⊗ col mirrors to col ⊗ const (b is not RLE here, so this
+		// recurses at most once).
+		if m, ok := mirrorKernel[name]; ok {
+			return fastKernel(m, []block.Block{b, a}, n)
+		}
+		return nil
 	}
-	fa, faok := args[0].(*block.Float64Block)
-	fb, fbok := args[1].(*block.Float64Block)
-	if faok && fbok {
-		return float64Kernel(name, fa, fb, n)
+	// dict ⊗ const evaluates over the dictionary — O(distinct values)
+	// instead of O(rows) — and keeps the id indirection, so downstream
+	// consumers (selection kernels, aggregation views) still see the
+	// encoding.
+	if da, ok := a.(*block.DictionaryBlock); ok && bIsRLE {
+		dn := da.Dictionary.Count()
+		if out := fastKernel(name, []block.Block{da.Dictionary, block.NewRunLengthBlock(rb.Single, dn)}, dn); out != nil {
+			return &block.DictionaryBlock{Dictionary: out, Ids: da.Ids}
+		}
+		return nil
+	}
+	switch av := a.(type) {
+	case *block.Int64Block:
+		if bv, ok := b.(*block.Int64Block); ok {
+			return int64Kernel(name, av, bv, n)
+		}
+		if bIsRLE && !rb.Single.IsNull(0) {
+			if c, ok := rb.Single.Value(0).(int64); ok {
+				return int64ConstKernel(name, av, c, n)
+			}
+		}
+	case *block.Float64Block:
+		if bv, ok := b.(*block.Float64Block); ok {
+			return float64Kernel(name, av, bv, n)
+		}
+		if bIsRLE && !rb.Single.IsNull(0) {
+			if c, ok := rb.Single.Value(0).(float64); ok {
+				return float64ConstKernel(name, av, c, n)
+			}
+		}
 	}
 	return nil
 }
@@ -304,6 +349,81 @@ func int64ConstKernel(name string, a *block.Int64Block, c int64, n int) block.Bl
 			nulls = a.Nulls
 		}
 		return &block.BoolBlock{Values: out, Nulls: nulls}
+	case "add", "subtract", "multiply":
+		out := make([]int64, n)
+		av := a.Values
+		switch name {
+		case "add":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] + c
+			}
+		case "subtract":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] - c
+			}
+		case "multiply":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] * c
+			}
+		}
+		return &block.Int64Block{Values: out, Nulls: a.Nulls}
+	}
+	return nil
+}
+
+func float64ConstKernel(name string, a *block.Float64Block, c float64, n int) block.Block {
+	av := a.Values
+	switch name {
+	case "eq", "neq", "lt", "lte", "gt", "gte":
+		out := make([]bool, n)
+		switch name {
+		case "eq":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] == c
+			}
+		case "neq":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] != c
+			}
+		case "lt":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] < c
+			}
+		case "lte":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] <= c
+			}
+		case "gt":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] > c
+			}
+		case "gte":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] >= c
+			}
+		}
+		return &block.BoolBlock{Values: out, Nulls: a.Nulls}
+	case "add", "subtract", "multiply", "divide":
+		out := make([]float64, n)
+		switch name {
+		case "add":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] + c
+			}
+		case "subtract":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] - c
+			}
+		case "multiply":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] * c
+			}
+		case "divide":
+			for i := 0; i < n; i++ {
+				out[i] = av[i] / c
+			}
+		}
+		return &block.Float64Block{Values: out, Nulls: a.Nulls}
 	}
 	return nil
 }

@@ -453,3 +453,72 @@ func TestIsRegisteredAndIsAggregate(t *testing.T) {
 		t.Error("IsAggregate wrong")
 	}
 }
+
+// TestFastKernelEncodings: the encoded fast paths (dict⊗const, RLE⊗RLE,
+// const⊗col mirroring) must agree row-for-row with the flat evaluation of
+// the same logical data.
+func TestFastKernelEncodings(t *testing.T) {
+	flat := block.NewInt64Block([]int64{5, 10, 12, 3, 12, 7})
+	dict := &block.DictionaryBlock{
+		Dictionary: block.NewInt64Block([]int64{3, 5, 7, 10, 12}),
+		Ids:        []int32{1, 3, 4, 0, 4, 2},
+	}
+	withNull := &block.Int64Block{Values: []int64{5, 10, 12, 3, 12, 7}, Nulls: []bool{false, true, false, false, false, false}}
+	dictNull := &block.DictionaryBlock{
+		Dictionary: block.NewInt64Block([]int64{3, 5, 7, 10, 12}),
+		Ids:        []int32{1, -1, 4, 0, 4, 2},
+	}
+	exprs := []RowExpression{
+		MustCall("lt", col(0, types.Bigint), bigint(10)),
+		MustCall("gte", col(0, types.Bigint), bigint(7)),
+		MustCall("eq", col(0, types.Bigint), bigint(12)),
+		MustCall("gt", bigint(10), col(0, types.Bigint)), // const on the left
+		MustCall("add", col(0, types.Bigint), bigint(100)),
+		MustCall("multiply", bigint(3), col(0, types.Bigint)),
+	}
+	encoded := map[string][2]block.Block{
+		"dict":      {flat, dict},
+		"flat-null": {withNull, withNull},
+		"dict-null": {withNull, dictNull},
+	}
+	for name, pair := range encoded {
+		ref, enc := pair[0], pair[1]
+		for _, e := range exprs {
+			want, err := Eval(e, block.NewPage(ref))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Eval(e, block.NewPage(enc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 6; i++ {
+				if !reflect.DeepEqual(got.Value(i), want.Value(i)) {
+					t.Errorf("%s %s row %d: got %v want %v", name, e, i, got.Value(i), want.Value(i))
+				}
+			}
+		}
+	}
+	// RLE ⊗ RLE collapses to one evaluation.
+	rlePage := block.NewPage(block.NewRunLengthBlock(block.NewInt64Block([]int64{9}), 4))
+	out, err := Eval(MustCall("add", col(0, types.Bigint), bigint(1)), rlePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(*block.RunLengthBlock); !ok {
+		t.Errorf("RLE input produced %T, want run-length output", out)
+	}
+	for i := 0; i < 4; i++ {
+		if out.Value(i) != int64(10) {
+			t.Errorf("row %d = %v, want 10", i, out.Value(i))
+		}
+	}
+	// Dict filter keeps the indirection and still selects correctly.
+	pos, err := EvalFilter(MustCall("lt", col(0, types.Bigint), bigint(10)), block.NewPage(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []int{0, 3, 5}) {
+		t.Errorf("dict filter positions = %v", pos)
+	}
+}
