@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race lint check chaos chaos-ingest fuzz-smoke bench bench-json bench-ingest-json experiments examples fmt vet
+.PHONY: build test test-race lint check chaos chaos-ingest chaos-lifecycle fuzz-smoke bench bench-json bench-ingest-json experiments examples fmt vet
 
 build:
 	go build ./...
@@ -29,6 +29,17 @@ chaos:
 # results after quiesce. Replay with `CHAOS_SEED=<seed> make chaos-ingest`.
 chaos-ingest:
 	go test -race -count=1 -v -run TestChaosIngest ./internal/cluster
+
+# The process-death slice of the chaos suite: rolling restarts of the ingest
+# process (SIGKILL + WAL recovery) and of both coordinators (graceful drain +
+# replacement) while an acked producer streams and hybrid queries run through
+# the gateway's resubmitting /v1/execute. Asserts zero acked-event loss,
+# monotonic duplicate-free counts, 5s freshness recovery after every restart,
+# and row-exact results post quiesce. Also picks up the WAL torn-tail
+# crash-recovery property tests in internal/ingest. Replay one seed with
+# `CHAOS_SEED=<seed> make chaos-lifecycle`.
+chaos-lifecycle:
+	go test -race -count=1 -v -run TestChaosLifecycle ./internal/cluster ./internal/ingest
 
 # Brief randomized runs of the vector-kernel fuzz targets (open-addressing
 # hash tables, selection kernels) on top of their checked-in corpus under

@@ -31,6 +31,11 @@ var goldenCases = []struct {
 	// hot-loop, clock-determinism and metrics-hygiene rules all apply to
 	// one package — the lint surface PR8's kernel code is held to.
 	{"vectorhot", "prestolite/internal/execution/vector/vectorhotfixture", []string{"hotalloc", "clockdet", "obshygiene"}},
+	// wal loads under the ingest tree's import path, where the durability
+	// rules stack: leaked segment handles (closeleak), wall-clock reads in
+	// recovery (clockdet) and dropped fsync/commit errors (errdrop) — the
+	// lint surface the PR9 WAL code is held to.
+	{"wal", "prestolite/internal/ingest/walfixture", []string{"closeleak", "clockdet", "errdrop"}},
 	{"suppress", "prestolite/internal/analysis/testdata/suppress", nil},
 }
 

@@ -1,0 +1,86 @@
+// Package fixture exercises the durability-path lint surface as one unit.
+// The golden harness loads it under an internal/ingest import path, where
+// three analyzers apply at once: closeleak (segment handles that are opened
+// but never closed or handed off — a leaked descriptor pins a WAL segment
+// past rotation), clockdet (the ingest tree is clock-scoped — a wall-clock
+// read in recovery or fsync pacing breaks CHAOS_SEED replay) and errdrop
+// (a dropped fsync or commit error silently converts "durable" into
+// "probably durable", the exact lie the WAL exists to prevent). The writer
+// at the bottom shows the shape that stays silent under all three.
+package fixture
+
+import (
+	"encoding/binary"
+	"os"
+	"time"
+)
+
+// badSegmentLeak opens the next WAL segment to probe its size and forgets
+// the handle: every rotation check leaks one descriptor, and on platforms
+// with deferred unlink the dead segment's disk space never comes back.
+func badSegmentLeak(path string) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return -1
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return -1
+	}
+	return st.Size()
+}
+
+// badRecoveryStamp stamps replayed records with the wall clock: replaying
+// the same WAL twice yields different rows, so crash-recovery tests cannot
+// compare against a golden state.
+func badRecoveryStamp(records [][]byte) []time.Time {
+	stamps := make([]time.Time, 0, len(records))
+	for range records {
+		stamps = append(stamps, time.Now())
+	}
+	return stamps
+}
+
+// badDroppedFsync acks the append while throwing the Sync error away: the
+// record is durable only if the kernel felt like it. This is the torn-tail
+// bug class the recovery suite replays.
+func badDroppedFsync(f *os.File, rec []byte) error {
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(rec)))
+	if _, err := f.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	f.Sync()
+	return nil
+}
+
+// badDroppedCommit discards the error half of a commit result with no
+// written reason: a failed offset commit re-delivers the batch after the
+// next crash, and nothing ever said so.
+func badDroppedCommit(commit func() (int64, error)) int64 {
+	off, _ := commit()
+	return off
+}
+
+// goodAppend is the clean durability shape: the handle is released on every
+// path, the fsync error propagates to the acking caller, and pacing is left
+// to the injected clock upstream.
+func goodAppend(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(rec)))
+	if _, err := f.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -120,6 +120,12 @@ func (cfg *ClientConfig) statementHTTPClient() *http.Client {
 	return &http.Client{Timeout: cfg.StatementTimeout, Transport: cfg.Transport}
 }
 
+// StatementHTTPClient builds a statement-timeout client — what the gateway's
+// proxying /v1/execute path uses to forward statements to coordinators.
+func (cfg *ClientConfig) StatementHTTPClient() *http.Client {
+	return cfg.statementHTTPClient()
+}
+
 // StatsHTTPClient builds the short-deadline client gateways use to poll
 // coordinator stats and health.
 func (cfg *ClientConfig) StatsHTTPClient() *http.Client {

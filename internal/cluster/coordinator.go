@@ -40,6 +40,11 @@ import (
 type Coordinator struct {
 	Catalogs *connector.Registry
 
+	// DrainGrace bounds how long GracefulDrain waits for in-flight queries
+	// to finish before aborting the stragglers with ErrCoordinatorDraining.
+	// 0 means the 5s default.
+	DrainGrace time.Duration
+
 	cfg ClientConfig
 
 	http *http.Server
@@ -49,6 +54,14 @@ type Coordinator struct {
 	mu       sync.Mutex
 	workers  map[string]*workerClient // addr -> client
 	inflight map[string]map[*taskHandle]struct{}
+
+	// draining latches once GracefulDrain starts: new statements are
+	// refused with the typed, retryable ErrCoordinatorDraining.
+	draining atomic.Bool
+	// liveMu guards live, the queryID -> queryState registry of in-flight
+	// queries; the drain aborts through it.
+	liveMu sync.Mutex
+	live   map[string]*queryState
 
 	queryCounter atomic.Int64
 	queries      *queryLog
@@ -65,6 +78,7 @@ type Coordinator struct {
 	taskRetries   *obs.Counter
 	rpcRetries    *obs.Counter
 	hedgedFetches *obs.Counter
+	drains        *obs.Counter
 	outstanding   *obs.Gauge
 	queryWall     *obs.Histogram
 }
@@ -89,6 +103,7 @@ func NewCoordinatorWithConfig(catalogs *connector.Registry, cfg ClientConfig) *C
 		cfg:      cfg.WithDefaults(),
 		workers:  map[string]*workerClient{},
 		inflight: map[string]map[*taskHandle]struct{}{},
+		live:     map[string]*queryState{},
 		queries:  newQueryLog(128),
 		obs:      obs.NewRegistry(),
 	}
@@ -99,8 +114,15 @@ func NewCoordinatorWithConfig(catalogs *connector.Registry, cfg ClientConfig) *C
 	c.taskRetries = c.obs.Counter("task_retries")
 	c.rpcRetries = c.obs.Counter("rpc_retries")
 	c.hedgedFetches = c.obs.Counter("hedged_fetches")
+	c.drains = c.obs.Counter("coordinator_drains")
 	c.outstanding = c.obs.Gauge("queries_outstanding")
 	c.queryWall = c.obs.Histogram("query_wall")
+	c.obs.GaugeFunc("coordinator_draining", func() float64 {
+		if c.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	registerCatalogMetrics(catalogs, c.obs)
 	return c
 }
@@ -184,10 +206,14 @@ var errTaskRefused = errors.New("worker refused task")
 // queries survive that window) or transport failure (a worker may have just
 // died, and the surviving ones can take its splits). Whole-set failures are
 // retried with backoff for MaxAttempts rounds before the typed
-// ErrSchedulingFailed surfaces.
-func (c *Coordinator) startTaskAnywhere(workers []*workerClient, prefer int, req TaskRequest) (*taskHandle, error) {
+// ErrSchedulingFailed surfaces. Each round re-checks the query's deadline
+// and abort latch, so a drained or overdue query stops scheduling work.
+func (c *Coordinator) startTaskAnywhere(qs *queryState, workers []*workerClient, prefer int, req TaskRequest) (*taskHandle, error) {
 	var lastErr error
 	for round := 1; round <= c.cfg.MaxAttempts; round++ {
+		if err := c.checkQuery(qs); err != nil {
+			return nil, err
+		}
 		if round > 1 {
 			c.rpcRetries.Inc()
 			c.cfg.Clock.Sleep(c.cfg.backoff(round - 1))
@@ -276,6 +302,11 @@ func (qr *QueryResult) Rows() ([][]any, error) {
 // executes the statement and renders the plan annotated with the actual
 // per-operator statistics gathered from every worker task.
 func (c *Coordinator) Query(session *planner.Session, query string) (*QueryResult, error) {
+	if c.draining.Load() {
+		// Refused before any state is created: the statement is safe to
+		// resubmit verbatim on another cluster.
+		return nil, ErrCoordinatorDraining
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -396,8 +427,24 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	c.queries.update(queryID, func(qi *QueryInfo) { qi.State = QueryRunning; qi.Running = c.cfg.Clock.Now() })
 
 	// Schedule source fragments onto active workers. The query state
-	// carries the shared retry budget its remote sources draw on.
+	// carries the shared retry budget its remote sources draw on, the
+	// query's deadline, and the abort latch the coordinator drain trips.
 	qs := newQueryState(&c.cfg)
+	if v := session.Property("query_max_run_ms", ""); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 1 {
+			return nil, "", fmt.Errorf("cluster: bad query_max_run_ms %q: want a positive integer", v)
+		}
+		qs.deadline = c.cfg.Clock.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+	c.liveMu.Lock()
+	c.live[queryID] = qs
+	c.liveMu.Unlock()
+	defer func() {
+		c.liveMu.Lock()
+		delete(c.live, queryID)
+		c.liveMu.Unlock()
+	}()
 	remotes := map[int][]*taskHandle{}
 	// Intra-task parallelism requested by the session; 0 lets each worker
 	// apply its own -task-concurrency default.
@@ -427,7 +474,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		bypassRows = r
 	}
 	if !fp.SingleFragment() {
-		workers, err := c.waitActiveWorkers()
+		workers, err := c.waitActiveWorkers(qs)
 		if err != nil {
 			return nil, "", err
 		}
@@ -461,7 +508,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 					continue
 				}
 				taskID := fmt.Sprintf("%s.f%d.t%d", queryID, id, wi)
-				th, err := c.startTaskAnywhere(workers, wi, TaskRequest{
+				th, err := c.startTaskAnywhere(qs, workers, wi, TaskRequest{
 					TaskID:               taskID,
 					Fragment:             frag.Root,
 					TableKey:             frag.TableKey,
@@ -470,6 +517,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 					DisableVectorized:    noVector,
 					AdaptiveExchangeRows: adaptiveRows,
 					PartialAggBypassRows: bypassRows,
+					Deadline:             deadlineNanos(qs.deadline),
 				})
 				if err != nil {
 					return nil, "", err
@@ -791,6 +839,7 @@ func (c *Coordinator) Start(addr string) error {
 	mux.HandleFunc("/v1/stats", c.handleStats)
 	mux.HandleFunc("/v1/query", c.handleQueries)
 	mux.HandleFunc("/v1/query/", c.handleQueryByID)
+	mux.HandleFunc("/v1/shutdown", c.handleShutdown)
 	c.http = &http.Server{Handler: mux}
 	go c.http.Serve(ln)
 	return nil
@@ -799,12 +848,75 @@ func (c *Coordinator) Start(addr string) error {
 // Addr returns the coordinator address.
 func (c *Coordinator) Addr() string { return c.addr }
 
-// Close stops the server.
+// Close stops the server immediately (the SIGKILL path). The graceful
+// counterpart is GracefulDrain.
 func (c *Coordinator) Close() error {
 	if c.http != nil {
 		return c.http.Close()
 	}
 	return nil
+}
+
+// Draining reports whether the coordinator has begun its graceful drain.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// deadlineNanos encodes a query deadline for the wire: unix nanos, 0 = none.
+func deadlineNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// liveCount returns the number of in-flight queries.
+func (c *Coordinator) liveCount() int {
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
+	return len(c.live)
+}
+
+// GracefulDrain is the coordinator's half of §IX graceful shrink, mirroring
+// the worker's: latch draining (handleStatement starts refusing with the
+// retryable 503 and the coordinator_draining gauge flips, so gateways route
+// around this cluster), let in-flight queries finish for up to DrainGrace,
+// abort any stragglers with the typed ErrCoordinatorDraining, wait for
+// their handlers to unwind, then close the listener. Idempotent — a second
+// call returns immediately.
+func (c *Coordinator) GracefulDrain() error {
+	if !c.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.drains.Inc()
+	grace := c.DrainGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	deadline := c.cfg.Clock.Now().Add(grace)
+	for c.liveCount() > 0 && c.cfg.Clock.Now().Before(deadline) {
+		c.cfg.Clock.Sleep(5 * time.Millisecond)
+	}
+	// Abort the stragglers: every RPC hop checks the latch, so each query
+	// fails with the typed error on its next poll instead of running on
+	// against a closing server.
+	c.liveMu.Lock()
+	for _, qs := range c.live {
+		qs.abort(ErrCoordinatorDraining)
+	}
+	c.liveMu.Unlock()
+	// Let the aborted handlers deliver their 503s before the listener goes
+	// away; they stop at the next hop, so this converges in RPC time, not
+	// query time.
+	settle := c.cfg.Clock.Now().Add(grace)
+	for c.liveCount() > 0 && c.cfg.Clock.Now().Before(settle) {
+		c.cfg.Clock.Sleep(5 * time.Millisecond)
+	}
+	return c.Close()
+}
+
+// handleShutdown begins the graceful drain, like the worker's /v1/shutdown.
+func (c *Coordinator) handleShutdown(rw http.ResponseWriter, r *http.Request) {
+	go func() { _ = c.GracefulDrain() }() // drain errors surface via the caller of Close
+	rw.WriteHeader(http.StatusAccepted)
 }
 
 func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
@@ -821,6 +933,16 @@ func (c *Coordinator) handleStatement(rw http.ResponseWriter, r *http.Request) {
 			// in front) to retry elsewhere or later.
 			rw.Header().Set("Retry-After", "1")
 			http.Error(rw, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		if errors.Is(err, ErrCoordinatorDraining) {
+			// Refused (or aborted mid-drain) by the lifecycle, not by the
+			// statement: the query is safe to replay verbatim elsewhere.
+			// X-Presto-Retryable is what the gateway's transparent
+			// resubmission keys on.
+			rw.Header().Set("Retry-After", "1")
+			rw.Header().Set("X-Presto-Retryable", "true")
+			http.Error(rw, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		http.Error(rw, err.Error(), http.StatusBadRequest)

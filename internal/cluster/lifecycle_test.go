@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"prestolite/internal/fault"
+)
+
+// TestCoordinatorDrainRefusesNewQueries: once the drain latches, new
+// statements fail with the typed ErrCoordinatorDraining (direct API) and the
+// HTTP front end answers 503 + X-Presto-Retryable so a gateway can resubmit
+// the statement elsewhere.
+func TestCoordinatorDrainRefusesNewQueries(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 2)
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	coord.DrainGrace = 50 * time.Millisecond
+
+	if _, err := coord.Query(session(), "SELECT count(*) FROM trips"); err != nil {
+		t.Fatalf("pre-drain query: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- coord.GracefulDrain() }()
+
+	// The latch flips synchronously at the head of GracefulDrain; poll
+	// briefly for the goroutine to get there.
+	deadline := time.Now().Add(time.Second)
+	for !coord.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !coord.Draining() {
+		t.Fatal("coordinator never entered draining")
+	}
+
+	_, err := coord.Query(session(), "SELECT count(*) FROM trips")
+	if !errors.Is(err, ErrCoordinatorDraining) {
+		t.Fatalf("draining query error = %v, want ErrCoordinatorDraining", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("ErrCoordinatorDraining must be retryable")
+	}
+
+	// HTTP surface: 503 + Retry-After + X-Presto-Retryable, while the
+	// listener is still up (no live queries hold the drain open).
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&StatementRequest{Query: "SELECT count(*) FROM trips", Catalog: "hive", Schema: "rawdata"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+coord.Addr()+"/v1/statement", "application/x-gob", &buf)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Presto-Retryable") != "true" {
+			t.Fatalf("missing X-Presto-Retryable header, got %v", resp.Header)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("missing Retry-After header")
+		}
+	}
+	// err != nil means the drain already closed the listener — also a valid
+	// refusal from the client's point of view (connection refused is
+	// classified worker-gone/retryable by the gateway path).
+
+	if derr := <-done; derr != nil {
+		t.Fatalf("GracefulDrain: %v", derr)
+	}
+	if coord.Obs().Snapshot().Counters["coordinator_drains"] != 1 {
+		t.Fatalf("coordinator_drains = %v, want 1", coord.Obs().Snapshot().Counters["coordinator_drains"])
+	}
+
+	// Idempotent: a second drain is a no-op and does not double-count.
+	if err := coord.GracefulDrain(); err != nil {
+		t.Fatalf("second GracefulDrain: %v", err)
+	}
+	if coord.Obs().Snapshot().Counters["coordinator_drains"] != 1 {
+		t.Fatalf("second drain must not re-count")
+	}
+}
+
+// TestCoordinatorDrainLetsInFlightFinish: queries already running when the
+// drain starts complete normally inside the grace period.
+func TestCoordinatorDrainLetsInFlightFinish(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 2)
+	coord.DrainGrace = 5 * time.Second
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = coord.Query(session(), "SELECT city_id, sum(fare) FROM trips GROUP BY city_id")
+		}(i)
+	}
+	// Begin the drain while the queries are (likely) in flight; those
+	// already registered must finish, later arrivals get the typed error.
+	if err := coord.GracefulDrain(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrCoordinatorDraining) {
+			t.Fatalf("query %d failed with %v, want success or ErrCoordinatorDraining", i, err)
+		}
+	}
+}
+
+// TestWorkerGoneFastReschedule is satellite 1: an abruptly killed worker
+// (Close, the simulated SIGKILL) surfaces as the typed ErrWorkerGone on the
+// FIRST failed fetch — no per-RPC retry rounds against the corpse — and the
+// query still answers exactly via rescheduling onto the survivor.
+func TestWorkerGoneFastReschedule(t *testing.T) {
+	// Unit half: a fetch against a dead address classifies as worker-gone
+	// without burning rpc retries.
+	coord := NewCoordinatorWithConfig(newCatalogs(t), ClientConfig{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		HedgeDelay:  -1, // disabled: one fetch per attempt
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore: connection refused
+	th := &taskHandle{
+		worker: &workerClient{addr: deadAddr, http: coord.cfg.workerHTTPClient()},
+		taskID: "t0",
+	}
+	before := coord.Obs().Snapshot().Counters["rpc_retries"]
+	_, err = coord.fetchChunk(nil, th, 0)
+	if !errors.Is(err, ErrWorkerGone) {
+		t.Fatalf("fetch from dead worker = %v, want ErrWorkerGone", err)
+	}
+	if got := coord.Obs().Snapshot().Counters["rpc_retries"]; got != before {
+		t.Fatalf("rpc_retries = %d (was %d): worker-gone must short-circuit the retry loop", got, before)
+	}
+
+	// Integration half: kill one of two workers mid-cluster; the query
+	// reschedules its splits onto the survivor and stays row-exact.
+	coord2, workers := newCluster(t, newCatalogs(t), 2)
+	workers[0].Close()
+	res, err := coord2.Query(session(), "SELECT count(*) FROM trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].(int64) != 80 {
+		t.Fatalf("rows = %v, want [[80]]", rows)
+	}
+}
+
+// TestQueryDeadline: the per-hop deadline gate on the coordinator's clock,
+// and the worker-side refusal of tasks that arrive already expired.
+func TestQueryDeadline(t *testing.T) {
+	clock := fault.NewManualClock(time.Unix(1000, 0))
+	coord := NewCoordinatorWithConfig(newCatalogs(t), ClientConfig{Clock: clock, HedgeDelay: -1})
+
+	qs := newQueryState(&coord.cfg)
+	qs.deadline = clock.Now().Add(100 * time.Millisecond)
+	if err := coord.checkQuery(qs); err != nil {
+		t.Fatalf("fresh deadline: %v", err)
+	}
+	clock.Advance(100 * time.Millisecond)
+	err := coord.checkQuery(qs)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline = %v, want ErrDeadlineExceeded", err)
+	}
+	if !isTerminal(err) {
+		t.Fatal("deadline errors must be terminal (never rescheduled)")
+	}
+
+	// Terminal errors stop drainTask before it consumes reschedule budget.
+	th := &taskHandle{worker: &workerClient{addr: "127.0.0.1:1", http: coord.cfg.workerHTTPClient()}, taskID: "t0"}
+	budgetBefore := qs.budget.Load()
+	if _, err := coord.drainTask(qs, []*taskHandle{th}, 0); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("drainTask = %v, want ErrDeadlineExceeded", err)
+	}
+	if qs.budget.Load() != budgetBefore {
+		t.Fatal("terminal error must not consume retry budget")
+	}
+
+	// Worker half: a task whose Deadline is already past is refused 503.
+	w := NewWorker(newCatalogs(t))
+	if err := w.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var buf bytes.Buffer
+	req := TaskRequest{TaskID: "expired", Deadline: w.Clock.Now().Add(-time.Second).UnixNano()}
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+w.Addr()+"/v1/task", "application/x-gob", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired task status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestQueryDeadlineSessionProperty: the session property parses, propagates
+// into TaskRequests, and a bad value is rejected up front.
+func TestQueryDeadlineSessionProperty(t *testing.T) {
+	coord, _ := newCluster(t, newCatalogs(t), 2)
+	s := session()
+	s.Properties["query_max_run_ms"] = "60000"
+	if _, err := coord.Query(s, "SELECT count(*) FROM trips"); err != nil {
+		t.Fatalf("query with generous deadline: %v", err)
+	}
+	s.Properties["query_max_run_ms"] = "banana"
+	if _, err := coord.Query(s, "SELECT count(*) FROM trips"); err == nil {
+		t.Fatal("bad query_max_run_ms must be rejected")
+	}
+}

@@ -3,7 +3,10 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"prestolite/internal/block"
 )
@@ -22,6 +25,17 @@ var (
 	// ErrRetryBudgetExhausted: the query burned its whole task-reschedule
 	// budget and still could not finish.
 	ErrRetryBudgetExhausted = errors.New("cluster: task retry budget exhausted")
+	// ErrCoordinatorDraining: the coordinator is in its graceful-shutdown
+	// drain and no longer admits queries. Retryable on another cluster — the
+	// gateway resubmits idempotent statements transparently.
+	ErrCoordinatorDraining = errors.New("cluster: coordinator is draining")
+	// ErrWorkerGone: a worker's process died abruptly (connection refused or
+	// reset, not a timeout). Surfaced by the first failed fetch so split
+	// rescheduling engages immediately instead of after retry exhaustion.
+	ErrWorkerGone = errors.New("cluster: worker is gone")
+	// ErrDeadlineExceeded: the query overran its deadline. Terminal — it is
+	// never rescheduled, and every RPC hop checks it.
+	ErrDeadlineExceeded = errors.New("cluster: query deadline exceeded")
 )
 
 // IsUnavailable reports whether err is one of the typed cluster-availability
@@ -30,20 +44,84 @@ var (
 func IsUnavailable(err error) bool {
 	return errors.Is(err, ErrNoActiveWorkers) ||
 		errors.Is(err, ErrSchedulingFailed) ||
-		errors.Is(err, ErrRetryBudgetExhausted)
+		errors.Is(err, ErrRetryBudgetExhausted) ||
+		errors.Is(err, ErrCoordinatorDraining) ||
+		errors.Is(err, ErrWorkerGone)
+}
+
+// IsRetryable reports whether a failed query may be resubmitted elsewhere
+// without risking duplicate effects: the coordinator refused or lost the
+// query for availability reasons rather than rejecting its content. The
+// gateway's transparent-resubmission path keys on this.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrCoordinatorDraining) ||
+		errors.Is(err, ErrNoActiveWorkers) ||
+		errors.Is(err, ErrSchedulingFailed)
+}
+
+// isWorkerGone classifies transport errors that mean the peer process is
+// dead (refused: nothing listens; reset: the listener vanished mid-stream)
+// rather than slow or lossy. Injected faults and timeouts deliberately do
+// not match — those keep the per-RPC retry loop, death skips it.
+func isWorkerGone(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// isTerminal reports errors that must fail the query as-is: rescheduling the
+// task cannot help (the deadline stays blown, the drain stays in progress).
+func isTerminal(err error) bool {
+	return errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrCoordinatorDraining)
 }
 
 // queryState carries the per-query fault-tolerance budget shared by all of
-// the query's remote-source operators.
+// the query's remote-source operators, plus the query's deadline and its
+// abort latch (set by the coordinator drain).
 type queryState struct {
 	budget      atomic.Int64 // remaining task reschedules
 	reschedules atomic.Int64 // used for unique replacement task IDs
+	deadline    time.Time    // zero = no deadline
+
+	mu       sync.Mutex
+	abortErr error
 }
 
 func newQueryState(cfg *ClientConfig) *queryState {
 	qs := &queryState{}
 	qs.budget.Store(int64(cfg.RetryBudget))
 	return qs
+}
+
+// abort latches a terminal error onto the query; every RPC hop observes it
+// on its next check. First abort wins.
+func (qs *queryState) abort(err error) {
+	qs.mu.Lock()
+	if qs.abortErr == nil {
+		qs.abortErr = err
+	}
+	qs.mu.Unlock()
+}
+
+func (qs *queryState) aborted() error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	return qs.abortErr
+}
+
+// checkQuery is the per-hop liveness gate: every RPC loop (task start,
+// result fetch, worker wait) calls it so an aborted or deadline-blown query
+// stops at the next hop instead of grinding through retries. nil qs (direct
+// task-client use in tests) always passes.
+func (c *Coordinator) checkQuery(qs *queryState) error {
+	if qs == nil {
+		return nil
+	}
+	if err := qs.aborted(); err != nil {
+		return err
+	}
+	if !qs.deadline.IsZero() && !c.cfg.Clock.Now().Before(qs.deadline) {
+		return fmt.Errorf("%w (deadline %s)", ErrDeadlineExceeded, qs.deadline.Format(time.RFC3339Nano))
+	}
+	return nil
 }
 
 // drainTask pulls every result page of tasks[i], rescheduling the task onto
@@ -54,9 +132,12 @@ func newQueryState(cfg *ClientConfig) *queryState {
 func (c *Coordinator) drainTask(qs *queryState, tasks []*taskHandle, i int) ([]*block.Page, error) {
 	for {
 		th := tasks[i]
-		pages, err := c.drainOnce(th)
+		pages, err := c.drainOnce(qs, th)
 		if err == nil {
 			return pages, nil
+		}
+		if isTerminal(err) {
+			return nil, err
 		}
 		replacement, rerr := c.rescheduleTask(qs, th, err)
 		if rerr != nil {
@@ -69,10 +150,10 @@ func (c *Coordinator) drainTask(qs *queryState, tasks []*taskHandle, i int) ([]*
 }
 
 // drainOnce fetches the complete page stream of one task attempt.
-func (c *Coordinator) drainOnce(th *taskHandle) ([]*block.Page, error) {
+func (c *Coordinator) drainOnce(qs *queryState, th *taskHandle) ([]*block.Page, error) {
 	var pages []*block.Page
 	for n := 0; ; {
-		chunk, err := c.fetchChunk(th, n)
+		chunk, err := c.fetchChunk(qs, th, n)
 		if err != nil {
 			return nil, err
 		}
@@ -103,10 +184,16 @@ func (c *Coordinator) drainOnce(th *taskHandle) ([]*block.Page, error) {
 // fetchChunk fetches page n of a task with per-RPC retries (exponential
 // backoff + jitter) and hedging. Page fetches are idempotent — the request
 // names the page index, the worker keeps no cursor — so retried and hedged
-// copies of the same fetch are safe.
-func (c *Coordinator) fetchChunk(th *taskHandle, page int) (TaskResultChunk, error) {
+// copies of the same fetch are safe. A connection-refused/reset failure
+// short-circuits the retry loop as ErrWorkerGone: the process is dead,
+// and rescheduling should engage on the first failed fetch, not after
+// MaxAttempts rounds of backoff against a corpse.
+func (c *Coordinator) fetchChunk(qs *queryState, th *taskHandle, page int) (TaskResultChunk, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if err := c.checkQuery(qs); err != nil {
+			return TaskResultChunk{}, err
+		}
 		if err := th.aborted(); err != nil {
 			return TaskResultChunk{}, err
 		}
@@ -117,6 +204,10 @@ func (c *Coordinator) fetchChunk(th *taskHandle, page int) (TaskResultChunk, err
 		chunk, err := c.fetchChunkHedged(th, page)
 		if err == nil {
 			return chunk, nil
+		}
+		if isWorkerGone(err) {
+			return TaskResultChunk{}, fmt.Errorf("%w: fetching results of task %s from %s: %v",
+				ErrWorkerGone, th.taskID, th.worker.addr, err)
 		}
 		lastErr = err
 	}
@@ -157,6 +248,9 @@ func (c *Coordinator) fetchChunkHedged(th *taskHandle, page int) (TaskResultChun
 // same fragment over the same splits, so its page stream is equivalent to
 // what the dead worker would have produced.
 func (c *Coordinator) rescheduleTask(qs *queryState, th *taskHandle, cause error) (*taskHandle, error) {
+	if err := c.checkQuery(qs); err != nil {
+		return nil, err
+	}
 	if qs.budget.Add(-1) < 0 {
 		return nil, fmt.Errorf("%w (task %s): %v", ErrRetryBudgetExhausted, th.taskID, cause)
 	}
@@ -173,7 +267,7 @@ func (c *Coordinator) rescheduleTask(qs *queryState, th *taskHandle, cause error
 	}
 	req := th.req
 	req.TaskID = fmt.Sprintf("%s.r%d", th.req.TaskID, qs.reschedules.Add(1))
-	replacement, err := c.startTaskAnywhere(workers, 0, req)
+	replacement, err := c.startTaskAnywhere(qs, workers, 0, req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rescheduling task %s (after: %v): %w", th.req.TaskID, cause, err)
 	}
@@ -183,8 +277,11 @@ func (c *Coordinator) rescheduleTask(qs *queryState, th *taskHandle, cause error
 // waitActiveWorkers polls for ACTIVE workers, retrying with backoff when
 // workers are registered but none answer (transient churn). An empty
 // cluster fails immediately — nothing will appear by waiting.
-func (c *Coordinator) waitActiveWorkers() ([]*workerClient, error) {
+func (c *Coordinator) waitActiveWorkers(qs *queryState) ([]*workerClient, error) {
 	for attempt := 1; ; attempt++ {
+		if err := c.checkQuery(qs); err != nil {
+			return nil, err
+		}
 		workers := c.activeWorkers()
 		if len(workers) > 0 {
 			return workers, nil

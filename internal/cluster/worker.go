@@ -57,6 +57,10 @@ type TaskRequest struct {
 	// PartialAggBypassRows tunes adaptive partial aggregation's trigger
 	// (0 = default, negative = never bypass).
 	PartialAggBypassRows int
+	// Deadline is the query's deadline in unix nanoseconds (0 = none). The
+	// worker refuses tasks that arrive already expired — the last hop of the
+	// coordinator's per-RPC deadline enforcement.
+	Deadline int64
 }
 
 // TaskResultChunk is one page (or the end-of-stream marker) of task output.
@@ -389,6 +393,12 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 	var req TaskRequest
 	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(rw, "bad task: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Deadline > 0 && w.Clock.Now().UnixNano() >= req.Deadline {
+		// The query blew its deadline in flight; starting the task would
+		// only burn cycles the coordinator will never collect.
+		http.Error(rw, "task "+req.TaskID+" arrived past its query deadline", http.StatusServiceUnavailable)
 		return
 	}
 	task := &workerTask{stats: obs.NewTaskStats()}

@@ -200,6 +200,59 @@ func (t *Table) Append(rows [][]any, now time.Time) error {
 	}
 	// Validate outside the lock so a bad row rejects the whole batch before
 	// any row lands.
+	if err := t.validateRows(rows); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(rows, now)
+	return nil
+}
+
+// AppendFrom appends a batch delivered from an offset-addressed source —
+// rows covering offsets [next, next+len(rows)) of source — skipping any
+// prefix the table has already seen from that source. The per-source
+// watermark advances atomically with the append, so a delivery retried
+// after a crash between the downstream append and the upstream offset
+// commit lands exactly once. Returns how many rows were actually appended.
+func (t *Table) AppendFrom(source string, next int64, rows [][]any, now time.Time) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	if err := t.validateRows(rows); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	skip := 0
+	if seen, ok := t.srcNext[source]; ok && seen > next {
+		skip = int(seen - next)
+		if skip > len(rows) {
+			skip = len(rows)
+		}
+	}
+	if skip < len(rows) {
+		t.appendLocked(rows[skip:], now)
+	}
+	if t.srcNext == nil {
+		t.srcNext = map[string]int64{}
+	}
+	if end := next + int64(len(rows)); end > t.srcNext[source] {
+		t.srcNext[source] = end
+	}
+	return len(rows) - skip, nil
+}
+
+// SourceWatermark returns the next offset the table expects from source (0
+// when the source has never delivered).
+func (t *Table) SourceWatermark(source string) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.srcNext[source]
+}
+
+// validateRows type-checks a batch against the table schema.
+func (t *Table) validateRows(rows [][]any) error {
 	for ri, row := range rows {
 		if len(row) != len(t.Columns) {
 			return errRowWidth(t.Name, ri, len(row), len(t.Columns))
@@ -224,8 +277,12 @@ func (t *Table) Append(rows [][]any, now time.Time) error {
 			}
 		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	return nil
+}
+
+// appendLocked adds pre-validated rows to the open segment, sealing whenever
+// the row threshold is crossed mid-batch. Caller holds the write lock.
+func (t *Table) appendLocked(rows [][]any, now time.Time) {
 	for _, row := range rows {
 		if t.open == nil {
 			t.open = newOpenSegment(t.Columns, now)
@@ -235,7 +292,6 @@ func (t *Table) Append(rows [][]any, now time.Time) error {
 			t.sealLocked()
 		}
 	}
-	return nil
 }
 
 // sealLocked moves the open segment to the sealed list. Caller holds the

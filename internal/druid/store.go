@@ -38,6 +38,7 @@ type Table struct {
 	cfg      SegmentConfig
 	segments []*segment // sealed (and compacted) segments
 	open     *openSegment
+	srcNext  map[string]int64 // per-source delivered watermark (AppendFrom)
 }
 
 // segment is one horizontal shard with columnar storage. Sealed segments

@@ -61,7 +61,8 @@ type HTTPRule struct {
 
 // FSRule describes faults for filesystem operations on paths containing
 // Path (empty matches everything). Ops restricts which operations fault
-// ("open", "read", "list", "stat"); nil matches all.
+// ("open", "read", "list", "stat", "create", "write", "sync"); nil matches
+// all.
 type FSRule struct {
 	Path string
 	Ops  []string
@@ -70,6 +71,10 @@ type FSRule struct {
 	// DelayProb/Delay add latency before the operation runs.
 	DelayProb float64
 	Delay     time.Duration
+	// TornProb is the probability a "write" persists only a seeded-random
+	// prefix of the buffer before failing — the torn/short write a power cut
+	// leaves behind. Only meaningful for the write op.
+	TornProb float64
 }
 
 func (r *FSRule) matches(op, path string) bool {
@@ -95,6 +100,8 @@ type Counters struct {
 	Corrupted  atomic.Int64
 	FSErrors   atomic.Int64
 	FSDelays   atomic.Int64
+	// FSTornWrites counts writes that persisted only a prefix before failing.
+	FSTornWrites atomic.Int64
 }
 
 // Injector is the seeded fault source shared by Transport and FS wrappers.
@@ -203,6 +210,7 @@ func (in *Injector) decideHTTP(host, path string) httpDecision {
 // fsDecision is what the FS wrapper should do with one operation.
 type fsDecision struct {
 	err   bool
+	torn  bool // write persists a prefix, then fails (implies err)
 	delay time.Duration
 }
 
@@ -218,6 +226,11 @@ func (in *Injector) decideFS(op, path string) fsDecision {
 		}
 		if r.DelayProb > 0 && r.Delay > 0 && in.rng.Float64() < r.DelayProb {
 			d.delay += r.Delay
+		}
+		if op == "write" && r.TornProb > 0 && in.rng.Float64() < r.TornProb {
+			d.err = true
+			d.torn = true
+			return d
 		}
 		if r.ErrProb > 0 && in.rng.Float64() < r.ErrProb {
 			d.err = true

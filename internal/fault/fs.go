@@ -8,9 +8,9 @@ import (
 
 // FS wraps a fsys.FileSystem and injects errors and latency into its
 // operations — the remote-object-store failure modes (stalled reads, 5xx
-// storms) the Parquet readers and the hive connector must survive. Writes
-// (Create) pass through untouched: chaos runs fault the read path of sealed
-// data.
+// storms) the Parquet readers and the hive connector must survive, plus the
+// write-path failure modes (failed creates, torn/short writes, fsync errors)
+// the ingest WAL must survive.
 type FS struct {
 	Injector *Injector
 	Base     fsys.FileSystem
@@ -59,10 +59,67 @@ func (f *FS) Open(path string) (fsys.File, error) {
 	return &faultFile{fs: f, path: path, File: file}, nil
 }
 
-// Create implements fsys.FileSystem (pass-through).
+// Create implements fsys.FileSystem; the returned writer injects faults into
+// every Write and Sync ("write"/"sync" ops), including torn writes that
+// persist only a seeded-random prefix of the buffer (FSRule.TornProb).
 func (f *FS) Create(path string) (io.WriteCloser, error) {
-	return f.Base.Create(path)
+	if err := f.apply("create", path); err != nil {
+		return nil, err
+	}
+	w, err := f.Base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{fs: f, path: path, w: w}, nil
 }
+
+// faultWriter injects faults into sequential writes and fsyncs.
+type faultWriter struct {
+	fs   *FS
+	path string
+	w    io.WriteCloser
+}
+
+// Write implements io.Writer. A torn decision writes a seeded-random strict
+// prefix of p to the base writer, then reports failure — the caller sees an
+// error, but the prefix is on disk, exactly like a crash mid-write.
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	d := fw.fs.Injector.decideFS("write", fw.path)
+	if d.delay > 0 {
+		fw.fs.Injector.Counters.FSDelays.Add(1)
+		fw.fs.Injector.clock().Sleep(d.delay)
+	}
+	if d.torn && len(p) > 0 {
+		n := fw.fs.Injector.intn(len(p))
+		if n > 0 {
+			if _, werr := fw.w.Write(p[:n]); werr != nil {
+				return 0, werr
+			}
+		}
+		fw.fs.Injector.Counters.FSTornWrites.Add(1)
+		fw.fs.Injector.Counters.FSErrors.Add(1)
+		return n, &InjectedError{Op: "fs-torn-write", Target: fw.path}
+	}
+	if d.err {
+		fw.fs.Injector.Counters.FSErrors.Add(1)
+		return 0, &InjectedError{Op: "fs-write", Target: fw.path}
+	}
+	return fw.w.Write(p)
+}
+
+// Sync implements fsys.Syncer: an injected sync error models fsync returning
+// EIO with the page-cache state unknown.
+func (fw *faultWriter) Sync() error {
+	if err := fw.fs.apply("sync", fw.path); err != nil {
+		return err
+	}
+	return fsys.Sync(fw.w)
+}
+
+// Close implements io.Closer (never faulted: close is the caller's last
+// chance to release the descriptor, and every injected failure mode a close
+// error would model is already covered by write/sync faults).
+func (fw *faultWriter) Close() error { return fw.w.Close() }
 
 // faultFile injects faults into random-access reads.
 type faultFile struct {

@@ -27,6 +27,23 @@ type File interface {
 	Size() int64
 }
 
+// Syncer is implemented by writers that can force buffered data to stable
+// storage. *os.File (what Local.Create returns) satisfies it; wrappers that
+// inject faults or buffer in memory implement it explicitly.
+type Syncer interface {
+	Sync() error
+}
+
+// Sync flushes w to stable storage if it supports it. Writers without a
+// durability boundary (in-memory filesystems) are already "stable"; for them
+// Sync is a no-op success — callers get a uniform durability call site.
+func Sync(w io.Writer) error {
+	if s, ok := w.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 // FileSystem abstracts a (possibly remote) store of immutable files.
 type FileSystem interface {
 	// ListFiles lists the files directly under dir, sorted by path. This is

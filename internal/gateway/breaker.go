@@ -1,0 +1,128 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"prestolite/internal/fault"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe request
+	// is allowed through; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+	// BreakerOpen: the cluster failed repeatedly; requests are refused
+	// locally until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a per-cluster circuit breaker for the gateway's resubmission
+// path. It keeps a repeatedly failing cluster from soaking up resubmission
+// budget: after Threshold consecutive failures the circuit opens and the
+// cluster is skipped outright; after Cooldown one probe is let through, and
+// its outcome decides between closing the circuit and re-opening it.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     fault.Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // half-open: a probe is already in flight
+}
+
+// NewBreaker builds a breaker; threshold < 1 defaults to 3 consecutive
+// failures, cooldown <= 0 to one second.
+func NewBreaker(threshold int, cooldown time.Duration, clock fault.Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if clock == nil {
+		clock = fault.RealClock{}
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Allow reports whether a request may be sent to the cluster now. In the
+// open state it flips to half-open once the cooldown elapses, admitting a
+// single probe; concurrent callers during the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a served request: the circuit closes and the failure
+// count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed request. Threshold consecutive failures open the
+// circuit; a failed half-open probe re-opens it for another full cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.probing = false
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.clock.Now()
+		}
+	default: // already open: nothing to count
+	}
+}
+
+// State returns the current position (open flips to half-open only via
+// Allow, so a quiesced breaker reads open until someone asks to send).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

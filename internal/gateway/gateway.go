@@ -16,12 +16,16 @@
 package gateway
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +55,14 @@ const LeastLoaded = "any"
 // defaultLoadTTL bounds how stale a cached cluster load may be.
 const defaultLoadTTL = 250 * time.Millisecond
 
+// defaultResubmitBudget caps how many times /v1/execute resubmits one
+// idempotent statement onto another cluster before giving up.
+const defaultResubmitBudget = 3
+
+// maxStatementBody bounds the statement document /v1/execute buffers for
+// replay across resubmission attempts.
+const maxStatementBody = 1 << 20
+
 // Gateway routes query traffic.
 type Gateway struct {
 	db *mysqlite.DB
@@ -65,13 +77,29 @@ type Gateway struct {
 	// LoadTTL bounds how stale a cached cluster load may be.
 	LoadTTL time.Duration
 
+	// ResubmitBudget caps per-statement resubmission attempts on the
+	// /v1/execute path (0 = default 3). The budget spends only on
+	// idempotent statements — everything else gets exactly one attempt.
+	ResubmitBudget int
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// cluster's circuit (0 = default 3); BreakerCooldown is how long the
+	// circuit stays open before admitting a probe (0 = default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
 	// loadMu guards the per-cluster outstanding-query cache.
 	loadMu    sync.Mutex
 	loads     map[string]clusterLoad // addr -> last polled load
 	statsHTTP *http.Client
+	stmtHTTP  *http.Client
 
-	obs       *obs.Registry
-	failovers *obs.Counter
+	// breakMu guards the per-cluster circuit breakers (keyed by address).
+	breakMu  sync.Mutex
+	breakers map[string]*Breaker
+
+	obs           *obs.Registry
+	failovers     *obs.Counter
+	resubmissions *obs.Counter
 
 	// clock drives the load-cache TTL checks; injected via ClientConfig so
 	// chaos replay controls gateway staleness decisions too.
@@ -81,6 +109,7 @@ type Gateway struct {
 type clusterLoad struct {
 	outstanding float64
 	saturated   bool // admission queues full: a submission now gets a 429
+	draining    bool // coordinator in graceful drain: refuses new statements
 	fetched     time.Time
 	ok          bool
 }
@@ -120,10 +149,13 @@ func NewWithConfig(cfg cluster.ClientConfig) (*Gateway, error) {
 		LoadTTL:   defaultLoadTTL,
 		loads:     map[string]clusterLoad{},
 		statsHTTP: cfg.StatsHTTPClient(),
+		stmtHTTP:  cfg.StatementHTTPClient(),
+		breakers:  map[string]*Breaker{},
 		clock:     cfg.Clock,
 		obs:       obs.NewRegistry(),
 	}
 	g.failovers = g.obs.Counter("gateway_failovers")
+	g.resubmissions = g.obs.Counter("gateway_resubmissions")
 	g.obs.GaugeFunc("redirects", func() float64 { return float64(g.Redirects.Load()) })
 	return g, nil
 }
@@ -135,9 +167,28 @@ func (g *Gateway) Obs() *obs.Registry { return g.obs }
 // MySQL to dynamically redirect any traffic to any cluster".
 func (g *Gateway) DB() *mysqlite.DB { return g.db }
 
-// AddCluster registers a cluster coordinator address.
+// AddCluster registers a cluster coordinator address, wiring up its circuit
+// breaker and the breaker_state.<name> gauge (0 = closed, 1 = half-open,
+// 2 = open). Re-registering a cluster overwrites the gauge in place.
 func (g *Gateway) AddCluster(name, addr string) error {
-	return g.db.Upsert("clusters", []any{name, addr, int64(1)})
+	if err := g.db.Upsert("clusters", []any{name, addr, int64(1)}); err != nil {
+		return err
+	}
+	b := g.breakerFor(addr)
+	g.obs.GaugeFunc("breaker_state."+name, func() float64 { return float64(b.State()) })
+	return nil
+}
+
+// breakerFor returns (lazily creating) the breaker guarding addr.
+func (g *Gateway) breakerFor(addr string) *Breaker {
+	g.breakMu.Lock()
+	defer g.breakMu.Unlock()
+	b, ok := g.breakers[addr]
+	if !ok {
+		b = NewBreaker(g.BreakerThreshold, g.BreakerCooldown, g.clock)
+		g.breakers[addr] = b
+	}
+	return b
 }
 
 // SetClusterEnabled marks a cluster in or out of rotation.
@@ -214,7 +265,7 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 // 429 + Retry-After).
 func (g *Gateway) healthyAddr(primaryName, primaryAddr string) (string, error) {
 	primary := g.pollCluster(primaryAddr)
-	if primary.ok && !primary.saturated {
+	if primary.ok && !primary.saturated && !primary.draining {
 		return primaryAddr, nil
 	}
 	rows, err := g.db.Scan("clusters", nil, nil, -1)
@@ -232,7 +283,7 @@ func (g *Gateway) healthyAddr(primaryName, primaryAddr string) (string, error) {
 			continue
 		}
 		sawReachable = true
-		if load.saturated {
+		if load.saturated || load.draining {
 			continue
 		}
 		g.failovers.Inc()
@@ -266,7 +317,7 @@ func (g *Gateway) leastLoadedCluster() (string, error) {
 			continue
 		}
 		sawReachable = true
-		if load.saturated {
+		if load.saturated || load.draining {
 			continue
 		}
 		if best == "" || load.outstanding < bestLoad {
@@ -300,6 +351,7 @@ func (g *Gateway) pollCluster(addr string) clusterLoad {
 		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snap) == nil {
 			load.outstanding = snap.Gauges["queries_outstanding"]
 			load.saturated = snap.Gauges["admission_saturated"] > 0
+			load.draining = snap.Gauges["coordinator_draining"] > 0
 			load.ok = true
 		}
 		_ = resp.Body.Close() // best-effort: the load snapshot is already decoded
@@ -320,6 +372,7 @@ func (g *Gateway) Start(addr string) error {
 	g.addr = ln.Addr().String()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/statement", g.handleStatement)
+	mux.HandleFunc("/v1/execute", g.handleExecute)
 	mux.HandleFunc("/v1/stats", g.handleStats)
 	g.http = &http.Server{Handler: mux}
 	go g.http.Serve(ln)
@@ -362,4 +415,207 @@ func (g *Gateway) handleStatement(w http.ResponseWriter, r *http.Request) {
 	}
 	g.Redirects.Add(1)
 	http.Redirect(w, r, "http://"+target+"/v1/statement", http.StatusTemporaryRedirect)
+}
+
+// IsIdempotentStatement reports whether a statement may be replayed on
+// another cluster without risking duplicate effects. Reads (SELECT, WITH)
+// and plan renderings (EXPLAIN) qualify; anything else gets exactly one
+// attempt.
+func IsIdempotentStatement(query string) bool {
+	q := strings.ToUpper(strings.TrimSpace(query))
+	return strings.HasPrefix(q, "SELECT") ||
+		strings.HasPrefix(q, "EXPLAIN") ||
+		strings.HasPrefix(q, "WITH")
+}
+
+// handleExecute is the proxying front end with transparent resubmission:
+// unlike /v1/statement's redirect, the gateway forwards the statement
+// itself, and when the target cluster fails mid-flight for a lifecycle
+// reason — coordinator drain (503 + X-Presto-Retryable) or abrupt process
+// death (transport error) — it replays the identical statement onto the
+// next healthy cluster, bounded by ResubmitBudget. Only idempotent
+// statements resubmit; failures trip the per-cluster circuit breaker so a
+// down cluster stops consuming budget.
+//
+// The §XII.B lesson that a proxying gateway becomes the bottleneck is why
+// /v1/statement (redirect) stays the default path; /v1/execute is for
+// clients that want the gateway to absorb rolling restarts for them.
+func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementBody))
+	if err != nil {
+		http.Error(w, "gateway: reading statement: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req cluster.StatementRequest
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		http.Error(w, "gateway: bad statement request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	user := r.Header.Get("X-Presto-User")
+	group := r.Header.Get("X-Presto-Group")
+
+	attempts := 1
+	if IsIdempotentStatement(req.Query) {
+		budget := g.ResubmitBudget
+		if budget <= 0 {
+			budget = defaultResubmitBudget
+		}
+		attempts = 1 + budget
+	}
+	tried := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		addr, err := g.executeTarget(user, group, tried)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		tried[addr] = true
+		if attempt > 0 {
+			g.resubmissions.Inc()
+		}
+		br := g.breakerFor(addr)
+		status, hdr, respBody, err := g.forward(addr, body, user, group)
+		if err != nil {
+			// Transport failure: the coordinator process is gone or
+			// unreachable. Trip the breaker and resubmit elsewhere.
+			br.Failure()
+			lastErr = fmt.Errorf("cluster %s: %w", addr, err)
+			continue
+		}
+		if status == http.StatusOK {
+			br.Success()
+			w.Header().Set("Content-Type", "application/x-gob")
+			_, _ = w.Write(respBody) // best-effort: client hung up mid-result
+			return
+		}
+		if status == http.StatusServiceUnavailable && hdr.Get("X-Presto-Retryable") == "true" {
+			// The coordinator refused for lifecycle reasons (drain): safe to
+			// replay verbatim on the next cluster.
+			br.Failure()
+			lastErr = fmt.Errorf("cluster %s: %s", addr, strings.TrimSpace(string(respBody)))
+			continue
+		}
+		// The coordinator answered with a verdict on the statement itself
+		// (planning error, admission 429): relay it verbatim — resubmitting
+		// would not change it, and it is not the cluster's fault.
+		if ra := hdr.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write(respBody) // best-effort error relay
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	msg := "gateway: statement could not be placed on any cluster"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// executeTarget picks the next cluster for one /v1/execute attempt: the
+// routed target first, then the remaining enabled clusters in name order —
+// skipping already-tried addresses, open circuit breakers, and clusters
+// whose health poll says unreachable, saturated or draining.
+func (g *Gateway) executeTarget(user, group string, tried map[string]bool) (string, error) {
+	if addr, err := g.Resolve(user, group); err == nil && !tried[addr] && g.breakerFor(addr).Allow() {
+		return addr, nil
+	}
+	rows, err := g.db.Scan("clusters", nil, nil, -1)
+	if err != nil {
+		return "", err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].(string) < rows[j][0].(string) })
+	for _, row := range rows {
+		if row[2].(int64) == 0 {
+			continue
+		}
+		addr := row[1].(string)
+		if tried[addr] {
+			continue
+		}
+		load := g.pollCluster(addr)
+		if !load.ok || load.saturated || load.draining {
+			continue
+		}
+		// Breaker last: Allow on an open circuit consumes the half-open
+		// probe slot, so only ask once the cluster already looks usable.
+		if !g.breakerFor(addr).Allow() {
+			continue
+		}
+		return addr, nil
+	}
+	return "", fmt.Errorf("gateway: no healthy cluster left to try")
+}
+
+// forward replays the statement document against one coordinator.
+func (g *Gateway) forward(addr string, body []byte, user, group string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/statement", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-gob")
+	req.Header.Set("X-Presto-User", user)
+	req.Header.Set("X-Presto-Group", group)
+	resp, err := g.stmtHTTP.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// Client executes statements through the gateway's proxying /v1/execute
+// endpoint, letting the gateway absorb coordinator drains and deaths via
+// transparent resubmission. (cluster.Client against /v1/statement remains
+// the redirect-following path.)
+type Client struct {
+	Addr string
+	HTTP *http.Client
+}
+
+// NewClient targets a gateway with the default client configuration.
+func NewClient(addr string) *Client {
+	cfg := cluster.DefaultClientConfig()
+	return &Client{Addr: addr, HTTP: cfg.StatementHTTPClient()}
+}
+
+// Execute runs one statement via the gateway, carrying the identity headers
+// routing keys on.
+func (cl *Client) Execute(req cluster.StatementRequest, user, group string) (*cluster.QueryResult, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, "http://"+cl.Addr+"/v1/execute", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/x-gob")
+	httpReq.Header.Set("X-Presto-User", user)
+	httpReq.Header.Set("X-Presto-Group", group)
+	hc := cl.HTTP
+	if hc == nil {
+		def := cluster.DefaultClientConfig()
+		hc = def.StatementHTTPClient()
+	}
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) // best-effort error detail
+		return nil, fmt.Errorf("execute failed (status %d): %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var out cluster.QueryResult
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

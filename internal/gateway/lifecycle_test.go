@@ -1,0 +1,237 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prestolite/internal/cluster"
+	"prestolite/internal/fault"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	clock := fault.NewManualClock(time.Unix(1000, 0))
+	b := NewBreaker(2, time.Second, clock)
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("fresh breaker must be closed and allowing")
+	}
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("one failure below threshold must not open")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold failures must open the circuit")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before the cooldown")
+	}
+
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: one probe must be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be in flight during half-open")
+	}
+
+	// Failed probe: re-open for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe must re-open the circuit")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: probe again")
+	}
+	// Successful probe closes it, and the failure count starts over.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe must close the circuit")
+	}
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count must reset on close")
+	}
+}
+
+func TestIsIdempotentStatement(t *testing.T) {
+	for _, q := range []string{
+		"SELECT 1",
+		"  select cluster FROM whoami",
+		"EXPLAIN SELECT 1",
+		"WITH t AS (SELECT 1) SELECT * FROM t",
+	} {
+		if !IsIdempotentStatement(q) {
+			t.Errorf("%q should be idempotent", q)
+		}
+	}
+	for _, q := range []string{"INSERT INTO t VALUES (1)", "DROP TABLE t", ""} {
+		if IsIdempotentStatement(q) {
+			t.Errorf("%q should not be idempotent", q)
+		}
+	}
+}
+
+// TestExecuteResubmitsAcrossDrain: the routed cluster enters its graceful
+// drain mid-window — after the gateway's health poll cached it as healthy —
+// so the statement lands on the draining coordinator, bounces with the
+// retryable 503, and /v1/execute replays it onto the other cluster. The
+// client sees rows, not an error; gateway_resubmissions and the drained
+// cluster's breaker record the event.
+func TestExecuteResubmitsAcrossDrain(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	// Freeze the load cache: the drain below must stay invisible to the
+	// health poll, forcing the resubmission path (rather than the routing
+	// failover) to absorb it.
+	gw.LoadTTL = time.Hour
+	cl := NewClient(gw.Addr())
+	prime := cluster.StatementRequest{Query: "SELECT cluster FROM whoami", Catalog: "memory", Schema: "meta", User: "alice"}
+	if _, err := cl.Execute(prime, "alice", ""); err != nil {
+		t.Fatalf("priming execute: %v", err)
+	}
+
+	// Drain alice's dedicated cluster. DrainGrace is irrelevant here (no
+	// in-flight queries); the latch flips before GracefulDrain returns.
+	dedicated.DrainGrace = 10 * time.Millisecond
+	if err := dedicated.GracefulDrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Execute(cluster.StatementRequest{
+		Query:   "SELECT cluster FROM whoami",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    "alice",
+	}, "alice", "")
+	if err != nil {
+		t.Fatalf("execute during drain: %v", err)
+	}
+	rows, err := res.Rows()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	if got := rows[0][0].(string); got != "shared" {
+		t.Fatalf("served by %q, want the shared cluster", got)
+	}
+	snap := gw.Obs().Snapshot()
+	if snap.Counters["gateway_resubmissions"] < 1 {
+		t.Fatalf("gateway_resubmissions = %d, want >= 1", snap.Counters["gateway_resubmissions"])
+	}
+	if _, ok := snap.Gauges["breaker_state.dedicated"]; !ok {
+		t.Fatal("breaker_state.dedicated gauge missing")
+	}
+}
+
+// TestExecuteDoesNotResubmitNonIdempotent: a statement that could have side
+// effects gets exactly one attempt — a draining target means an error, not
+// a silent replay.
+func TestExecuteDoesNotResubmitNonIdempotent(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	dedicated.DrainGrace = 10 * time.Millisecond
+	if err := dedicated.GracefulDrain(); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(gw.Addr())
+	_, err := cl.Execute(cluster.StatementRequest{
+		Query:   "INSERT INTO whoami VALUES ('x')",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    "alice",
+	}, "alice", "")
+	if err == nil {
+		t.Fatal("non-idempotent statement against a draining cluster must fail")
+	}
+	if got := gw.Obs().Snapshot().Counters["gateway_resubmissions"]; got != 0 {
+		t.Fatalf("gateway_resubmissions = %d, want 0", got)
+	}
+}
+
+// TestExecuteRelaysStatementErrors: a planning error from the coordinator is
+// the statement's own fault — relayed verbatim, never resubmitted, and it
+// does not trip the breaker.
+func TestExecuteRelaysStatementErrors(t *testing.T) {
+	gw, dedicated, _ := newGateway(t)
+	cl := NewClient(gw.Addr())
+	_, err := cl.Execute(cluster.StatementRequest{
+		Query:   "SELECT FROM FROM FROM",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    "alice",
+	}, "alice", "")
+	if err == nil {
+		t.Fatal("syntax error must surface")
+	}
+	if !strings.Contains(err.Error(), "status 400") {
+		t.Fatalf("error = %v, want the coordinator's 400 relayed", err)
+	}
+	if got := gw.Obs().Snapshot().Counters["gateway_resubmissions"]; got != 0 {
+		t.Fatalf("gateway_resubmissions = %d, want 0", got)
+	}
+	if gw.breakerFor(dedicated.Addr()).State() != BreakerClosed {
+		t.Fatal("a statement error must not trip the cluster's breaker")
+	}
+}
+
+// TestExecuteBreakerOpensOnDeadCluster: repeated transport failures against
+// a killed coordinator open its circuit, and while it is open the gateway
+// stops offering that cluster resubmission attempts.
+func TestExecuteBreakerOpensOnDeadCluster(t *testing.T) {
+	dedicated := startCluster(t, "dedicated")
+	shared := startCluster(t, "shared")
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breaker knobs must be set before AddCluster creates the breakers.
+	gw.BreakerThreshold = 3
+	gw.BreakerCooldown = time.Hour // stays open for the rest of the test
+	gw.LoadTTL = time.Hour         // death below stays invisible to health polls
+	for _, c := range [][2]string{{"dedicated", dedicated.Addr()}, {"shared", shared.Addr()}} {
+		if err := gw.AddCluster(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.SetRoute("user:alice", "dedicated"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.SetRoute("default", "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+
+	cl := NewClient(gw.Addr())
+	req := cluster.StatementRequest{Query: "SELECT cluster FROM whoami", Catalog: "memory", Schema: "meta", User: "alice"}
+	// Prime the health cache while the cluster is alive, then kill it.
+	if _, err := cl.Execute(req, "alice", ""); err != nil {
+		t.Fatalf("priming execute: %v", err)
+	}
+	deadAddr := dedicated.Addr()
+	dedicated.Close() // simulated SIGKILL: connection refused from now on
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Execute(req, "alice", ""); err != nil {
+			t.Fatalf("execute %d: %v (the shared cluster should absorb it)", i, err)
+		}
+	}
+	if st := gw.breakerFor(deadAddr).State(); st != BreakerOpen {
+		t.Fatalf("dead cluster breaker = %v, want open", st)
+	}
+	// With the circuit open the routed target is skipped up front: the next
+	// statement should not spend a resubmission on the corpse.
+	before := gw.Obs().Snapshot().Counters["gateway_resubmissions"]
+	if _, err := cl.Execute(req, "alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	after := gw.Obs().Snapshot().Counters["gateway_resubmissions"]
+	if after != before {
+		t.Fatalf("resubmissions grew %d -> %d: open breaker must preempt the doomed attempt", before, after)
+	}
+}

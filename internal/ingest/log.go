@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"prestolite/internal/fsys"
+	"prestolite/internal/obs"
 )
 
 // Record is one offset-addressed log entry: an event timestamp, an optional
@@ -22,8 +25,11 @@ type Record struct {
 }
 
 // Log is the in-process broker: a set of named topics plus per-group
-// committed offsets.
+// committed offsets. A durable log (NewDurableLog) additionally writes every
+// append, topic creation and commit through a WAL before the in-memory state
+// changes, and rebuilds all three from the WAL on restart.
 type Log struct {
+	wal       *WAL // nil for a memory-only log
 	mu        sync.RWMutex
 	topics    map[string]*Topic
 	committed map[groupKey]int64 // next offset to consume
@@ -35,12 +41,94 @@ type groupKey struct {
 	partition int
 }
 
-// NewLog creates an empty broker.
+// NewLog creates an empty memory-only broker: process death loses
+// everything. Use NewDurableLog for the crash-safe variant.
 func NewLog() *Log {
 	return &Log{topics: map[string]*Topic{}, committed: map[groupKey]int64{}}
 }
 
-// CreateTopic registers a topic with the given partition count.
+// NewDurableLog opens (or creates) a write-ahead-logged broker rooted at
+// cfg.Dir within fs. Existing WAL files are replayed first: topics,
+// partition contents and consumer-group committed offsets all survive
+// process death, with torn tails left by a crash mid-write truncated to the
+// longest valid frame prefix. The recovered state is immediately writable —
+// new appends go to fresh segment files, never past a possibly-torn tail.
+func NewDurableLog(fs fsys.FileSystem, cfg WALConfig) (*Log, error) {
+	l := NewLog()
+	l.wal = newWAL(fs, cfg)
+	if err := l.wal.recover(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// WAL exposes the durability layer (nil for a memory-only log) for stats and
+// metric registration.
+func (l *Log) WAL() *WAL { return l.wal }
+
+// RegisterObsMetrics publishes the WAL durability metrics; a no-op for a
+// memory-only log. Implements obs.MetricsSource.
+func (l *Log) RegisterObsMetrics(reg *obs.Registry) {
+	if l.wal != nil {
+		l.wal.RegisterObsMetrics(reg)
+	}
+}
+
+// SyncWAL forces every buffered WAL frame to stable storage — the durability
+// barrier callers need before reporting a batch acked under FsyncInterval or
+// FsyncNever.
+func (l *Log) SyncWAL() error {
+	if l.wal == nil {
+		return nil
+	}
+	if err := l.wal.syncStreams(); err != nil {
+		return err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var first error
+	for _, t := range l.topics {
+		for p := range t.parts {
+			part := &t.parts[p]
+			part.mu.Lock()
+			if part.seg != nil {
+				if err := part.seg.sync(); err != nil && first == nil {
+					first = err
+				}
+			}
+			part.mu.Unlock()
+		}
+	}
+	return first
+}
+
+// Close syncs and closes every WAL file. The log remains readable but
+// further durable appends reopen fresh files; callers treat Close as
+// end-of-life.
+func (l *Log) Close() error {
+	if l.wal == nil {
+		return nil
+	}
+	first := l.wal.closeStreams()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, t := range l.topics {
+		for p := range t.parts {
+			part := &t.parts[p]
+			part.mu.Lock()
+			if part.seg != nil {
+				if err := part.seg.close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			part.mu.Unlock()
+		}
+	}
+	return first
+}
+
+// CreateTopic registers a topic with the given partition count. On a durable
+// log the creation is WAL-logged (and fsynced) before it takes effect.
 func (l *Log) CreateTopic(name string, partitions int) (*Topic, error) {
 	if partitions <= 0 {
 		return nil, fmt.Errorf("ingest: topic %q needs at least one partition", name)
@@ -50,9 +138,30 @@ func (l *Log) CreateTopic(name string, partitions int) (*Topic, error) {
 	if _, exists := l.topics[name]; exists {
 		return nil, fmt.Errorf("ingest: topic %q already exists", name)
 	}
-	t := &Topic{name: name, parts: make([]partition, partitions)}
+	if l.wal != nil {
+		if err := l.wal.appendTopic(name, partitions); err != nil {
+			return nil, err
+		}
+	}
+	t := &Topic{name: name, parts: make([]partition, partitions), wal: l.wal}
 	l.topics[name] = t
 	return t, nil
+}
+
+// EnsureTopic returns the existing topic or creates it — the idempotent
+// variant restart flows use, since recovery may have rebuilt the topic
+// already. An existing topic with a different partition count is an error.
+func (l *Log) EnsureTopic(name string, partitions int) (*Topic, error) {
+	l.mu.RLock()
+	t, ok := l.topics[name]
+	l.mu.RUnlock()
+	if ok {
+		if t.Partitions() != partitions {
+			return nil, fmt.Errorf("ingest: topic %q has %d partitions, want %d", name, t.Partitions(), partitions)
+		}
+		return t, nil
+	}
+	return l.CreateTopic(name, partitions)
 }
 
 // Topic resolves a topic by name.
@@ -68,14 +177,24 @@ func (l *Log) Topic(name string) (*Topic, error) {
 
 // Commit records that group has consumed topic/partition up to (but not
 // including) offset — Kafka semantics: the committed offset is the next
-// record to read.
-func (l *Log) Commit(group, topic string, partition int, offset int64) {
+// record to read. On a durable log the commit is WAL-logged first; on
+// failure the in-memory offset does not advance, so the consumer refetches
+// and retries (downstream delivery must dedup, which the segment writer does
+// via the druid source watermark).
+func (l *Log) Commit(group, topic string, partition int, offset int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	k := groupKey{group, topic, partition}
-	if offset > l.committed[k] {
-		l.committed[k] = offset
+	if offset <= l.committed[k] {
+		return nil // stale or duplicate commit: monotonic max wins
 	}
+	if l.wal != nil {
+		if err := l.wal.appendCommit(group, topic, partition, offset); err != nil {
+			return err
+		}
+	}
+	l.committed[k] = offset
+	return nil
 }
 
 // Committed returns the group's committed offset for a partition (0 when
@@ -106,12 +225,14 @@ func (l *Log) Lag(group, topic string) int64 {
 type Topic struct {
 	name  string
 	parts []partition
+	wal   *WAL // nil for a memory-only log
 }
 
 // partition is one append-only record sequence with its own offset space.
 type partition struct {
 	mu   sync.RWMutex
 	recs []Record
+	seg  *walStream // durable segment stream; nil for a memory-only log
 }
 
 // Partitions returns the partition count.
@@ -121,7 +242,11 @@ func (t *Topic) Partitions() int { return len(t.parts) }
 func (t *Topic) Name() string { return t.name }
 
 // Append adds records to partition p, assigning consecutive offsets, and
-// returns the offset of the first appended record.
+// returns the offset of the first appended record. On a durable log the
+// batch is WAL-framed (and fsynced per policy) before it becomes readable;
+// a WAL failure rejects the whole batch, the in-memory partition is
+// untouched, and the producer may retry — recovery keeps the first copy of
+// any offset, so a retried batch never duplicates.
 func (t *Topic) Append(p int, recs ...Record) (int64, error) {
 	if p < 0 || p >= len(t.parts) {
 		return 0, fmt.Errorf("ingest: topic %q has no partition %d", t.name, p)
@@ -132,6 +257,18 @@ func (t *Topic) Append(p int, recs ...Record) (int64, error) {
 	base := int64(len(part.recs))
 	for i := range recs {
 		recs[i].Offset = base + int64(i)
+	}
+	if t.wal != nil && len(recs) > 0 {
+		if part.seg == nil {
+			part.seg = t.wal.segmentStream(t.name, p, 0)
+		}
+		payload, err := encodeBatch(recs)
+		if err != nil {
+			return 0, err
+		}
+		if err := part.seg.append(payload, false); err != nil {
+			return 0, err
+		}
 	}
 	part.recs = append(part.recs, recs...)
 	return base, nil

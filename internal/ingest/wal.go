@@ -1,0 +1,746 @@
+// Write-ahead log: the durability layer under the append log. Every record
+// batch, topic creation and offset commit is framed (length + CRC32) into
+// segment files on a fsys.FileSystem before the in-memory state changes, so
+// process death loses nothing that was acked. Recovery replays the frames —
+// truncating torn tails left by a crash mid-write — and rebuilds topics,
+// partition contents and consumer-group committed offsets. Files are written
+// once and never appended across restarts (the FileSystem SPI has no append):
+// each restart bumps an epoch and rotation opens fresh segments, so a
+// possibly-torn tail is never written past.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	iofs "io/fs"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prestolite/internal/fault"
+	"prestolite/internal/fsys"
+	"prestolite/internal/obs"
+)
+
+// FsyncPolicy selects when the WAL forces frames to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: an acked record is durable.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per WALConfig.FsyncEvery: acked
+	// records inside the window can be lost to a crash (group commit).
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS: fastest, weakest.
+	FsyncNever
+)
+
+// WALConfig tunes the write-ahead log.
+type WALConfig struct {
+	// Dir is the directory (within the FileSystem) holding WAL files
+	// (default "wal").
+	Dir string
+	// SegmentBytes rotates a partition's segment file once it exceeds this
+	// size (default 1 MiB).
+	SegmentBytes int64
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval cadence (default 50ms).
+	FsyncEvery time.Duration
+	// Clock times interval syncs (default real time); chaos replay injects a
+	// fault.ManualClock.
+	Clock fault.Clock
+}
+
+func (c WALConfig) withDefaults() WALConfig {
+	if c.Dir == "" {
+		c.Dir = "wal"
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = fault.RealClock{}
+	}
+	return c
+}
+
+// WALStats is the recovery and durability census of one WAL.
+type WALStats struct {
+	Fsyncs             int64
+	RecoveredRecords   int64
+	RecoveredTopics    int64
+	TruncatedTailBytes int64
+}
+
+// WAL owns the durable files behind a Log. All appends go through it before
+// the in-memory structures change.
+type WAL struct {
+	fs  fsys.FileSystem
+	cfg WALConfig
+
+	fsyncs             atomic.Int64
+	recoveredRecords   atomic.Int64
+	recoveredTopics    atomic.Int64
+	truncatedTailBytes atomic.Int64
+
+	// mu guards the manifest and offsets streams (segment streams are owned
+	// by their partition and serialized by the partition lock).
+	mu       sync.Mutex
+	epoch    int
+	manifest *walStream
+	offsets  *walStream
+}
+
+func newWAL(fs fsys.FileSystem, cfg WALConfig) *WAL {
+	return &WAL{fs: fs, cfg: cfg.withDefaults()}
+}
+
+// Stats snapshots the WAL's counters.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Fsyncs:             w.fsyncs.Load(),
+		RecoveredRecords:   w.recoveredRecords.Load(),
+		RecoveredTopics:    w.recoveredTopics.Load(),
+		TruncatedTailBytes: w.truncatedTailBytes.Load(),
+	}
+}
+
+// RegisterObsMetrics publishes the WAL's durability metrics as computed
+// gauges over its internal atomics. Implements obs.MetricsSource.
+func (w *WAL) RegisterObsMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("wal_fsyncs", func() float64 { return float64(w.fsyncs.Load()) })
+	reg.GaugeFunc("wal_recovered_records", func() float64 { return float64(w.recoveredRecords.Load()) })
+	reg.GaugeFunc("wal_truncated_tail_bytes", func() float64 { return float64(w.truncatedTailBytes.Load()) })
+}
+
+// ---------------------------------------------------------------------------
+// Frame format: [len uint32 LE][crc32(payload) uint32 LE][payload]. A frame
+// is written with a single Write call, so a torn write can only leave a
+// partial frame — never interleave two.
+
+const frameHeader = 8
+
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// nextFrame extracts the first frame of b, returning the payload and total
+// bytes consumed. ok is false on a short or corrupt frame — the torn tail a
+// crash leaves behind.
+func nextFrame(b []byte) (payload []byte, n int, ok bool) {
+	if len(b) < frameHeader {
+		return nil, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if len(b) < frameHeader+plen {
+		return nil, 0, false
+	}
+	payload = b[frameHeader : frameHeader+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:8]) {
+		return nil, 0, false
+	}
+	return payload, frameHeader + plen, true
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Row cells carry a one-byte type tag so the decoded value
+// has the exact Go type the producer appended (the druid store type-checks
+// cells strictly).
+
+const (
+	valNil byte = iota
+	valBool
+	valInt64
+	valFloat64
+	valString
+	valBytes
+	valTime
+)
+
+func appendCell(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, valNil), nil
+	case bool:
+		dst = append(dst, valBool)
+		if x {
+			return append(dst, 1), nil
+		}
+		return append(dst, 0), nil
+	case int64:
+		dst = append(dst, valInt64)
+		return binary.AppendVarint(dst, x), nil
+	case float64:
+		dst = append(dst, valFloat64)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		return append(dst, buf[:]...), nil
+	case string:
+		dst = append(dst, valString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case []byte:
+		dst = append(dst, valBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case time.Time:
+		dst = append(dst, valTime)
+		return binary.AppendVarint(dst, x.UnixNano()), nil
+	default:
+		return nil, fmt.Errorf("ingest: wal cannot encode cell of type %T", v)
+	}
+}
+
+// payloadReader is a cursor over one frame payload; the first decode error
+// sticks.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ingest: wal payload: truncated %s", what)
+	}
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *payloadReader) byteVal() byte {
+	b := r.bytes(1)
+	if len(b) != 1 {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *payloadReader) str() string { return string(r.bytes(int(r.uvarint()))) }
+
+func (r *payloadReader) cell() any {
+	switch tag := r.byteVal(); tag {
+	case valNil:
+		return nil
+	case valBool:
+		return r.byteVal() != 0
+	case valInt64:
+		return r.varint()
+	case valFloat64:
+		b := r.bytes(8)
+		if len(b) != 8 {
+			return nil
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	case valString:
+		return r.str()
+	case valBytes:
+		return append([]byte(nil), r.bytes(int(r.uvarint()))...)
+	case valTime:
+		return time.Unix(0, r.varint())
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("ingest: wal payload: unknown cell tag %d", tag)
+		}
+		return nil
+	}
+}
+
+// encodeBatch frames one Topic.Append batch: record count, then per record
+// offset, event time, key and tagged row cells.
+func encodeBatch(recs []Record) ([]byte, error) {
+	dst := binary.AppendUvarint(nil, uint64(len(recs)))
+	for _, rec := range recs {
+		dst = binary.AppendUvarint(dst, uint64(rec.Offset))
+		dst = binary.AppendVarint(dst, rec.Time.UnixNano())
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Key)))
+		dst = append(dst, rec.Key...)
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Row)))
+		for _, cell := range rec.Row {
+			var err error
+			dst, err = appendCell(dst, cell)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+func decodeBatch(payload []byte) ([]Record, error) {
+	r := &payloadReader{b: payload}
+	n := r.uvarint()
+	recs := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec Record
+		rec.Offset = int64(r.uvarint())
+		rec.Time = time.Unix(0, r.varint())
+		rec.Key = r.str()
+		cells := r.uvarint()
+		if cells > 0 {
+			rec.Row = make([]any, cells)
+			for c := range rec.Row {
+				rec.Row[c] = r.cell()
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func encodeTopic(name string, partitions int) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(name)))
+	dst = append(dst, name...)
+	return binary.AppendUvarint(dst, uint64(partitions))
+}
+
+func decodeTopic(payload []byte) (name string, partitions int, err error) {
+	r := &payloadReader{b: payload}
+	name = r.str()
+	partitions = int(r.uvarint())
+	return name, partitions, r.err
+}
+
+func encodeOffset(group, topic string, partition int, offset int64) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(group)))
+	dst = append(dst, group...)
+	dst = binary.AppendUvarint(dst, uint64(len(topic)))
+	dst = append(dst, topic...)
+	dst = binary.AppendUvarint(dst, uint64(partition))
+	return binary.AppendUvarint(dst, uint64(offset))
+}
+
+func decodeOffset(payload []byte) (group, topic string, partition int, offset int64, err error) {
+	r := &payloadReader{b: payload}
+	group = r.str()
+	topic = r.str()
+	partition = int(r.uvarint())
+	offset = int64(r.uvarint())
+	return group, topic, partition, offset, r.err
+}
+
+// ---------------------------------------------------------------------------
+// walStream: one logical append stream over a sequence of write-once files.
+
+// walStream appends frames to the current file of a rotating sequence. A
+// failed write or sync poisons the current file (its tail may hold a torn
+// frame); the next append rotates to a fresh file, so recovery — which stops
+// a file's replay at the first corrupt frame — resumes with the frames
+// written after the failure. Not safe for concurrent use: the owner
+// (partition lock or WAL.mu) serializes.
+type walStream struct {
+	wal      *WAL
+	nameFor  func(seq int) string
+	seq      int // last file sequence used (next rotation opens seq+1)
+	w        io.WriteCloser
+	size     int64
+	rotateAt int64 // rotate when size exceeds this; 0 = never by size
+	poisoned bool
+	dirty    bool
+	lastSync time.Time
+}
+
+func (s *walStream) append(payload []byte, forceSync bool) error {
+	if s.w == nil || s.poisoned || (s.rotateAt > 0 && s.size >= s.rotateAt) {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	n, err := s.w.Write(frame)
+	s.size += int64(n)
+	if n > 0 {
+		s.dirty = true
+	}
+	if err != nil {
+		s.poisoned = true
+		return err
+	}
+	if forceSync {
+		return s.sync()
+	}
+	switch s.wal.cfg.Fsync {
+	case FsyncAlways:
+		return s.sync()
+	case FsyncInterval:
+		if now := s.wal.cfg.Clock.Now(); now.Sub(s.lastSync) >= s.wal.cfg.FsyncEvery {
+			return s.sync()
+		}
+	}
+	return nil
+}
+
+// sync forces buffered frames to stable storage. A sync error poisons the
+// file: fsync failure leaves the on-disk state unknown, so the stream never
+// writes past it.
+func (s *walStream) sync() error {
+	if s.w == nil || !s.dirty {
+		return nil
+	}
+	if err := fsys.Sync(s.w); err != nil {
+		s.poisoned = true
+		return err
+	}
+	s.dirty = false
+	s.lastSync = s.wal.cfg.Clock.Now()
+	s.wal.fsyncs.Add(1)
+	return nil
+}
+
+// rotate closes the current file and opens the next in sequence.
+func (s *walStream) rotate() error {
+	if s.w != nil {
+		syncErr := s.sync()
+		closeErr := s.w.Close()
+		s.w = nil
+		// A poisoned file is being abandoned: its sync/close failures are
+		// the fault we are rotating away from, not new ones to report.
+		if !s.poisoned {
+			if syncErr != nil {
+				return syncErr
+			}
+			if closeErr != nil {
+				return closeErr
+			}
+		}
+	}
+	w, err := s.wal.fs.Create(s.nameFor(s.seq + 1))
+	if err != nil {
+		return err
+	}
+	s.seq++
+	s.w = w
+	s.size = 0
+	s.poisoned = false
+	s.dirty = false
+	return nil
+}
+
+// close syncs and closes the current file.
+func (s *walStream) close() error {
+	if s.w == nil {
+		return nil
+	}
+	syncErr := s.sync()
+	closeErr := s.w.Close()
+	s.w = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// ---------------------------------------------------------------------------
+// Stream construction and WAL-level appends.
+
+func (w *WAL) manifestName(seq int) string {
+	return fmt.Sprintf("%s/topics-%06d-%06d.log", w.cfg.Dir, w.epoch, seq)
+}
+
+func (w *WAL) offsetsName(seq int) string {
+	return fmt.Sprintf("%s/offsets-%06d-%06d.log", w.cfg.Dir, w.epoch, seq)
+}
+
+func (w *WAL) segmentName(topic string, p, seq int) string {
+	return fmt.Sprintf("%s/t/%s/%d/seg-%06d.log", w.cfg.Dir, topic, p, seq)
+}
+
+// segmentStream creates the stream for one partition, continuing the file
+// sequence after the last recovered segment.
+func (w *WAL) segmentStream(topic string, p, lastSeq int) *walStream {
+	return &walStream{
+		wal:      w,
+		nameFor:  func(seq int) string { return w.segmentName(topic, p, seq) },
+		seq:      lastSeq,
+		rotateAt: w.cfg.SegmentBytes,
+	}
+}
+
+// appendTopic durably records a topic creation (always synced: rare and
+// load-bearing — losing it orphans every segment under the topic).
+func (w *WAL) appendTopic(name string, partitions int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.manifest == nil {
+		w.manifest = &walStream{wal: w, nameFor: w.manifestName}
+	}
+	return w.manifest.append(encodeTopic(name, partitions), true)
+}
+
+// appendCommit durably records a consumer-group offset commit under the
+// configured fsync policy.
+func (w *WAL) appendCommit(group, topic string, partition int, offset int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.offsets == nil {
+		w.offsets = &walStream{wal: w, nameFor: w.offsetsName, rotateAt: w.cfg.SegmentBytes}
+	}
+	return w.offsets.append(encodeOffset(group, topic, partition, offset), false)
+}
+
+// closeStreams syncs and closes the manifest and offsets streams (partition
+// streams are closed by Log.Close under their partition locks).
+func (w *WAL) closeStreams() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for _, s := range []*walStream{w.manifest, w.offsets} {
+		if s == nil {
+			continue
+		}
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sync forces every buffered frame of the manifest and offsets streams to
+// stable storage (partition streams sync through Log.SyncWAL, which holds
+// the partition locks).
+func (w *WAL) syncStreams() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var first error
+	for _, s := range []*walStream{w.manifest, w.offsets} {
+		if s == nil {
+			continue
+		}
+		if err := s.sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+// recover rebuilds l's topics, partition records and committed offsets from
+// the WAL directory, then positions the WAL to write a fresh epoch.
+func (w *WAL) recover(l *Log) error {
+	files, err := w.fs.ListFiles(w.cfg.Dir)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			w.epoch = 1
+			return nil // fresh WAL: nothing to replay
+		}
+		return fmt.Errorf("ingest: wal recovery: %w", err)
+	}
+	maxEpoch := 0
+	var topicFiles, offsetFiles []fsys.FileInfo
+	for _, fi := range files {
+		base := fi.Path[strings.LastIndexByte(fi.Path, '/')+1:]
+		var epoch, seq int
+		switch {
+		case parseWALName(base, "topics", &epoch, &seq):
+			topicFiles = append(topicFiles, fi)
+		case parseWALName(base, "offsets", &epoch, &seq):
+			offsetFiles = append(offsetFiles, fi)
+		default:
+			continue
+		}
+		if epoch > maxEpoch {
+			maxEpoch = epoch
+		}
+	}
+	// Topics first: segment and offset replay need the topology. ListFiles
+	// returns sorted paths, so zero-padded epoch/seq replay in write order.
+	for _, fi := range topicFiles {
+		err := w.replayFile(fi, func(payload []byte) error {
+			name, partitions, err := decodeTopic(payload)
+			if err != nil {
+				return err
+			}
+			if _, ok := l.topics[name]; ok {
+				return nil // re-announced by a later epoch
+			}
+			t := &Topic{name: name, parts: make([]partition, partitions), wal: w}
+			l.topics[name] = t
+			w.recoveredTopics.Add(1)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Partition contents.
+	for _, t := range l.topics {
+		for p := range t.parts {
+			if err := w.recoverPartition(t, p); err != nil {
+				return err
+			}
+		}
+	}
+	// Committed offsets: max wins, so cross-file replay order is irrelevant.
+	for _, fi := range offsetFiles {
+		err := w.replayFile(fi, func(payload []byte) error {
+			group, topic, partition, offset, err := decodeOffset(payload)
+			if err != nil {
+				return err
+			}
+			k := groupKey{group, topic, partition}
+			if offset > l.committed[k] {
+				l.committed[k] = offset
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w.epoch = maxEpoch + 1
+	return nil
+}
+
+// recoverPartition replays a partition's segment files in sequence order,
+// accepting each record whose offset continues the rebuilt log. Duplicate
+// offsets (a batch re-appended after an unacked write) keep the first copy;
+// an offset gap ends the replay — everything after a hole is unreachable.
+func (w *WAL) recoverPartition(t *Topic, p int) error {
+	dir := fmt.Sprintf("%s/t/%s/%d", w.cfg.Dir, t.name, p)
+	files, err := w.fs.ListFiles(dir)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			t.parts[p].seg = w.segmentStream(t.name, p, 0)
+			return nil
+		}
+		return fmt.Errorf("ingest: wal recovery: %w", err)
+	}
+	part := &t.parts[p]
+	lastSeq := 0
+	for _, fi := range files {
+		base := fi.Path[strings.LastIndexByte(fi.Path, '/')+1:]
+		var seq int
+		if _, err := fmt.Sscanf(base, "seg-%06d.log", &seq); err != nil {
+			continue
+		}
+		if seq > lastSeq {
+			lastSeq = seq
+		}
+		err := w.replayFile(fi, func(payload []byte) error {
+			recs, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				switch next := int64(len(part.recs)); {
+				case rec.Offset == next:
+					part.recs = append(part.recs, rec)
+					w.recoveredRecords.Add(1)
+				case rec.Offset < next:
+					// First copy wins: a duplicate is a batch retried after
+					// an unacked (but possibly persisted) write.
+				default:
+					// A hole before this record: nothing after it in this
+					// file can be contiguous either. Later files still
+					// replay — a retried batch there may fill the sequence.
+					return errStopReplay
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	part.seg = w.segmentStream(t.name, p, lastSeq)
+	return nil
+}
+
+// errStopReplay aborts a file replay without failing recovery.
+var errStopReplay = errors.New("ingest: stop replay")
+
+// replayFile reads one WAL file and feeds each valid frame to fn. Replay
+// stops at the first corrupt or short frame — the torn tail — and the
+// skipped bytes are counted as truncated. Decode failures inside a
+// CRC-valid frame are corruption too (flipped bits can collide CRC32).
+func (w *WAL) replayFile(fi fsys.FileInfo, fn func(payload []byte) error) error {
+	f, err := w.fs.Open(fi.Path)
+	if err != nil {
+		return fmt.Errorf("ingest: wal recovery: %w", err)
+	}
+	defer func() { _ = f.Close() }() // read-only file; nothing to flush
+	buf := make([]byte, f.Size())
+	if len(buf) > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return fmt.Errorf("ingest: wal recovery: read %s: %w", fi.Path, err)
+		}
+	}
+	consumed := 0
+	for consumed < len(buf) {
+		payload, n, ok := nextFrame(buf[consumed:])
+		if !ok {
+			break
+		}
+		if err := fn(payload); err != nil {
+			if errors.Is(err, errStopReplay) {
+				return nil
+			}
+			break // corrupt payload: truncate from here
+		}
+		consumed += n
+	}
+	if tail := int64(len(buf) - consumed); tail > 0 {
+		w.truncatedTailBytes.Add(tail)
+	}
+	return nil
+}
+
+// parseWALName matches "<kind>-<epoch>-<seq>.log".
+func parseWALName(base, kind string, epoch, seq *int) bool {
+	n, err := fmt.Sscanf(base, kind+"-%06d-%06d.log", epoch, seq)
+	return err == nil && n == 2
+}

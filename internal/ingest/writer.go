@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,9 +62,10 @@ type SegmentWriter struct {
 	table *druid.Table
 	cfg   WriterConfig
 
-	rowsWritten *obs.Counter
-	writeErrors *obs.Counter
-	freshness   *obs.Histogram
+	rowsWritten  *obs.Counter
+	writeErrors  *obs.Counter
+	commitErrors *obs.Counter
+	freshness    *obs.Histogram
 
 	mu     sync.Mutex
 	stopCh chan struct{}
@@ -87,6 +89,7 @@ func NewSegmentWriter(log *Log, topic *Topic, table *druid.Table, cfg WriterConf
 func (w *SegmentWriter) RegisterObsMetrics(reg *obs.Registry) {
 	w.rowsWritten = reg.Counter("ingest_rows_written")
 	w.writeErrors = reg.Counter("ingest_write_errors")
+	w.commitErrors = reg.Counter("ingest_commit_errors")
 	w.freshness = reg.Histogram("ingest_freshness")
 	reg.GaugeFunc("ingest_lag", func() float64 {
 		return float64(w.log.Lag(w.cfg.Group, w.topic.Name()))
@@ -135,6 +138,22 @@ func (w *SegmentWriter) Stop() {
 	w.table.Maintain(w.cfg.Clock.Now())
 }
 
+// Kill halts the consumer goroutines abruptly — no drain, no final
+// maintenance pass. This is the simulated SIGKILL the rolling-restart chaos
+// suite uses; whatever was fetched-but-uncommitted is redelivered (and
+// deduplicated) after recovery.
+func (w *SegmentWriter) Kill() {
+	w.mu.Lock()
+	stop := w.stopCh
+	w.stopCh = nil
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	w.wg.Wait()
+}
+
 func (w *SegmentWriter) consumePartition(p int, stop chan struct{}) {
 	defer w.wg.Done()
 	for {
@@ -167,8 +186,17 @@ func (w *SegmentWriter) maintainLoop(stop chan struct{}) {
 	}
 }
 
-// pollPartition fetches one batch from partition p, appends it to the
-// table and commits. Returns the number of records consumed.
+// source names this writer's delivery stream for one partition — the key of
+// the druid-side exactly-once watermark.
+func (w *SegmentWriter) source(p int) string {
+	return w.cfg.Group + "/" + w.topic.Name() + "/" + strconv.Itoa(p)
+}
+
+// pollPartition fetches one batch from partition p, appends it to the table
+// and commits. Returns the number of records consumed. Delivery is
+// exactly-once across crashes: the append goes through AppendFrom keyed on
+// the committed offset, so a batch redelivered after a crash between append
+// and commit is deduplicated by the table's source watermark.
 func (w *SegmentWriter) pollPartition(p int) int {
 	group := w.cfg.Group
 	offset := w.log.Committed(group, w.topic.Name(), p)
@@ -181,25 +209,39 @@ func (w *SegmentWriter) pollPartition(p int) int {
 		rows[i] = r.Row
 	}
 	now := w.cfg.Clock.Now()
-	if err := w.table.Append(rows, now); err != nil {
+	appended, err := w.table.AppendFrom(w.source(p), offset, rows, now)
+	if err != nil {
 		// A malformed batch cannot become well-formed on retry: count it,
 		// commit past it and keep consuming instead of hot-looping.
 		if w.writeErrors != nil {
 			w.writeErrors.Add(int64(len(recs)))
 		}
-		w.log.Commit(group, w.topic.Name(), p, offset+int64(len(recs)))
-		return len(recs)
+		return w.commit(p, offset+int64(len(recs)), len(recs))
 	}
+	// Rows the watermark skipped were appended (and observed) by an earlier
+	// delivery; only the fresh suffix counts.
 	if w.rowsWritten != nil {
-		w.rowsWritten.Add(int64(len(recs)))
+		w.rowsWritten.Add(int64(appended))
 	}
 	if w.freshness != nil {
-		for _, r := range recs {
+		for _, r := range recs[len(recs)-appended:] {
 			w.freshness.Observe(now.Sub(r.Time))
 		}
 	}
-	w.log.Commit(group, w.topic.Name(), p, offset+int64(len(recs)))
-	return len(recs)
+	return w.commit(p, offset+int64(len(recs)), len(recs))
+}
+
+// commit advances the group's offset. A failed (durable) commit backs the
+// poll loop off: the batch is refetched and the druid watermark swallows the
+// redelivery, so progress resumes once the offsets WAL accepts writes again.
+func (w *SegmentWriter) commit(p int, offset int64, consumed int) int {
+	if err := w.log.Commit(w.cfg.Group, w.topic.Name(), p, offset); err != nil {
+		if w.commitErrors != nil {
+			w.commitErrors.Inc()
+		}
+		return 0
+	}
+	return consumed
 }
 
 // RunOnce polls every partition once synchronously and returns the total
