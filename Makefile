@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race lint check chaos chaos-ingest chaos-lifecycle fuzz-smoke bench bench-json bench-ingest-json experiments examples fmt vet
+.PHONY: build test test-race lint check chaos chaos-ingest chaos-lifecycle fuzz-smoke bench bench-json bench-qps-json bench-ingest-json experiments examples fmt vet
 
 build:
 	go build ./...
@@ -83,6 +83,16 @@ BENCH_BASE ?= BENCH_PR5.json
 bench-json:
 	go test -bench BenchmarkIntraTaskParallelism -benchmem -benchtime=50x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR8.json -compare $(BENCH_BASE)
 	@cat BENCH_PR8.json
+
+# Machine-readable results for the dashboard-QPS benchmark: a fixed dashboard
+# of aggregate queries refreshes in a closed loop against an embedded cluster
+# with the §VII cache hierarchy off and on, and writes qps, result/chunk-cache
+# hit rates and the cache_speedups ratio (cache=on vs cache=off — the >= 10x
+# acceptance number) to BENCH_PR10.json. The -compare gate fails on any shared
+# benchmark >20% slower than the checked-in trajectory point.
+bench-qps-json:
+	go test -bench BenchmarkDashboardQPS -benchmem -benchtime=20x -run '^$$' . | go run ./cmd/benchjson -o BENCH_PR10.json -compare $(BENCH_BASE)
+	@cat BENCH_PR10.json
 
 # Machine-readable results for the real-time ingestion benchmark: streams a
 # fixed event load under 0/4/16 concurrent hybrid queries and writes freshness

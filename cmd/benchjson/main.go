@@ -9,7 +9,9 @@
 // the number the intra-task parallelism acceptance criterion reads. Workload
 // pairs named X and X_rowwise additionally produce a vector_speedups section:
 // X at each driver count relative to X_rowwise at drivers=1, isolating the
-// vectorized kernels' contribution from driver parallelism.
+// vectorized kernels' contribution from driver parallelism. Workload pairs
+// named X/cache=on and X/cache=off produce a cache_speedups section: the
+// cache hierarchy's steady-state throughput over the cold baseline.
 //
 // With -compare OLD.json the report is additionally checked against a
 // previous run: any benchmark present in both whose ns/op regressed more
@@ -46,6 +48,11 @@ type report struct {
 	// count against its X_rowwise sibling at drivers=1 — the row-at-a-time
 	// serial baseline.
 	VectorSpeedups map[string]map[string]float64 `json:"vector_speedups,omitempty"`
+	// CacheSpeedups compares each workload X/cache=on against its
+	// X/cache=off sibling — steady-state throughput with the §VII cache
+	// hierarchy (chunk, fragment, result tiers + affinity scheduling)
+	// relative to every refresh running cold.
+	CacheSpeedups map[string]float64 `json:"cache_speedups,omitempty"`
 }
 
 func main() {
@@ -107,6 +114,7 @@ func main() {
 	}
 	rep.Speedups = speedups(rep.Results)
 	rep.VectorSpeedups = vectorSpeedups(rep.Results)
+	rep.CacheSpeedups = cacheSpeedups(rep.Results)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -203,6 +211,32 @@ func vectorSpeedups(results []result) map[string]map[string]float64 {
 		}
 		// Two decimal places: these are summary ratios, not raw data.
 		m["drivers="+r.Name[i+len("/drivers="):]] = float64(int(base/r.NsPerOp*100+0.5)) / 100
+	}
+	return out
+}
+
+// cacheSpeedups pairs each ".../cache=on" workload with its ".../cache=off"
+// sibling and reports the cache hierarchy's speedup over the cold baseline —
+// the dashboard-QPS acceptance ratio.
+func cacheSpeedups(results []result) map[string]float64 {
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		if r.NsPerOp > 0 {
+			byName[r.Name] = r.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range results {
+		workload, ok := strings.CutSuffix(r.Name, "/cache=on")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := byName[workload+"/cache=off"]
+		if !ok {
+			continue
+		}
+		// Two decimal places: these are summary ratios, not raw data.
+		out[workload] = float64(int(base/r.NsPerOp*100+0.5)) / 100
 	}
 	return out
 }

@@ -43,6 +43,10 @@ var clockScopedPaths = []string{
 	// is per-batch overhead and a determinism leak (kernel results feed
 	// CHAOS_SEED-replayed plans), so the whole package is scoped.
 	"prestolite/internal/execution/vector",
+	// The cache tiers make TTL-expiry decisions; a wall-clock read there
+	// makes chaos replay see different hit/miss sequences run over run, so
+	// every cache (chunk, result, footer) must use the injected clock.
+	"prestolite/internal/cache",
 }
 
 func runClockDet(pass *Pass) {

@@ -25,6 +25,10 @@ var goldenCases = []struct {
 	{"goleak", "prestolite/internal/analysis/testdata/goleak", []string{"goleak"}},
 	{"chanmisuse", "prestolite/internal/execution/chanmisusefixture", []string{"chanmisuse"}},
 	{"clockdet", "prestolite/internal/cluster/clockfixture", []string{"clockdet"}},
+	// cachettl loads under the cache tier's import path, scoped by PR10:
+	// TTL expiry read off the wall clock changes hit/miss sequences under
+	// chaos replay, so the cache package is held to injected time.
+	{"cachettl", "prestolite/internal/cache/ttlfixture", []string{"clockdet"}},
 	{"closeleak", "prestolite/internal/analysis/testdata/closeleak", []string{"closeleak"}},
 	{"obshygiene", "prestolite/internal/analysis/testdata/obshygiene", []string{"obshygiene"}},
 	// vectorhot loads under the vector kernels' import path, where the

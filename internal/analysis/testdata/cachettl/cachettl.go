@@ -1,0 +1,69 @@
+// Package fixture exercises clockdet under the cache tier's import path.
+// TTL expiry is a time decision on the query path: a cache that reads the
+// wall clock makes chaos replay observe different hit/miss sequences run
+// over run, so every expiry check must go through the injected fault.Clock.
+package fixture
+
+import (
+	"time"
+
+	"prestolite/internal/fault"
+)
+
+type entry struct {
+	value   string
+	stored  time.Time
+	expires time.Time
+}
+
+type ttlCache struct {
+	clock   fault.Clock
+	ttl     time.Duration
+	entries map[string]entry
+}
+
+// badPut stamps the entry with the wall clock instead of the injected one.
+func (c *ttlCache) badPut(key, value string) {
+	c.entries[key] = entry{value: value, stored: time.Now()}
+}
+
+// badExpired ages entries against the wall clock, so a ManualClock replay
+// never sees an expiry (or sees spurious ones on a slow machine).
+func (c *ttlCache) badExpired(key string) bool {
+	e, ok := c.entries[key]
+	return ok && time.Since(e.stored) > c.ttl
+}
+
+// badSweepLoop schedules eviction sweeps on a wall-clock ticker.
+func (c *ttlCache) badSweepLoop(stop <-chan struct{}) {
+	t := time.NewTicker(c.ttl)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			for k := range c.entries {
+				if c.badExpired(k) {
+					delete(c.entries, k)
+				}
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// goodPut and goodExpired route every time decision through the injected
+// clock — what the real chunk/result caches do.
+func (c *ttlCache) goodPut(key, value string) {
+	c.entries[key] = entry{value: value, expires: c.clock.Now().Add(c.ttl)}
+}
+
+func (c *ttlCache) goodExpired(key string) bool {
+	e, ok := c.entries[key]
+	return ok && c.clock.Now().After(e.expires)
+}
+
+// goodMath: pure duration arithmetic and construction are deterministic.
+func goodMath(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

@@ -6,10 +6,12 @@ package cache
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/fsys"
 	"prestolite/internal/obs"
 )
@@ -18,9 +20,10 @@ import (
 // the "listFile calls reduced to less than 40%" and "90% of getFileInfo
 // calls reduced" results.
 type Metrics struct {
-	Hits     atomic.Int64
-	Misses   atomic.Int64
-	Bypasses atomic.Int64 // open partitions skip the cache entirely
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Bypasses  atomic.Int64 // open partitions skip the cache entirely
+	Evictions atomic.Int64 // capacity- or byte-pressure evictions, not TTL expiry
 }
 
 // HitRate returns hits / (hits + misses), 0 when empty.
@@ -41,10 +44,12 @@ func (m *Metrics) RegisterObs(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".hits", func() float64 { return float64(m.Hits.Load()) })
 	reg.GaugeFunc(prefix+".misses", func() float64 { return float64(m.Misses.Load()) })
 	reg.GaugeFunc(prefix+".bypasses", func() float64 { return float64(m.Bypasses.Load()) })
+	reg.GaugeFunc(prefix+".evictions", func() float64 { return float64(m.Evictions.Load()) })
 	reg.GaugeFunc(prefix+".hit_rate", m.HitRate)
 }
 
-// LRU is a thread-safe LRU cache with optional TTL.
+// LRU is a thread-safe LRU cache with optional TTL. Time flows through a
+// fault.Clock so TTL expiry is deterministic under CHAOS_SEED replay.
 type LRU[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
@@ -53,7 +58,7 @@ type LRU[K comparable, V any] struct {
 	order    *list.List // front = most recent
 
 	Metrics Metrics
-	now     func() time.Time
+	clock   fault.Clock
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -72,7 +77,7 @@ func NewLRU[K comparable, V any](capacity int, ttl time.Duration) *LRU[K, V] {
 		ttl:      ttl,
 		items:    map[K]*list.Element{},
 		order:    list.New(),
-		now:      time.Now,
+		clock:    fault.RealClock{},
 	}
 }
 
@@ -87,7 +92,7 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 		return zero, false
 	}
 	entry := el.Value.(*lruEntry[K, V])
-	if c.ttl > 0 && c.now().After(entry.expires) {
+	if c.ttl > 0 && c.clock.Now().After(entry.expires) {
 		c.order.Remove(el)
 		delete(c.items, key)
 		c.Metrics.Misses.Add(1)
@@ -105,16 +110,17 @@ func (c *LRU[K, V]) Put(key K, value V) {
 	if el, ok := c.items[key]; ok {
 		entry := el.Value.(*lruEntry[K, V])
 		entry.value = value
-		entry.expires = c.now().Add(c.ttl)
+		entry.expires = c.clock.Now().Add(c.ttl)
 		c.order.MoveToFront(el)
 		return
 	}
-	entry := &lruEntry[K, V]{key: key, value: value, expires: c.now().Add(c.ttl)}
+	entry := &lruEntry[K, V]{key: key, value: value, expires: c.clock.Now().Add(c.ttl)}
 	c.items[key] = c.order.PushFront(entry)
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+		c.Metrics.Evictions.Add(1)
 	}
 }
 
@@ -128,6 +134,33 @@ func (c *LRU[K, V]) Invalidate(key K) {
 	}
 }
 
+// InvalidateFunc drops every entry whose key matches pred and returns the
+// number dropped. Used for prefix invalidation when an ingest or seal event
+// touches a directory: every path-derived key under it must go.
+func (c *LRU[K, V]) InvalidateFunc(pred func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, el := range c.items {
+		if pred(key) {
+			c.order.Remove(el)
+			delete(c.items, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// InvalidateAll empties the cache and returns the number of entries dropped.
+func (c *LRU[K, V]) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := c.order.Len()
+	c.items = map[K]*list.Element{}
+	c.order.Init()
+	return dropped
+}
+
 // Len returns the current entry count.
 func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()
@@ -135,8 +168,8 @@ func (c *LRU[K, V]) Len() int {
 	return c.order.Len()
 }
 
-// SetClock overrides time for tests.
-func (c *LRU[K, V]) SetClock(now func() time.Time) { c.now = now }
+// SetClock overrides the TTL time source for tests and chaos replay.
+func (c *LRU[K, V]) SetClock(clk fault.Clock) { c.clock = clk }
 
 // ---------------------------------------------------------------------------
 // File list cache (§VII.A): the coordinator caches directory listings to
@@ -180,6 +213,16 @@ func (c *FileListCache) List(dir string, sealed bool) ([]fsys.FileInfo, error) {
 
 // Invalidate drops a directory (called when a partition is rewritten).
 func (c *FileListCache) Invalidate(dir string) { c.lru.Invalidate(dir) }
+
+// InvalidatePrefix drops every cached listing under prefix. Seal and ingest
+// events fire this so a just-sealed partition's listing is re-read instead of
+// served stale until TTL.
+func (c *FileListCache) InvalidatePrefix(prefix string) int {
+	return c.lru.InvalidateFunc(func(dir string) bool { return strings.HasPrefix(dir, prefix) })
+}
+
+// SetClock overrides the TTL time source (tests, chaos replay).
+func (c *FileListCache) SetClock(clk fault.Clock) { c.lru.SetClock(clk) }
 
 // ---------------------------------------------------------------------------
 // File handle + footer cache (§VII.B): workers cache file descriptors
@@ -232,4 +275,23 @@ func (c *FooterCache[F]) GetFooter(path string, load func() (F, error)) (F, erro
 	}
 	c.footers.Put(path, f)
 	return f, nil
+}
+
+// Invalidate drops one path from both the info and footer tiers.
+func (c *FooterCache[F]) Invalidate(path string) {
+	c.infos.Invalidate(path)
+	c.footers.Invalidate(path)
+}
+
+// InvalidatePrefix drops every info and footer entry whose path starts with
+// prefix (a table or partition directory being rewritten or sealed).
+func (c *FooterCache[F]) InvalidatePrefix(prefix string) int {
+	pred := func(path string) bool { return strings.HasPrefix(path, prefix) }
+	return c.infos.InvalidateFunc(pred) + c.footers.InvalidateFunc(pred)
+}
+
+// SetClock overrides the TTL time source (tests, chaos replay).
+func (c *FooterCache[F]) SetClock(clk fault.Clock) {
+	c.infos.SetClock(clk)
+	c.footers.SetClock(clk)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"prestolite/internal/fault"
 	"prestolite/internal/fsys"
 )
 
@@ -40,13 +41,13 @@ func TestLRUBasics(t *testing.T) {
 
 func TestLRUTTL(t *testing.T) {
 	c := NewLRU[string, int](10, time.Minute)
-	now := time.Unix(1000, 0)
-	c.SetClock(func() time.Time { return now })
+	clk := fault.NewManualClock(time.Unix(1000, 0))
+	c.SetClock(clk)
 	c.Put("k", 1)
 	if _, ok := c.Get("k"); !ok {
 		t.Fatal("fresh entry missing")
 	}
-	now = now.Add(2 * time.Minute)
+	clk.Advance(2 * time.Minute)
 	if _, ok := c.Get("k"); ok {
 		t.Error("expired entry served")
 	}

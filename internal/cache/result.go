@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"prestolite/internal/fault"
+	"prestolite/internal/obs"
+)
+
+// ResultCache is the coordinator-side fragment-result cache (tier 2 of the
+// hierarchy): finished query results keyed by canonicalized plan text plus
+// the snapshot versions of every table the plan scans. Because the versions
+// are part of the key, a metastore bump or druid seal makes the old entry
+// unreachable — invalidation is implicit; TTL and byte bounds only cap
+// residency of keys that will never be asked for again.
+type ResultCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	maxBytes int64
+	ttl      time.Duration
+	items    map[string]*list.Element
+	order    *list.List // front = most recent
+	bytes    int64
+	clock    fault.Clock
+
+	Metrics Metrics
+}
+
+type resultEntry[V any] struct {
+	key     string
+	value   V
+	size    int64
+	expires time.Time
+}
+
+// NewResultCache creates a result cache holding at most capacity entries and
+// maxBytes total (callers supply per-entry sizes at Put). ttl <= 0 disables
+// expiry; maxBytes <= 0 disables the byte bound.
+func NewResultCache[V any](capacity int, maxBytes int64, ttl time.Duration) *ResultCache[V] {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &ResultCache[V]{
+		capacity: capacity,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		items:    map[string]*list.Element{},
+		order:    list.New(),
+		clock:    fault.RealClock{},
+	}
+}
+
+// Get returns the cached result, if present and fresh.
+func (c *ResultCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.Metrics.Misses.Add(1)
+		return zero, false
+	}
+	entry := el.Value.(*resultEntry[V])
+	if c.ttl > 0 && c.clock.Now().After(entry.expires) {
+		c.removeLocked(el)
+		c.Metrics.Misses.Add(1)
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	c.Metrics.Hits.Add(1)
+	return entry.value, true
+}
+
+// Put inserts or refreshes a result of the given size in bytes.
+func (c *ResultCache[V]) Put(key string, value V, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		entry := el.Value.(*resultEntry[V])
+		c.bytes += size - entry.size
+		entry.value, entry.size = value, size
+		entry.expires = c.clock.Now().Add(c.ttl)
+		c.order.MoveToFront(el)
+	} else {
+		entry := &resultEntry[V]{key: key, value: value, size: size, expires: c.clock.Now().Add(c.ttl)}
+		c.items[key] = c.order.PushFront(entry)
+		c.bytes += size
+	}
+	for c.order.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.order.Len() > 1) {
+		c.removeLocked(c.order.Back())
+		c.Metrics.Evictions.Add(1)
+	}
+}
+
+func (c *ResultCache[V]) removeLocked(el *list.Element) {
+	entry := el.Value.(*resultEntry[V])
+	c.order.Remove(el)
+	delete(c.items, entry.key)
+	c.bytes -= entry.size
+}
+
+// InvalidateAll empties the cache (the explicit-invalidation escape hatch,
+// e.g. POST /v1/cache/invalidate) and returns the number dropped.
+func (c *ResultCache[V]) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := c.order.Len()
+	c.items = map[string]*list.Element{}
+	c.order.Init()
+	c.bytes = 0
+	return dropped
+}
+
+// Len returns the current entry count.
+func (c *ResultCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the resident result bytes.
+func (c *ResultCache[V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// SetClock overrides the TTL time source (tests, chaos replay).
+func (c *ResultCache[V]) SetClock(clk fault.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clk
+}
+
+// RegisterObs publishes counters plus resident bytes under prefix
+// (e.g. "coordinator.cache.result").
+func (c *ResultCache[V]) RegisterObs(reg *obs.Registry, prefix string) {
+	c.Metrics.RegisterObs(reg, prefix)
+	reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(c.Bytes()) })
+}

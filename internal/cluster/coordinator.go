@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -18,6 +17,7 @@ import (
 	"time"
 
 	"prestolite/internal/block"
+	"prestolite/internal/cache"
 	"prestolite/internal/connector"
 	"prestolite/internal/execution"
 	"prestolite/internal/obs"
@@ -71,6 +71,12 @@ type Coordinator struct {
 	// groups, spill, OOM killer); nil until ConfigureResources is called.
 	res *coordResources
 
+	// resultCache is tier 2 of the cache hierarchy: whole query results
+	// keyed by canonical plan text plus every scanned table's snapshot
+	// version. nil until EnableResultCache.
+	resultCache       *cache.ResultCache[cachedResult]
+	resultUncacheable *obs.Counter
+
 	submitted     *obs.Counter
 	finished      *obs.Counter
 	failed        *obs.Counter
@@ -81,6 +87,9 @@ type Coordinator struct {
 	drains        *obs.Counter
 	outstanding   *obs.Gauge
 	queryWall     *obs.Histogram
+
+	affinityPlaced   *obs.Counter
+	affinityOverflow *obs.Counter
 }
 
 type workerClient struct {
@@ -117,6 +126,8 @@ func NewCoordinatorWithConfig(catalogs *connector.Registry, cfg ClientConfig) *C
 	c.drains = c.obs.Counter("coordinator_drains")
 	c.outstanding = c.obs.Gauge("queries_outstanding")
 	c.queryWall = c.obs.Histogram("query_wall")
+	c.affinityPlaced = c.obs.Counter("splits_affinity_placed")
+	c.affinityOverflow = c.obs.Counter("splits_affinity_overflow")
 	c.obs.GaugeFunc("coordinator_draining", func() float64 {
 		if c.draining.Load() {
 			return 1
@@ -129,6 +140,107 @@ func NewCoordinatorWithConfig(catalogs *connector.Registry, cfg ClientConfig) *C
 
 // Obs exposes the coordinator's metrics registry (served at /v1/stats).
 func (c *Coordinator) Obs() *obs.Registry { return c.obs }
+
+// cachedResult is one coordinator result-cache entry: the finished result
+// plus the row count QueryInfo reports on a hit.
+type cachedResult struct {
+	res  *QueryResult
+	rows int64
+}
+
+// EnableResultCache turns on the coordinator's fragment-result cache (§VII,
+// tier 2 of the hierarchy): SELECT results are cached under a key built from
+// the canonical optimized plan and the snapshot version of every table it
+// scans. Version-in-key makes invalidation implicit — a metastore partition
+// add, a druid segment seal or a hybrid boundary move bumps the version and
+// the stale entry simply stops being addressed; ttl and maxBytes only bound
+// residency. Queries over tables whose connectors cannot report a snapshot
+// version are never cached (counted in coordinator.cache.result.uncacheable).
+func (c *Coordinator) EnableResultCache(capacity int, maxBytes int64, ttl time.Duration) {
+	rc := cache.NewResultCache[cachedResult](capacity, maxBytes, ttl)
+	rc.SetClock(c.cfg.Clock)
+	rc.RegisterObs(c.obs, "coordinator.cache.result")
+	c.resultUncacheable = c.obs.Counter("coordinator.cache.result.uncacheable")
+	c.resultCache = rc
+}
+
+// ResultCacheLen returns the resident entry count (0 when disabled).
+func (c *Coordinator) ResultCacheLen() int {
+	if c.resultCache == nil {
+		return 0
+	}
+	return c.resultCache.Len()
+}
+
+// InvalidateResultCache is the explicit escape hatch: it empties the result
+// cache and returns the number of entries dropped.
+func (c *Coordinator) InvalidateResultCache() int {
+	if c.resultCache == nil {
+		return 0
+	}
+	return c.resultCache.InvalidateAll()
+}
+
+// resultCacheKey derives the cache key for an optimized plan: the canonical
+// plan text (handles render their pushed state, so two queries normalizing
+// to the same plan share a key) plus a sorted "catalog.schema.table@version"
+// stamp per scanned table. ok is false — the query is uncacheable — when the
+// plan scans no tables (nothing pins freshness) or any scanned catalog
+// cannot report a snapshot version.
+func (c *Coordinator) resultCacheKey(plan planner.Node) (string, bool) {
+	var stamps []string
+	ok := true
+	var walk func(n planner.Node)
+	walk = func(n planner.Node) {
+		if !ok {
+			return
+		}
+		if ts, isScan := n.(*planner.TableScan); isScan {
+			conn, err := c.Catalogs.Get(ts.Catalog)
+			if err != nil {
+				ok = false
+				return
+			}
+			sv, hasVersion := conn.(connector.SnapshotVersioner)
+			if !hasVersion {
+				ok = false
+				return
+			}
+			v, vok := sv.SnapshotVersion(ts.Schema, ts.Table)
+			if !vok {
+				ok = false
+				return
+			}
+			stamps = append(stamps, fmt.Sprintf("%s.%s.%s@%d", ts.Catalog, ts.Schema, ts.Table, v))
+		}
+		for _, child := range n.Children() {
+			walk(child)
+		}
+	}
+	walk(plan)
+	if !ok || len(stamps) == 0 {
+		return "", false
+	}
+	sort.Strings(stamps)
+	return planner.Format(plan) + "\x00" + strings.Join(stamps, ","), true
+}
+
+// fragmentSnapshotVersion resolves the snapshot version a source fragment's
+// scan is running against (0 when the catalog cannot report one). It rides
+// in the TaskRequest so the worker's fragment-result cache key moves with
+// the data: without it, a sealed-then-backfilled table would keep serving
+// the pre-backfill pages until the worker cache TTL.
+func (c *Coordinator) fragmentSnapshotVersion(conn connector.Connector, scan *planner.TableScan) int64 {
+	sv, ok := conn.(connector.SnapshotVersioner)
+	if !ok || scan == nil {
+		return 0
+	}
+	v, vok := sv.SnapshotVersion(scan.Schema, scan.Table)
+	if !vok {
+		return 0
+	}
+	return v
+}
 
 // QueryInfos lists the retained recent queries, most recent first.
 func (c *Coordinator) QueryInfos() []QueryInfo { return c.queries.list() }
@@ -421,6 +533,29 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 	if err != nil {
 		return nil, "", err
 	}
+
+	// Result-cache probe (tier 2). EXPLAIN ANALYZE always executes — its
+	// deliverable is the annotated plan, not the rows — and a session can opt
+	// out per query with result_cache=false.
+	resultCacheKey := ""
+	if c.resultCache != nil && !analyze && session.Property("result_cache", "true") != "false" {
+		if key, cacheable := c.resultCacheKey(plan); cacheable {
+			if hit, found := c.resultCache.Get(key); found {
+				now := c.cfg.Clock.Now()
+				c.queries.update(queryID, func(qi *QueryInfo) {
+					qi.State = QueryFinished
+					qi.Finished = now
+					qi.Rows = hit.rows
+					qi.FromCache = true
+				})
+				return hit.res, "", nil
+			}
+			resultCacheKey = key
+		} else {
+			c.resultUncacheable.Inc()
+		}
+	}
+
 	fragmenter := &planner.Fragmenter{}
 	fp := fragmenter.Fragment(plan)
 
@@ -488,21 +623,17 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 				return nil, "", err
 			}
 			// Split assignment across workers ("scheduler assigns tasks on
-			// worker execution slots"): round-robin by default, or affinity
-			// scheduling (§VII: RaptorX techniques) — the same split always
-			// lands on the same worker, maximizing that worker's footer and
-			// fragment-result cache hits.
-			affinity := session.Property("affinity_scheduling", "false") == "true"
-			assignment := make([][]connector.Split, len(workers))
-			for i, s := range splits {
-				wi := i % len(workers)
-				if affinity {
-					h := fnv.New64a()
-					h.Write([]byte(s.Description()))
-					wi = int(h.Sum64() % uint64(len(workers)))
-				}
-				assignment[wi] = append(assignment[wi], s)
-			}
+			// worker execution slots"): soft-affinity rendezvous hashing by
+			// default (§VII: RaptorX techniques) — the same split keeps
+			// landing on the same worker, maximizing that worker's footer,
+			// chunk and fragment-result cache hits — degrading to the next
+			// preferred worker at the load cap. affinity_scheduling=false
+			// restores plain round-robin.
+			affinity := session.Property("affinity_scheduling", "true") != "false"
+			assignment, placed, overflow := assignSplits(splits, workers, affinity)
+			c.affinityPlaced.Add(int64(placed))
+			c.affinityOverflow.Add(int64(overflow))
+			snapVersion := c.fragmentSnapshotVersion(conn, frag.Scan)
 			for wi, splitSet := range assignment {
 				if len(splitSet) == 0 {
 					continue
@@ -518,6 +649,7 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 					AdaptiveExchangeRows: adaptiveRows,
 					PartialAggBypassRows: bypassRows,
 					Deadline:             deadlineNanos(qs.deadline),
+					SnapshotVersion:      snapVersion,
 				})
 				if err != nil {
 					return nil, "", err
@@ -619,6 +751,14 @@ func (c *Coordinator) execQuery(session *planner.Session, q *sql.Query, queryID 
 		qi.PeakMemoryBytes = peak
 		qi.SpilledBytes = spilled
 	})
+
+	if resultCacheKey != "" {
+		size := int64(0)
+		for _, data := range res.Pages {
+			size += int64(len(data))
+		}
+		c.resultCache.Put(resultCacheKey, cachedResult{res: res, rows: rows}, size)
+	}
 
 	text := ""
 	if analyze {
@@ -1037,6 +1177,13 @@ func (cl *Client) Query(req StatementRequest) (*QueryResult, error) {
 // gateway (§VIII) uses to pick the target cluster; the 307 redirect replays
 // the request against the chosen coordinator.
 func (cl *Client) QueryWithIdentity(req StatementRequest, user, group string) (*QueryResult, error) {
+	return cl.QueryWithSession(req, user, group, "")
+}
+
+// QueryWithSession additionally carries a session key (X-Presto-Session): a
+// gateway with a sticky route hashes the key to a preferred cluster so a
+// dashboard's repeated statements keep landing where its caches are warm.
+func (cl *Client) QueryWithSession(req StatementRequest, user, group, session string) (*QueryResult, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
 		return nil, err
@@ -1048,6 +1195,9 @@ func (cl *Client) QueryWithIdentity(req StatementRequest, user, group string) (*
 	httpReq.Header.Set("Content-Type", "application/x-gob")
 	httpReq.Header.Set("X-Presto-User", user)
 	httpReq.Header.Set("X-Presto-Group", group)
+	if session != "" {
+		httpReq.Header.Set("X-Presto-Session", session)
+	}
 	hc := cl.HTTP
 	if hc == nil {
 		def := DefaultClientConfig()

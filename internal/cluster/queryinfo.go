@@ -48,6 +48,10 @@ type QueryInfo struct {
 	// Rows is the number of result rows streamed to the client.
 	Rows int64
 
+	// FromCache marks a query served whole from the coordinator's
+	// fragment-result cache: no fragments were scheduled, Stages is empty.
+	FromCache bool `json:",omitempty"`
+
 	// Resource usage (§XII.C): time spent queued for an admission slot, the
 	// query memory context's peak reservation, and bytes spilled to disk.
 	QueuedMs        int64 `json:",omitempty"`

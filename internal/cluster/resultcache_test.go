@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prestolite/internal/block"
+	"prestolite/internal/connector"
+	"prestolite/internal/connectors/hive"
+	"prestolite/internal/connectors/memory"
+	"prestolite/internal/hdfs"
+	"prestolite/internal/metastore"
+	"prestolite/internal/planner"
+	"prestolite/internal/types"
+)
+
+// resultCacheFixture builds a partitioned hive table (so the metastore can
+// bump its snapshot version via AddPartition) plus a memory catalog (which
+// cannot report versions — the uncacheable case).
+func resultCacheFixture(t *testing.T) (*connector.Registry, *metastore.Metastore, *hive.Loader) {
+	t.Helper()
+	fs := hdfs.New(hdfs.Config{})
+	ms := metastore.New()
+	loader := &hive.Loader{MS: ms, FS: fs}
+	cols := []metastore.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "fare", Type: types.Double},
+	}
+	pb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Double})
+	for i := 0; i < 10; i++ {
+		pb.AppendRow([]any{int64(i % 5), float64(i)})
+	}
+	if err := loader.CreatePartitionedTable("rawdata", "trips", cols, "datestr",
+		map[string][]*block.Page{"2017-03-01": {pb.Build()}}, map[string]bool{"2017-03-01": true}); err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.New("memory")
+	if err := mem.CreateTable("meta", "cities", []connector.Column{
+		{Name: "city_id", Type: types.Bigint},
+		{Name: "name", Type: types.Varchar},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.AppendRows("meta", "cities", [][]any{{int64(0), "sf"}, {int64(1), "oak"}}); err != nil {
+		t.Fatal(err)
+	}
+	reg := connector.NewRegistry()
+	reg.Register("hive", hive.New("hive", ms, fs, hive.Options{}))
+	reg.Register("memory", mem)
+	return reg, ms, loader
+}
+
+// TestCoordinatorResultCache: the tier-2 cache serves a repeated dashboard
+// query without scheduling any task, marks it FromCache, and a metastore
+// version bump (new partition) makes the stale entry unreachable so the next
+// run sees the new data.
+func TestCoordinatorResultCache(t *testing.T) {
+	catalogs, ms, loader := resultCacheFixture(t)
+	coord, workers := newCluster(t, catalogs, 2)
+	coord.EnableResultCache(64, 8<<20, time.Hour)
+
+	q := "SELECT city_id, count(*) AS n FROM trips GROUP BY city_id ORDER BY 1"
+	first, err := coord.Query(session(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := first.Rows()
+	if len(r1) != 5 {
+		t.Fatalf("rows = %v", r1)
+	}
+	if n := coord.ResultCacheLen(); n != 1 {
+		t.Fatalf("cache len after first run = %d, want 1", n)
+	}
+
+	tasksBefore := workers[0].Obs.Snapshot().Counters["tasks_started"] + workers[1].Obs.Snapshot().Counters["tasks_started"]
+	second, err := coord.Query(session(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := second.Rows()
+	tasksAfter := workers[0].Obs.Snapshot().Counters["tasks_started"] + workers[1].Obs.Snapshot().Counters["tasks_started"]
+	if tasksAfter != tasksBefore {
+		t.Errorf("cached run scheduled %d tasks, want 0", tasksAfter-tasksBefore)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("cache changed results: %v vs %v", r1, r2)
+	}
+	for i := range r1 {
+		for j := range r1[i] {
+			if r1[i][j] != r2[i][j] {
+				t.Errorf("row %d differs: %v vs %v", i, r1[i], r2[i])
+			}
+		}
+	}
+	infos := coord.QueryInfos()
+	if !infos[0].FromCache || infos[0].Rows != 5 {
+		t.Errorf("cached QueryInfo = %+v", infos[0])
+	}
+	if infos[1].FromCache {
+		t.Errorf("first run marked FromCache: %+v", infos[1])
+	}
+	snap := coord.Obs().Snapshot()
+	if snap.Gauges["coordinator.cache.result.hits"] != 1 {
+		t.Errorf("result cache hits = %v", snap.Gauges["coordinator.cache.result.hits"])
+	}
+
+	// New partition: the metastore version moves, the key changes, and the
+	// query recomputes over the larger table instead of serving stale rows.
+	pb := block.NewPageBuilder([]*types.Type{types.Bigint, types.Double})
+	for i := 0; i < 5; i++ {
+		pb.AppendRow([]any{int64(0), float64(100 + i)})
+	}
+	if err := loader.AddPartition("rawdata", "trips", "datestr", "2017-03-02", []*block.Page{pb.Build()}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.GetTable("rawdata", "trips"); err != nil {
+		t.Fatal(err)
+	}
+	third, err := coord.Query(session(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := third.Rows()
+	var total int64
+	for _, r := range r3 {
+		total += r[1].(int64)
+	}
+	if total != 15 {
+		t.Errorf("after partition add: total count = %d, want 15 (stale cache served?)", total)
+	}
+	if n := coord.ResultCacheLen(); n != 2 {
+		t.Errorf("cache len = %d, want 2 (old + new version keys)", n)
+	}
+
+	// Explicit invalidation empties the cache.
+	if dropped := coord.InvalidateResultCache(); dropped != 2 {
+		t.Errorf("InvalidateResultCache dropped %d, want 2", dropped)
+	}
+}
+
+// TestResultCacheUncacheablePaths: queries over versionless catalogs, session
+// opt-outs and EXPLAIN ANALYZE never populate the cache.
+func TestResultCacheUncacheablePaths(t *testing.T) {
+	catalogs, _, _ := resultCacheFixture(t)
+	coord, _ := newCluster(t, catalogs, 1)
+	coord.EnableResultCache(64, 8<<20, time.Hour)
+
+	// memory has no SnapshotVersioner: uncacheable.
+	s := session()
+	s.Catalog, s.Schema = "memory", "meta"
+	if _, err := coord.Query(s, "SELECT count(*) FROM cities"); err != nil {
+		t.Fatal(err)
+	}
+	if n := coord.ResultCacheLen(); n != 0 {
+		t.Errorf("versionless query was cached (len %d)", n)
+	}
+	if n := coord.Obs().Snapshot().Counters["coordinator.cache.result.uncacheable"]; n != 1 {
+		t.Errorf("uncacheable = %d, want 1", n)
+	}
+
+	// Constant queries scan nothing: uncacheable, still correct.
+	if _, err := coord.Query(session(), "SELECT 1 + 2"); err != nil {
+		t.Fatal(err)
+	}
+	if n := coord.ResultCacheLen(); n != 0 {
+		t.Errorf("constant query was cached (len %d)", n)
+	}
+
+	// Session opt-out.
+	s2 := session()
+	s2.Properties["result_cache"] = "false"
+	if _, err := coord.Query(s2, "SELECT count(*) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+	if n := coord.ResultCacheLen(); n != 0 {
+		t.Errorf("opted-out query was cached (len %d)", n)
+	}
+
+	// EXPLAIN ANALYZE executes for real and renders the cache footer with
+	// the result-cache tier visible.
+	res, err := coord.Query(session(), "EXPLAIN ANALYZE SELECT count(*) FROM trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := res.Rows()
+	text := rows[0][0].(string)
+	if !strings.Contains(text, "coordinator.cache.result") {
+		t.Errorf("EXPLAIN ANALYZE cache footer missing result-cache tier:\n%s", text)
+	}
+	if !strings.Contains(text, "hive.cache.chunk") {
+		t.Errorf("EXPLAIN ANALYZE cache footer missing chunk-cache tier:\n%s", text)
+	}
+	if n := coord.ResultCacheLen(); n != 0 {
+		t.Errorf("EXPLAIN ANALYZE was cached (len %d)", n)
+	}
+}
+
+// TestResultCacheRespectsTaskRequestVersion: the worker fragment cache key
+// folds SnapshotVersion, so identical fragments over changed data miss.
+func TestResultCacheRespectsTaskRequestVersion(t *testing.T) {
+	req := TaskRequest{TaskID: "t", Fragment: &planner.Values{}, SnapshotVersion: 1}
+	k1 := fragmentCacheKey(&req)
+	req.SnapshotVersion = 2
+	k2 := fragmentCacheKey(&req)
+	if k1 == k2 {
+		t.Error("fragment cache key ignores SnapshotVersion")
+	}
+}

@@ -61,6 +61,11 @@ type TaskRequest struct {
 	// worker refuses tasks that arrive already expired — the last hop of the
 	// coordinator's per-RPC deadline enforcement.
 	Deadline int64
+	// SnapshotVersion is the scanned table's snapshot version at scheduling
+	// time (0 when the catalog cannot report one). It is part of the worker's
+	// fragment-result cache key, so cached fragment output over data that has
+	// since changed is unreachable rather than stale.
+	SnapshotVersion int64
 }
 
 // TaskResultChunk is one page (or the end-of-stream marker) of task output.
@@ -493,6 +498,8 @@ func (w *Worker) taskDrivers(req *TaskRequest) int {
 func fragmentCacheKey(req *TaskRequest) string {
 	h := fnv.New64a()
 	h.Write([]byte(planner.Format(req.Fragment)))
+	h.Write([]byte(strconv.FormatInt(req.SnapshotVersion, 16)))
+	h.Write([]byte{0})
 	for _, s := range req.Splits {
 		h.Write([]byte(s.Description()))
 		h.Write([]byte{0})

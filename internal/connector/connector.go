@@ -104,6 +104,16 @@ type Connector interface {
 	RecordSetProvider() RecordSetProvider
 }
 
+// SnapshotVersioner is an optional capability: connectors that can report a
+// monotonic per-table snapshot version implement it, and the coordinator
+// stamps those versions into fragment-result cache keys (§VII). A version
+// must change whenever the table's visible data changes (partition added or
+// sealed, segment appended/sealed/compacted, schema evolved). ok=false
+// marks the table unversionable — queries over it are never result-cached.
+type SnapshotVersioner interface {
+	SnapshotVersion(schema, table string) (version int64, ok bool)
+}
+
 // ---------------------------------------------------------------------------
 // Pushdown capabilities (§IV.A, §IV.B). Predicates arrive as RowExpressions
 // whose Variable channels are table-column ordinals, so they are

@@ -42,6 +42,17 @@ func New(name string, client driver.Client) *Connector {
 	return &Connector{name: name, schema: "default", client: client, schemaCache: map[string][]connector.Column{}}
 }
 
+// SnapshotVersion implements connector.SnapshotVersioner when the client
+// can see store versions (embedded or latency-wrapped embedded clients).
+// Remote HTTP clients cannot, so their tables are never result-cached.
+func (c *Connector) SnapshotVersion(schema, table string) (int64, bool) {
+	v, ok := c.client.(driver.Versioner)
+	if !ok {
+		return 0, false
+	}
+	return v.TableVersion(table)
+}
+
 func (c *Connector) tableColumns(table string) ([]connector.Column, error) {
 	c.schemaMu.RLock()
 	cols, ok := c.schemaCache[table]

@@ -48,6 +48,11 @@ type Options struct {
 	DisableFileListCache bool
 	// DisableFooterCache turns off §VII.B caching.
 	DisableFooterCache bool
+	// DisableChunkCache turns off the worker-local data cache for
+	// decompressed column chunks (§VII tier 1).
+	DisableChunkCache bool
+	// ChunkCacheBytes bounds the chunk cache (default 64 MiB).
+	ChunkCacheBytes int64
 }
 
 // ReaderToggles disables individual optimizations (all false = everything
@@ -69,6 +74,7 @@ type Connector struct {
 
 	listCache   *cache.FileListCache
 	footerCache *cache.FooterCache[footerEntry]
+	chunkCache  *cache.ChunkCache
 }
 
 type footerEntry struct {
@@ -76,16 +82,44 @@ type footerEntry struct {
 	schema *parquet.Schema
 }
 
-// New creates a hive connector over a metastore and filesystem.
+// New creates a hive connector over a metastore and filesystem. It
+// subscribes to the metastore's change feed: a partition added, sealed or a
+// schema evolved invalidates the affected directory across all three cache
+// tiers immediately instead of serving stale entries until TTL.
 func New(name string, ms *metastore.Metastore, fs fsys.FileSystem, opts Options) *Connector {
-	return &Connector{
+	c := &Connector{
 		name:        name,
 		ms:          ms,
 		fs:          fs,
 		opts:        opts,
 		listCache:   cache.NewFileListCache(fs, 4096, 10*time.Minute),
 		footerCache: cache.NewFooterCache[footerEntry](8192, 10*time.Minute),
+		chunkCache:  cache.NewChunkCache(opts.ChunkCacheBytes),
 	}
+	ms.OnChange(func(ch metastore.Change) {
+		if ch.Location == "" {
+			return
+		}
+		c.InvalidateLocation(ch.Location)
+	})
+	return c
+}
+
+// InvalidateLocation drops every cache entry under dir: the file listing,
+// stat/footer entries for its files, and their decompressed chunks. Also
+// called by hybrid-table bindings when the realtime side seals segments
+// into this connector's warehouse.
+func (c *Connector) InvalidateLocation(dir string) {
+	c.listCache.Invalidate(dir)
+	c.listCache.InvalidatePrefix(dir)
+	c.footerCache.InvalidatePrefix(dir)
+	c.chunkCache.InvalidatePrefix(dir)
+}
+
+// SnapshotVersion implements connector.SnapshotVersioner from the
+// metastore's per-table change version.
+func (c *Connector) SnapshotVersion(schema, table string) (int64, bool) {
+	return c.ms.TableVersion(schema, table)
 }
 
 // FileListCacheMetrics exposes §VII.A cache effectiveness.
@@ -100,7 +134,11 @@ func (c *Connector) RegisterObsMetrics(reg *obs.Registry) {
 	c.listCache.Metrics.RegisterObs(reg, c.name+".cache.file_list")
 	c.footerCache.InfoMetrics.RegisterObs(reg, c.name+".cache.file_info")
 	c.footerCache.FooterMetrics.RegisterObs(reg, c.name+".cache.footer")
+	c.chunkCache.RegisterObs(reg, c.name+".cache.chunk")
 }
+
+// ChunkCacheMetrics exposes the tier-1 data cache effectiveness.
+func (c *Connector) ChunkCacheMetrics() *cache.Metrics { return &c.chunkCache.Metrics }
 
 // Name implements connector.Connector.
 func (c *Connector) Name() string { return c.name }
@@ -424,6 +462,10 @@ func (r *hiveRecords) CreatePageSource(handle connector.TableHandle, split conne
 		DictionaryPushdown: !tog.NoDictionaryPushdown,
 		LazyReads:          !tog.NoLazyReads,
 		Vectorized:         !tog.NoVectorized,
+	}
+	if !c.opts.DisableChunkCache {
+		opts.Path = sp.Path
+		opts.Chunks = c.chunkCache
 	}
 	reader, err := parquet.NewReaderWithFooter(file, entry.meta, entry.schema, opts)
 	if err != nil {

@@ -204,9 +204,33 @@ func (t *Table) Append(rows [][]any, now time.Time) error {
 		return err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.appendLocked(rows, now)
+	events := t.drainEventsLocked()
+	t.mu.Unlock()
+	t.publishEvents(events)
 	return nil
+}
+
+// recordEventLocked bumps the snapshot version and queues a lifecycle event
+// for publication after the lock is released. Caller holds the write lock.
+func (t *Table) recordEventLocked(kind EventKind) {
+	t.version++
+	t.pending = append(t.pending, TableEvent{Table: t.Name, Kind: kind, Version: t.version})
+}
+
+// drainEventsLocked takes the queued events. Caller holds the write lock.
+func (t *Table) drainEventsLocked() []TableEvent {
+	events := t.pending
+	t.pending = nil
+	return events
+}
+
+// publishEvents delivers drained events through the store. Caller must hold
+// no locks.
+func (t *Table) publishEvents(events []TableEvent) {
+	if t.store != nil {
+		t.store.publish(events)
+	}
 }
 
 // AppendFrom appends a batch delivered from an offset-addressed source —
@@ -223,7 +247,6 @@ func (t *Table) AppendFrom(source string, next int64, rows [][]any, now time.Tim
 		return 0, err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	skip := 0
 	if seen, ok := t.srcNext[source]; ok && seen > next {
 		skip = int(seen - next)
@@ -239,7 +262,16 @@ func (t *Table) AppendFrom(source string, next int64, rows [][]any, now time.Tim
 	}
 	if end := next + int64(len(rows)); end > t.srcNext[source] {
 		t.srcNext[source] = end
+		if skip >= len(rows) {
+			// The rows were all duplicates but the watermark still advanced;
+			// record that as an append-kind event so watermark-driven
+			// invalidation fires.
+			t.recordEventLocked(EventAppend)
+		}
 	}
+	events := t.drainEventsLocked()
+	t.mu.Unlock()
+	t.publishEvents(events)
 	return len(rows) - skip, nil
 }
 
@@ -292,6 +324,7 @@ func (t *Table) appendLocked(rows [][]any, now time.Time) {
 			t.sealLocked()
 		}
 	}
+	t.recordEventLocked(EventAppend)
 }
 
 // sealLocked moves the open segment to the sealed list. Caller holds the
@@ -302,6 +335,7 @@ func (t *Table) sealLocked() {
 	}
 	t.segments = append(t.segments, t.open.seal())
 	t.open = nil
+	t.recordEventLocked(EventSeal)
 	if m := t.metrics(); m != nil {
 		m.seals.Inc()
 	}
@@ -313,11 +347,13 @@ func (t *Table) sealLocked() {
 // and appends.
 func (t *Table) Maintain(now time.Time) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.open != nil && t.open.n > 0 && now.Sub(t.open.firstAppend) >= t.cfg.SealAge {
 		t.sealLocked()
 	}
 	t.compactLocked()
+	events := t.drainEventsLocked()
+	t.mu.Unlock()
+	t.publishEvents(events)
 }
 
 // compactLocked merges small sealed segments (fewer than CompactBelowRows
@@ -349,6 +385,7 @@ func (t *Table) compactLocked() {
 		}
 	}
 	t.segments = append(kept, merged)
+	t.recordEventLocked(EventCompact)
 	if m := t.metrics(); m != nil {
 		m.compactions.Inc()
 		m.compactedSegments.Add(int64(len(candidates)))

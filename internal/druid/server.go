@@ -182,6 +182,15 @@ func (c *HTTPClient) Schema(table string) ([]Column, error) {
 	return out, nil
 }
 
+// Versioner is an optional Client capability: clients with access to the
+// store's snapshot versions expose them so the connector can implement
+// connector.SnapshotVersioner. HTTPClient deliberately does not implement
+// it — a remote broker has no version endpoint, so queries through it are
+// simply never result-cached.
+type Versioner interface {
+	TableVersion(table string) (int64, bool)
+}
+
 // LatencyClient wraps a Client, charging a fixed round-trip latency per
 // request. Benchmarks use it for both the native and the connector path so
 // comparisons include the broker RTT every production client pays.
@@ -220,6 +229,17 @@ func (c *LatencyClient) Schema(table string) ([]Column, error) {
 	return c.Inner.Schema(table)
 }
 
+// TableVersion implements Versioner by delegation when the inner client
+// supports it. Version probes charge no latency: the coordinator checks
+// them on the cache fast path, where a simulated RTT would erase the very
+// win being measured.
+func (c *LatencyClient) TableVersion(table string) (int64, bool) {
+	if v, ok := c.Inner.(Versioner); ok {
+		return v.TableVersion(table)
+	}
+	return 0, false
+}
+
 // EmbeddedClient serves queries from an in-process store (used when the
 // connector and store share a process, e.g. benchmarks).
 type EmbeddedClient struct {
@@ -231,6 +251,11 @@ func (c *EmbeddedClient) Execute(q Query) (*Result, error) { return c.Store.Exec
 
 // Tables implements Client.
 func (c *EmbeddedClient) Tables() ([]string, error) { return c.Store.Tables(), nil }
+
+// TableVersion implements Versioner.
+func (c *EmbeddedClient) TableVersion(table string) (int64, bool) {
+	return c.Store.TableVersion(table)
+}
 
 // Schema implements Client.
 func (c *EmbeddedClient) Schema(table string) ([]Column, error) {

@@ -39,7 +39,37 @@ type Table struct {
 	segments []*segment // sealed (and compacted) segments
 	open     *openSegment
 	srcNext  map[string]int64 // per-source delivered watermark (AppendFrom)
+	// version counts every visible-data mutation (append, watermark
+	// advance, seal, compaction) — the snapshot version result-cache keys
+	// are stamped with (§VII).
+	version int64
+	// pending accumulates lifecycle events recorded under the lock;
+	// public entry points drain and publish them after unlocking so
+	// listeners never run inside the table lock.
+	pending []TableEvent
 }
+
+// TableEvent describes one lifecycle transition, delivered to Store
+// OnChange listeners (hybrid-table cache invalidation subscribes here).
+type TableEvent struct {
+	Table string
+	Kind  EventKind
+	// Version is the table's snapshot version after the transition.
+	Version int64
+}
+
+// EventKind enumerates lifecycle transitions.
+type EventKind int
+
+const (
+	// EventAppend fires when rows land (including watermark-advancing
+	// AppendFrom deliveries).
+	EventAppend EventKind = iota
+	// EventSeal fires when the open segment seals into an immutable one.
+	EventSeal
+	// EventCompact fires when small sealed segments merge.
+	EventCompact
+)
 
 // segment is one horizontal shard with columnar storage. Sealed segments
 // are immutable; frozen views of the open segment share its buffers but
@@ -66,6 +96,53 @@ type Store struct {
 	tables  map[string]*Table
 	metrics atomic.Pointer[storeMetrics]
 	clock   fault.Clock
+
+	listenerMu sync.RWMutex
+	listeners  []func(TableEvent)
+}
+
+// OnChange registers a listener invoked after every table lifecycle
+// transition (append, seal, compact). Listeners run synchronously, outside
+// all store and table locks, in registration order.
+func (s *Store) OnChange(fn func(TableEvent)) {
+	s.listenerMu.Lock()
+	defer s.listenerMu.Unlock()
+	s.listeners = append(s.listeners, fn)
+}
+
+// publish delivers events to listeners. Callers must hold no locks.
+func (s *Store) publish(events []TableEvent) {
+	if len(events) == 0 {
+		return
+	}
+	s.listenerMu.RLock()
+	fns := s.listeners
+	s.listenerMu.RUnlock()
+	for _, ev := range events {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+// TableVersion returns the table's snapshot version: bumped on every
+// append, watermark advance, seal and compaction. ok is false when the
+// table does not exist.
+func (s *Store) TableVersion(name string) (int64, bool) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return t.Version(), true
+}
+
+// Version returns the table's snapshot version.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // NewStore creates an empty store on the real clock.

@@ -12,7 +12,11 @@
 // Routes may also target the LeastLoaded sentinel ("any") instead of a named
 // cluster: the gateway then polls each enabled coordinator's /v1/stats and
 // redirects to the cluster with the fewest outstanding queries, spreading
-// interactive load across the fleet.
+// interactive load across the fleet. The Sticky sentinel ("sticky") instead
+// rendezvous-hashes the client's session key over the enabled clusters, so a
+// dashboard's repeated statements keep landing on the cluster whose result
+// and chunk caches they warmed, falling back deterministically when that
+// cluster is unhealthy.
 package gateway
 
 import (
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -51,6 +56,16 @@ const (
 // coordinator's GET /v1/stats (the queries_outstanding gauge), cached for
 // loadTTL so a burst of queries doesn't turn into a burst of stats polls.
 const LeastLoaded = "any"
+
+// Sticky is a sentinel route target for cache-affinity routing: the gateway
+// rendezvous-hashes the client's session key (the X-Presto-Session header,
+// falling back to the user) over the enabled clusters and redirects to the
+// highest-ranked healthy one. A dashboard that reuses its session key thus
+// keeps hitting the same cluster — whose coordinator result cache and worker
+// chunk caches stay warm for exactly its queries — while an unhealthy,
+// saturated or draining preferred cluster degrades deterministically to the
+// next cluster in hash order (counted as gateway_sticky_fallbacks).
+const Sticky = "sticky"
 
 // defaultLoadTTL bounds how stale a cached cluster load may be.
 const defaultLoadTTL = 250 * time.Millisecond
@@ -97,9 +112,11 @@ type Gateway struct {
 	breakMu  sync.Mutex
 	breakers map[string]*Breaker
 
-	obs           *obs.Registry
-	failovers     *obs.Counter
-	resubmissions *obs.Counter
+	obs             *obs.Registry
+	failovers       *obs.Counter
+	resubmissions   *obs.Counter
+	stickyRoutes    *obs.Counter
+	stickyFallbacks *obs.Counter
 
 	// clock drives the load-cache TTL checks; injected via ClientConfig so
 	// chaos replay controls gateway staleness decisions too.
@@ -156,6 +173,8 @@ func NewWithConfig(cfg cluster.ClientConfig) (*Gateway, error) {
 	}
 	g.failovers = g.obs.Counter("gateway_failovers")
 	g.resubmissions = g.obs.Counter("gateway_resubmissions")
+	g.stickyRoutes = g.obs.Counter("gateway_sticky_routes")
+	g.stickyFallbacks = g.obs.Counter("gateway_sticky_fallbacks")
 	g.obs.GaugeFunc("redirects", func() float64 { return float64(g.Redirects.Load()) })
 	return g, nil
 }
@@ -219,8 +238,16 @@ func (g *Gateway) DeleteRoute(principal string) error {
 	return err
 }
 
-// Resolve returns the target cluster address for a user and group.
+// Resolve returns the target cluster address for a user and group. Sticky
+// routes key on the user (no session header on this path).
 func (g *Gateway) Resolve(user, group string) (string, error) {
+	return g.ResolveSession(user, group, "")
+}
+
+// ResolveSession resolves with an explicit session key for sticky routes; an
+// empty key falls back to the user, so session-less clients still stick
+// per-user instead of scattering.
+func (g *Gateway) ResolveSession(user, group, session string) (string, error) {
 	for _, principal := range []string{"user:" + user, "group:" + group, "default"} {
 		row, ok, err := g.db.GetByPK("routes", principal)
 		if err != nil {
@@ -236,6 +263,13 @@ func (g *Gateway) Resolve(user, group string) (string, error) {
 				return "", err
 			}
 			return addr, nil
+		}
+		if cluster == Sticky {
+			key := session
+			if key == "" {
+				key = user
+			}
+			return g.stickyCluster(key)
 		}
 		crow, ok, err := g.db.GetByPK("clusters", cluster)
 		if err != nil {
@@ -333,6 +367,69 @@ func (g *Gateway) leastLoadedCluster() (string, error) {
 	return best, nil
 }
 
+// stickyScore rendezvous-hashes one session key against one cluster name —
+// the same highest-random-weight scheme the coordinator uses for split
+// affinity, so a cluster joining or leaving only remaps the sessions that
+// hashed onto it.
+func stickyScore(key, name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))  // hash.Hash never errors
+	_, _ = h.Write([]byte{0})    // separator: ("ab","c") must differ from ("a","bc")
+	_, _ = h.Write([]byte(name)) // hash.Hash never errors
+	return h.Sum64()
+}
+
+// stickyCluster redirects a session key to its highest-ranked enabled cluster
+// that is reachable, unsaturated and not draining. Hash rank — not load —
+// decides, so the same key lands on the same cluster as long as that cluster
+// stays healthy; only then does the session fall down its own deterministic
+// preference list (gateway_sticky_fallbacks counts those degradations).
+func (g *Gateway) stickyCluster(key string) (string, error) {
+	rows, err := g.db.Scan("clusters", nil, nil, -1)
+	if err != nil {
+		return "", err
+	}
+	type ranked struct {
+		name, addr string
+		score      uint64
+	}
+	var order []ranked
+	for _, row := range rows {
+		if row[2].(int64) == 0 {
+			continue
+		}
+		name := row[0].(string)
+		order = append(order, ranked{name: name, addr: row[1].(string), score: stickyScore(key, name)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].name < order[j].name
+	})
+	sawReachable := false
+	for pos, cand := range order {
+		load := g.pollCluster(cand.addr)
+		if !load.ok {
+			continue
+		}
+		sawReachable = true
+		if load.saturated || load.draining {
+			continue
+		}
+		if pos == 0 {
+			g.stickyRoutes.Inc()
+		} else {
+			g.stickyFallbacks.Inc()
+		}
+		return cand.addr, nil
+	}
+	if sawReachable {
+		return "", ErrAllSaturated
+	}
+	return "", fmt.Errorf("gateway: no enabled cluster is reachable for sticky routing")
+}
+
 // pollCluster returns a cluster's load snapshot (outstanding queries and
 // admission saturation), polling its /v1/stats endpoint at most once per
 // LoadTTL.
@@ -403,7 +500,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleStatement(w http.ResponseWriter, r *http.Request) {
 	user := r.Header.Get("X-Presto-User")
 	group := r.Header.Get("X-Presto-Group")
-	target, err := g.Resolve(user, group)
+	target, err := g.ResolveSession(user, group, r.Header.Get("X-Presto-Session"))
 	if err != nil {
 		if errors.Is(err, ErrAllSaturated) {
 			w.Header().Set("Retry-After", "1")
@@ -453,6 +550,7 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	user := r.Header.Get("X-Presto-User")
 	group := r.Header.Get("X-Presto-Group")
+	session := r.Header.Get("X-Presto-Session")
 
 	attempts := 1
 	if IsIdempotentStatement(req.Query) {
@@ -465,7 +563,7 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 	tried := map[string]bool{}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		addr, err := g.executeTarget(user, group, tried)
+		addr, err := g.executeTarget(user, group, session, tried)
 		if err != nil {
 			lastErr = err
 			break
@@ -475,7 +573,7 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 			g.resubmissions.Inc()
 		}
 		br := g.breakerFor(addr)
-		status, hdr, respBody, err := g.forward(addr, body, user, group)
+		status, hdr, respBody, err := g.forward(addr, body, user, group, session)
 		if err != nil {
 			// Transport failure: the coordinator process is gone or
 			// unreachable. Trip the breaker and resubmit elsewhere.
@@ -518,8 +616,8 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 // routed target first, then the remaining enabled clusters in name order —
 // skipping already-tried addresses, open circuit breakers, and clusters
 // whose health poll says unreachable, saturated or draining.
-func (g *Gateway) executeTarget(user, group string, tried map[string]bool) (string, error) {
-	if addr, err := g.Resolve(user, group); err == nil && !tried[addr] && g.breakerFor(addr).Allow() {
+func (g *Gateway) executeTarget(user, group, session string, tried map[string]bool) (string, error) {
+	if addr, err := g.ResolveSession(user, group, session); err == nil && !tried[addr] && g.breakerFor(addr).Allow() {
 		return addr, nil
 	}
 	rows, err := g.db.Scan("clusters", nil, nil, -1)
@@ -550,7 +648,7 @@ func (g *Gateway) executeTarget(user, group string, tried map[string]bool) (stri
 }
 
 // forward replays the statement document against one coordinator.
-func (g *Gateway) forward(addr string, body []byte, user, group string) (int, http.Header, []byte, error) {
+func (g *Gateway) forward(addr string, body []byte, user, group, session string) (int, http.Header, []byte, error) {
 	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/statement", bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
@@ -558,6 +656,9 @@ func (g *Gateway) forward(addr string, body []byte, user, group string) (int, ht
 	req.Header.Set("Content-Type", "application/x-gob")
 	req.Header.Set("X-Presto-User", user)
 	req.Header.Set("X-Presto-Group", group)
+	if session != "" {
+		req.Header.Set("X-Presto-Session", session)
+	}
 	resp, err := g.stmtHTTP.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -588,6 +689,12 @@ func NewClient(addr string) *Client {
 // Execute runs one statement via the gateway, carrying the identity headers
 // routing keys on.
 func (cl *Client) Execute(req cluster.StatementRequest, user, group string) (*cluster.QueryResult, error) {
+	return cl.ExecuteSession(req, user, group, "")
+}
+
+// ExecuteSession additionally carries a session key so sticky routes pin the
+// statement to the cluster whose caches this session warmed.
+func (cl *Client) ExecuteSession(req cluster.StatementRequest, user, group, session string) (*cluster.QueryResult, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
 		return nil, err
@@ -599,6 +706,9 @@ func (cl *Client) Execute(req cluster.StatementRequest, user, group string) (*cl
 	httpReq.Header.Set("Content-Type", "application/x-gob")
 	httpReq.Header.Set("X-Presto-User", user)
 	httpReq.Header.Set("X-Presto-Group", group)
+	if session != "" {
+		httpReq.Header.Set("X-Presto-Session", session)
+	}
 	hc := cl.HTTP
 	if hc == nil {
 		def := cluster.DefaultClientConfig()

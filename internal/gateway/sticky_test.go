@@ -1,0 +1,211 @@
+package gateway
+
+import (
+	"testing"
+
+	"prestolite/internal/cluster"
+)
+
+// askSticky routes one query through the gateway carrying a session key and
+// returns the marker of the cluster that served it.
+func askSticky(t *testing.T, gw *Gateway, user, session string) string {
+	t.Helper()
+	client := cluster.NewClient(gw.Addr())
+	res, err := client.QueryWithSession(cluster.StatementRequest{
+		Query:   "SELECT cluster FROM whoami",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    user,
+	}, user, "", session)
+	if err != nil {
+		t.Fatalf("query via gateway as %s session %q: %v", user, session, err)
+	}
+	rows, err := res.Rows()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	return rows[0][0].(string)
+}
+
+// newStickyGateway wires three clusters behind a default route targeting the
+// Sticky sentinel.
+func newStickyGateway(t *testing.T) (*Gateway, map[string]*cluster.Coordinator) {
+	t.Helper()
+	coords := map[string]*cluster.Coordinator{}
+	gw, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.LoadTTL = 0 // always poll live health in tests
+	for _, name := range []string{"east", "west", "north"} {
+		coords[name] = startCluster(t, name)
+		if err := gw.AddCluster(name, coords[name].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.SetRoute("default", Sticky); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return gw, coords
+}
+
+// TestStickySessionsStayPut: the same session key always lands on the same
+// cluster, repeats count as sticky routes (not fallbacks), and distinct keys
+// spread over more than one cluster — stickiness without a single hot spot.
+func TestStickySessionsStayPut(t *testing.T) {
+	gw, _ := newStickyGateway(t)
+	sessions := []string{"dash-city-ops", "dash-eats", "dash-freight", "dash-safety", "dash-finance"}
+	landed := map[string]string{}
+	spread := map[string]bool{}
+	for round := 0; round < 3; round++ {
+		for _, sess := range sessions {
+			got := askSticky(t, gw, "alice", sess)
+			if prev, ok := landed[sess]; ok && prev != got {
+				t.Errorf("session %s moved from %s to %s with all clusters healthy", sess, prev, got)
+			}
+			landed[sess] = got
+			spread[got] = true
+		}
+	}
+	if len(spread) < 2 {
+		t.Errorf("5 sessions all hashed onto one cluster %v — no spread", landed)
+	}
+	snap := gw.Obs().Snapshot()
+	if n := snap.Counters["gateway_sticky_routes"]; n != int64(3*len(sessions)) {
+		t.Errorf("gateway_sticky_routes = %d, want %d", n, 3*len(sessions))
+	}
+	if n := snap.Counters["gateway_sticky_fallbacks"]; n != 0 {
+		t.Errorf("gateway_sticky_fallbacks = %d with all clusters healthy", n)
+	}
+}
+
+// TestStickyFallsBackWhenPreferredDies: killing a session's preferred
+// coordinator degrades it to the next cluster in its own hash order — the
+// same one every time — and the degradation is visible as sticky fallbacks.
+// Sessions whose preferred cluster survived do not move.
+func TestStickyFallsBackWhenPreferredDies(t *testing.T) {
+	gw, coords := newStickyGateway(t)
+	sessions := []string{"dash-city-ops", "dash-eats", "dash-freight", "dash-safety", "dash-finance"}
+	landed := map[string]string{}
+	for _, sess := range sessions {
+		landed[sess] = askSticky(t, gw, "alice", sess)
+	}
+
+	// Kill whichever cluster dash-city-ops hashed to.
+	victim := landed[sessions[0]]
+	if err := coords[victim].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each displaced session falls to the next cluster in its own hash order
+	// — a per-session constant, though different sessions may pick different
+	// survivors.
+	fallback := map[string]string{}
+	for round := 0; round < 2; round++ {
+		for _, sess := range sessions {
+			got := askSticky(t, gw, "alice", sess)
+			if landed[sess] != victim {
+				if got != landed[sess] {
+					t.Errorf("session %s moved %s -> %s though its cluster survived", sess, landed[sess], got)
+				}
+				continue
+			}
+			if got == victim {
+				t.Fatalf("session %s still routed to dead cluster %s", sess, victim)
+			}
+			if prev, ok := fallback[sess]; ok && prev != got {
+				t.Errorf("session %s fallback flapped between %s and %s", sess, prev, got)
+			}
+			fallback[sess] = got
+		}
+	}
+	if n := gw.Obs().Snapshot().Counters["gateway_sticky_fallbacks"]; n < 1 {
+		t.Errorf("gateway_sticky_fallbacks = %d, want >= 1", n)
+	}
+}
+
+// TestStickySkipsSaturatedAndDrained: a saturated preferred cluster is
+// skipped like a dead one, and a cluster pulled from rotation (enabled=0)
+// never appears in any session's preference list.
+func TestStickySkipsSaturatedAndDrained(t *testing.T) {
+	gw, coords := newStickyGateway(t)
+	sess := "dash-city-ops"
+	first := askSticky(t, gw, "alice", sess)
+
+	saturate(t, coords[first])
+	second := askSticky(t, gw, "alice", sess)
+	if second == first {
+		t.Fatalf("session still routed to saturated cluster %s", first)
+	}
+	if n := gw.Obs().Snapshot().Counters["gateway_sticky_fallbacks"]; n != 1 {
+		t.Errorf("gateway_sticky_fallbacks = %d, want 1", n)
+	}
+
+	// Drain the fallback too: the session lands on the last cluster standing.
+	if err := gw.SetClusterEnabled(second, false); err != nil {
+		t.Fatal(err)
+	}
+	third := askSticky(t, gw, "alice", sess)
+	if third == first || third == second {
+		t.Errorf("session routed to %s, want the one remaining cluster", third)
+	}
+}
+
+// TestStickyKeysOnUserWithoutSession: with no session header the key falls
+// back to the user, so per-user stickiness still holds and two users can
+// land on different clusters.
+func TestStickyKeysOnUserWithoutSession(t *testing.T) {
+	gw, _ := newStickyGateway(t)
+	users := []string{"alice", "bob", "carol", "dave", "erin"}
+	landed := map[string]string{}
+	spread := map[string]bool{}
+	for round := 0; round < 2; round++ {
+		for _, user := range users {
+			got := askVia(t, gw, user, "")
+			if prev, ok := landed[user]; ok && prev != got {
+				t.Errorf("user %s moved from %s to %s between queries", user, prev, got)
+			}
+			landed[user] = got
+			spread[got] = true
+		}
+	}
+	if len(spread) < 2 {
+		t.Errorf("5 users all hashed onto one cluster %v — no spread", landed)
+	}
+}
+
+// TestStickyExecutePath: the proxying /v1/execute endpoint honors the sticky
+// session key too, so gateway.Client callers get cache affinity without
+// following redirects.
+func TestStickyExecutePath(t *testing.T) {
+	gw, _ := newStickyGateway(t)
+	cl := NewClient(gw.Addr())
+	req := cluster.StatementRequest{
+		Query:   "SELECT cluster FROM whoami",
+		Catalog: "memory",
+		Schema:  "meta",
+		User:    "alice",
+	}
+	serve := func(session string) string {
+		t.Helper()
+		res, err := cl.ExecuteSession(req, "alice", "", session)
+		if err != nil {
+			t.Fatalf("execute with session %q: %v", session, err)
+		}
+		rows, err := res.Rows()
+		if err != nil || len(rows) != 1 {
+			t.Fatalf("rows = %v, %v", rows, err)
+		}
+		return rows[0][0].(string)
+	}
+	first := serve("dash-city-ops")
+	for i := 0; i < 3; i++ {
+		if got := serve("dash-city-ops"); got != first {
+			t.Errorf("execute-path session moved from %s to %s", first, got)
+		}
+	}
+}

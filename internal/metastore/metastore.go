@@ -51,6 +51,12 @@ type Table struct {
 	Versions      []TableVersion
 
 	partitions map[string]*Partition
+	// changeVersion counts every mutation to the table's data layout:
+	// partitions added or sealed, schema evolved. It is the snapshot version
+	// stamped into result-cache keys (§VII): any bump makes old keys
+	// unreachable, which is how cached query results are invalidated without
+	// a scan of the cache.
+	changeVersion int64
 }
 
 // Partitions returns partitions sorted by name.
@@ -63,15 +69,74 @@ func (t *Table) Partitions() []*Partition {
 	return out
 }
 
+// Change describes one table mutation, delivered to OnChange listeners.
+// Caches key invalidation off Location: for partition events it is the
+// partition directory, for schema events the table directory.
+type Change struct {
+	Schema   string
+	Table    string
+	Kind     ChangeKind
+	Location string
+	// Version is the table's change version after the mutation.
+	Version int64
+}
+
+// ChangeKind enumerates table mutations.
+type ChangeKind int
+
+const (
+	// ChangePartitionAdded fires when a partition directory is registered.
+	ChangePartitionAdded ChangeKind = iota
+	// ChangePartitionSealed fires when a partition becomes immutable —
+	// the moment its file listing becomes cacheable but any listing cached
+	// while it was open is stale.
+	ChangePartitionSealed
+	// ChangeSchemaEvolved fires when EvolveTable records a new version.
+	ChangeSchemaEvolved
+)
+
 // Metastore is the in-process schema service.
 type Metastore struct {
-	mu     sync.RWMutex
-	tables map[string]*Table // "schema.table"
+	mu        sync.RWMutex
+	tables    map[string]*Table // "schema.table"
+	listeners []func(Change)
 }
 
 // New creates an empty metastore.
 func New() *Metastore {
 	return &Metastore{tables: map[string]*Table{}}
+}
+
+// OnChange registers a listener invoked after every table mutation.
+// Listeners run synchronously, outside the metastore lock, in registration
+// order; connectors subscribe their cache invalidation here.
+func (m *Metastore) OnChange(fn func(Change)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+// notify delivers ch to listeners. Callers must NOT hold m.mu.
+func (m *Metastore) notify(ch Change) {
+	m.mu.RLock()
+	fns := m.listeners
+	m.mu.RUnlock()
+	for _, fn := range fns {
+		fn(ch)
+	}
+}
+
+// TableVersion returns the current change version of a table: 0 for a
+// freshly created table, bumped on every partition add/seal and schema
+// evolution. ok is false when the table does not exist.
+func (m *Metastore) TableVersion(schema, table string) (int64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[key(schema, table)]
+	if !ok {
+		return 0, false
+	}
+	return t.changeVersion, true
 }
 
 func key(schema, table string) string { return schema + "." + table }
@@ -141,13 +206,17 @@ func (m *Metastore) ListSchemas() []string {
 // AddPartition registers a partition directory.
 func (m *Metastore) AddPartition(schema, table string, p Partition) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	t, ok := m.tables[key(schema, table)]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("metastore: table %s.%s does not exist", schema, table)
 	}
 	cp := p
 	t.partitions[p.Name] = &cp
+	t.changeVersion++
+	ch := Change{Schema: schema, Table: table, Kind: ChangePartitionAdded, Location: p.Location, Version: t.changeVersion}
+	m.mu.Unlock()
+	m.notify(ch)
 	return nil
 }
 
@@ -155,16 +224,21 @@ func (m *Metastore) AddPartition(schema, table string, p Partition) error {
 // caching).
 func (m *Metastore) SealPartition(schema, table, partition string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	t, ok := m.tables[key(schema, table)]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("metastore: table %s.%s does not exist", schema, table)
 	}
 	p, ok := t.partitions[partition]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("metastore: partition %s of %s.%s does not exist", partition, schema, table)
 	}
 	p.Sealed = true
+	t.changeVersion++
+	ch := Change{Schema: schema, Table: table, Kind: ChangePartitionSealed, Location: p.Location, Version: t.changeVersion}
+	m.mu.Unlock()
+	m.notify(ch)
 	return nil
 }
 
@@ -172,9 +246,9 @@ func (m *Metastore) SealPartition(schema, table, partition string) error {
 // success a new version is recorded.
 func (m *Metastore) EvolveTable(schema, table string, newColumns []Column) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	t, ok := m.tables[key(schema, table)]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("metastore: table %s.%s does not exist", schema, table)
 	}
 	oldByName := map[string]*types.Type{}
@@ -184,12 +258,17 @@ func (m *Metastore) EvolveTable(schema, table string, newColumns []Column) error
 	for _, c := range newColumns {
 		if old, exists := oldByName[strings.ToLower(c.Name)]; exists {
 			if err := CheckEvolution(old, c.Type, c.Name); err != nil {
+				m.mu.Unlock()
 				return err
 			}
 		}
 	}
 	t.Columns = newColumns
 	t.Versions = append(t.Versions, TableVersion{Version: len(t.Versions) + 1, Columns: newColumns})
+	t.changeVersion++
+	ch := Change{Schema: schema, Table: table, Kind: ChangeSchemaEvolved, Location: t.Location, Version: t.changeVersion}
+	m.mu.Unlock()
+	m.notify(ch)
 	return nil
 }
 

@@ -82,18 +82,64 @@ func (c *chunkData) valueAt(i int) any {
 	}
 }
 
+// ChunkCache is the worker-local data cache contract (tier 1 of the §VII
+// hierarchy): decompressed column-chunk bodies keyed by file path, leaf
+// column path, row group ordinal and page kind (data vs dictionary).
+// Implementations must treat returned slices as shared and read-only; the
+// reader never mutates a cached body. Defined here (and satisfied by
+// internal/cache.ChunkCache) so parquet does not depend on the cache
+// package.
+type ChunkCache interface {
+	GetChunk(path, column string, rowGroup int, dict bool) ([]byte, bool)
+	PutChunk(path, column string, rowGroup int, dict bool, body []byte)
+}
+
+// chunkFetch locates chunk bytes: through the data cache when one is
+// configured (a hit skips both the ReadAt and the decompression — the two
+// costs the Alluxio-style local cache exists to remove), straight from the
+// file otherwise. The zero value is the uncached baseline.
+type chunkFetch struct {
+	cache    ChunkCache
+	path     string
+	rowGroup int
+}
+
+// body returns the decompressed bytes of the chunk's data pages
+// (dict=false) or dictionary page (dict=true).
+func (cf chunkFetch) body(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf, dict bool) ([]byte, error) {
+	if cf.cache != nil {
+		if b, ok := cf.cache.GetChunk(cf.path, leaf.Node.Path, cf.rowGroup, dict); ok {
+			return b, nil
+		}
+	}
+	off, n := cm.DataOffset, cm.DataLen
+	what := "chunk"
+	if dict {
+		off, n = cm.DictOffset, cm.DictLen
+		what = "dictionary of"
+	}
+	raw := make([]byte, n)
+	if _, err := f.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("parquet: reading %s %s: %w", what, leaf.Node.Path, err)
+	}
+	body, err := decompress(codec, raw)
+	if err != nil {
+		return nil, err
+	}
+	if cf.cache != nil {
+		cf.cache.PutChunk(cf.path, leaf.Node.Path, cf.rowGroup, dict, body)
+	}
+	return body, nil
+}
+
 // readChunkDictionary reads and decodes only the dictionary page of a chunk
 // (the dictionary-pushdown probe, §V.G). Returns nil when not
 // dictionary-encoded.
-func readChunkDictionary(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf) ([]any, error) {
+func readChunkDictionary(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf, cf chunkFetch) ([]any, error) {
 	if !cm.Dictionary {
 		return nil, nil
 	}
-	raw := make([]byte, cm.DictLen)
-	if _, err := f.ReadAt(raw, cm.DictOffset); err != nil {
-		return nil, fmt.Errorf("parquet: reading dictionary of %s: %w", leaf.Node.Path, err)
-	}
-	body, err := decompress(codec, raw)
+	body, err := cf.body(f, codec, cm, leaf, true)
 	if err != nil {
 		return nil, err
 	}
@@ -128,12 +174,8 @@ func readChunkDictionary(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf) ([
 // ("registers"), a cached dictionary, and a direct path for non-nullable
 // non-nested columns. The scalar path decodes one triplet per loop
 // iteration, re-checking stream state each time.
-func decodeChunk(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf, vectorized bool) (*chunkData, error) {
-	raw := make([]byte, cm.DataLen)
-	if _, err := f.ReadAt(raw, cm.DataOffset); err != nil {
-		return nil, fmt.Errorf("parquet: reading chunk %s: %w", leaf.Node.Path, err)
-	}
-	body, err := decompress(codec, raw)
+func decodeChunk(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf, vectorized bool, cf chunkFetch) (*chunkData, error) {
+	body, err := cf.body(f, codec, cm, leaf, false)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +218,7 @@ func decodeChunk(f fsys.File, codec Codec, cm *ChunkMeta, leaf *Leaf, vectorized
 	}
 
 	if encoding == 1 {
-		dict, err := readChunkDictionary(f, codec, cm, leaf)
+		dict, err := readChunkDictionary(f, codec, cm, leaf, cf)
 		if err != nil {
 			return nil, err
 		}

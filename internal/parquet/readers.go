@@ -134,6 +134,14 @@ type ReaderOptions struct {
 	LazyReads bool
 	// Vectorized selects the batched triplet decoder (§V.I).
 	Vectorized bool
+
+	// Path is the file's warehouse path, used only as the cache key prefix
+	// for Chunks. Required when Chunks is set.
+	Path string
+	// Chunks, when non-nil, caches decompressed column-chunk bodies across
+	// reader instances (the worker-local data cache, §VII). nil reads every
+	// chunk from the filesystem.
+	Chunks ChunkCache
 }
 
 // AllOptimizations enables every new-reader feature.
@@ -249,6 +257,9 @@ func (r *Reader) chunkFor(rg *RowGroupMeta, leafIndex int) *ChunkMeta {
 }
 
 func (r *Reader) readRowGroup(rg *RowGroupMeta) (*block.Page, error) {
+	// rgIndex was advanced by Next before this call; the ordinal of the row
+	// group in hand keys its chunks in the data cache.
+	cf := chunkFetch{cache: r.opts.Chunks, path: r.opts.Path, rowGroup: r.rgIndex - 1}
 	// 1. Predicate pushdown: skip the row group when stats cannot match
 	//    (Fig 7: "one row group city_id max is 10, skip this row group").
 	if r.opts.PredicatePushdown {
@@ -276,7 +287,7 @@ func (r *Reader) readRowGroup(rg *RowGroupMeta) (*block.Page, error) {
 			if cm == nil || !cm.Dictionary {
 				continue
 			}
-			dict, err := readChunkDictionary(r.f, r.meta.Codec, cm, r.schema.Leaves[leaf.LeafIndex])
+			dict, err := readChunkDictionary(r.f, r.meta.Codec, cm, r.schema.Leaves[leaf.LeafIndex], cf)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +343,7 @@ func (r *Reader) readRowGroup(rg *RowGroupMeta) (*block.Page, error) {
 			chunks[li] = nullChunk(r.schema.Leaves[li], numRecords)
 			return nil
 		}
-		cd, err := decodeChunk(r.f, r.meta.Codec, cm, r.schema.Leaves[li], r.opts.Vectorized)
+		cd, err := decodeChunk(r.f, r.meta.Codec, cm, r.schema.Leaves[li], r.opts.Vectorized, cf)
 		if err != nil {
 			return err
 		}
@@ -532,7 +543,9 @@ func (r *LegacyReader) Next() (*block.Page, error) {
 		for i := range rg.Chunks {
 			if rg.Chunks[i].LeafIndex == li {
 				var err error
-				cd, err = decodeChunk(r.f, r.meta.Codec, &rg.Chunks[i], leaf, false)
+				// The legacy reader stays the uncached baseline: zero-value
+				// chunkFetch reads straight from the filesystem.
+				cd, err = decodeChunk(r.f, r.meta.Codec, &rg.Chunks[i], leaf, false, chunkFetch{})
 				if err != nil {
 					return nil, err
 				}
